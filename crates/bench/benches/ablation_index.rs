@@ -1,0 +1,62 @@
+//! Ablation A1: the same select-inner-of-join workload across the three index
+//! structures (grid, PR-quadtree, STR R-tree). The algorithms are index
+//! agnostic (Section 2); the Block-Marking vs conceptual ranking should hold
+//! for every structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twoknn_bench::workloads;
+use twoknn_core::select_join::{
+    block_marking, block_marking_with_config, conceptual, BlockMarkingConfig,
+    SelectInnerJoinQuery,
+};
+use twoknn_datagen::{berlinmod, BerlinModConfig};
+use twoknn_index::{QuadtreeIndex, StrRTree};
+
+fn bench(c: &mut Criterion) {
+    let n_outer = 4_000;
+    let n_inner = 8_000;
+    let outer_pts = berlinmod(&BerlinModConfig::with_points(n_outer, 171));
+    let inner_pts = berlinmod(&BerlinModConfig::with_points(n_inner, 172));
+    let query = SelectInnerJoinQuery::new(8, 8, workloads::focal_point());
+
+    let mut group = c.benchmark_group("ablation_index");
+
+    let outer_grid = workloads::berlin_relation(n_outer, 171);
+    let inner_grid = workloads::berlin_relation(n_inner, 172);
+    group.bench_function(BenchmarkId::new("grid", "conceptual"), |b| {
+        b.iter(|| conceptual(&outer_grid, &inner_grid, &query))
+    });
+    group.bench_function(BenchmarkId::new("grid", "block_marking"), |b| {
+        b.iter(|| block_marking(&outer_grid, &inner_grid, &query))
+    });
+
+    let outer_qt = QuadtreeIndex::build(outer_pts.clone(), 128).unwrap();
+    let inner_qt = QuadtreeIndex::build(inner_pts.clone(), 128).unwrap();
+    group.bench_function(BenchmarkId::new("quadtree", "conceptual"), |b| {
+        b.iter(|| conceptual(&outer_qt, &inner_qt, &query))
+    });
+    group.bench_function(BenchmarkId::new("quadtree", "block_marking"), |b| {
+        b.iter(|| block_marking(&outer_qt, &inner_qt, &query))
+    });
+
+    let outer_rt = StrRTree::build(outer_pts, 128).unwrap();
+    let inner_rt = StrRTree::build(inner_pts, 128).unwrap();
+    let cfg = BlockMarkingConfig {
+        contour_pruning: false,
+    };
+    group.bench_function(BenchmarkId::new("str_rtree", "conceptual"), |b| {
+        b.iter(|| conceptual(&outer_rt, &inner_rt, &query))
+    });
+    group.bench_function(BenchmarkId::new("str_rtree", "block_marking"), |b| {
+        b.iter(|| block_marking_with_config(&outer_rt, &inner_rt, &query, &cfg))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Errors reported by the query-processing layer.
+
+/// Errors produced while building, validating or executing query plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A kNN predicate was given `k = 0`.
+    ZeroK {
+        /// Which predicate had the zero k (for diagnostics).
+        predicate: &'static str,
+    },
+    /// A plan transformation was rejected because it would change the query's
+    /// result (e.g. pushing a kNN-select below the inner relation of a
+    /// kNN-join, Section 3 of the paper).
+    InvalidTransformation {
+        /// Human-readable explanation of why the transformation is invalid.
+        reason: String,
+    },
+    /// The plan references a relation that was not supplied to the executor.
+    UnknownRelation {
+        /// Name of the missing relation.
+        name: String,
+    },
+    /// The plan's shape does not match any supported two-predicate query.
+    UnsupportedPlanShape {
+        /// Human-readable description of the offending shape.
+        description: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ZeroK { predicate } => {
+                write!(f, "kNN predicate `{predicate}` must have k >= 1")
+            }
+            QueryError::InvalidTransformation { reason } => {
+                write!(f, "invalid plan transformation: {reason}")
+            }
+            QueryError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            QueryError::UnsupportedPlanShape { description } => {
+                write!(f, "unsupported plan shape: {description}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QueryError::ZeroK { predicate: "join" }
+            .to_string()
+            .contains("join"));
+        assert!(QueryError::InvalidTransformation {
+            reason: "x".into()
+        }
+        .to_string()
+        .contains("invalid"));
+        assert!(QueryError::UnknownRelation { name: "Hotels".into() }
+            .to_string()
+            .contains("Hotels"));
+        assert!(QueryError::UnsupportedPlanShape {
+            description: "three joins".into()
+        }
+        .to_string()
+        .contains("three joins"));
+    }
+}

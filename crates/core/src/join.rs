@@ -1,0 +1,231 @@
+//! The kNN-join operator `E1 ⋈_kNN E2`.
+//!
+//! "E1 ⋈kNN E2 returns all the pairs of the form (e1, e2), where e1 ∈ E1 and
+//! e2 ∈ E2, and e2 is among the k-closest points to e1." (Section 1.)
+//!
+//! The kNN-join is evaluated by computing, for every point of the outer
+//! relation, its neighborhood in the inner relation via the locality-based
+//! `getkNN` — exactly the strategy the paper assumes for its conceptually
+//! correct QEPs. A thread-parallel variant is provided for large outer
+//! relations; it partitions the outer relation's blocks across threads and
+//! merges per-thread metrics, producing the same result set as the
+//! sequential operator.
+
+use twoknn_geometry::Point;
+use twoknn_index::{get_knn, Metrics, SpatialIndex};
+
+use crate::output::{Pair, QueryOutput};
+
+/// Evaluates `outer ⋈_kNN inner` with the given `k`.
+pub fn knn_join<O, I>(outer: &O, inner: &I, k: usize) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + ?Sized,
+    I: SpatialIndex + ?Sized,
+{
+    let mut metrics = Metrics::default();
+    let rows = knn_join_with_metrics(outer, inner, k, &mut metrics);
+    QueryOutput::new(rows, metrics)
+}
+
+/// Evaluates the kNN-join, accumulating work into `metrics`.
+pub fn knn_join_with_metrics<O, I>(
+    outer: &O,
+    inner: &I,
+    k: usize,
+    metrics: &mut Metrics,
+) -> Vec<Pair>
+where
+    O: SpatialIndex + ?Sized,
+    I: SpatialIndex + ?Sized,
+{
+    let mut pairs = Vec::new();
+    for block in outer.blocks() {
+        for e1 in outer.block_points(block.id) {
+            let nbr = get_knn(inner, e1, k, metrics);
+            for n in nbr.members() {
+                pairs.push(Pair::new(*e1, n.point));
+            }
+        }
+    }
+    metrics.tuples_emitted += pairs.len() as u64;
+    pairs
+}
+
+/// Evaluates the kNN-join for a specific subset of outer points (used by the
+/// two-predicate algorithms once pruning has decided which outer points can
+/// contribute).
+pub fn knn_join_points<I>(
+    outer_points: &[Point],
+    inner: &I,
+    k: usize,
+    metrics: &mut Metrics,
+) -> Vec<Pair>
+where
+    I: SpatialIndex + ?Sized,
+{
+    let mut pairs = Vec::new();
+    for e1 in outer_points {
+        let nbr = get_knn(inner, e1, k, metrics);
+        for n in nbr.members() {
+            pairs.push(Pair::new(*e1, n.point));
+        }
+    }
+    metrics.tuples_emitted += pairs.len() as u64;
+    pairs
+}
+
+/// Thread-parallel kNN-join: outer blocks are distributed round-robin over
+/// `num_threads` worker threads. The result set is identical to
+/// [`knn_join`] (up to row order); metrics are the sum of per-thread work.
+pub fn knn_join_parallel<O, I>(
+    outer: &O,
+    inner: &I,
+    k: usize,
+    num_threads: usize,
+) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    let num_threads = num_threads.max(1);
+    if num_threads == 1 {
+        return knn_join(outer, inner, k);
+    }
+
+    let blocks = outer.blocks();
+    let mut results: Vec<(Vec<Pair>, Metrics)> = Vec::with_capacity(num_threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for t in 0..num_threads {
+            handles.push(scope.spawn(move |_| {
+                let mut metrics = Metrics::default();
+                let mut pairs = Vec::new();
+                for block in blocks.iter().skip(t).step_by(num_threads) {
+                    for e1 in outer.block_points(block.id) {
+                        let nbr = get_knn(inner, e1, k, &mut metrics);
+                        for n in nbr.members() {
+                            pairs.push(Pair::new(*e1, n.point));
+                        }
+                    }
+                }
+                (pairs, metrics)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("kNN-join worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut metrics = Metrics::default();
+    let mut rows = Vec::new();
+    for (pairs, m) in results {
+        metrics += m;
+        rows.extend(pairs);
+    }
+    metrics.tuples_emitted += rows.len() as u64;
+    QueryOutput::new(rows, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::pair_id_set;
+    use twoknn_index::{brute_force_knn, GridIndex};
+
+    fn relation(n: usize, stride: f64, offset: f64) -> GridIndex {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    offset + ((i * 13) % 50) as f64 * stride,
+                    offset + ((i * 29) % 50) as f64 * stride,
+                )
+            })
+            .collect();
+        GridIndex::build(pts, 8).unwrap()
+    }
+
+    #[test]
+    fn join_emits_k_pairs_per_outer_point() {
+        let outer = relation(40, 1.0, 0.0);
+        let inner = relation(100, 0.7, 2.0);
+        let k = 3;
+        let out = knn_join(&outer, &inner, k);
+        assert_eq!(out.len(), 40 * k);
+        assert_eq!(out.metrics.neighborhoods_computed, 40);
+    }
+
+    #[test]
+    fn join_matches_brute_force_neighborhoods() {
+        let outer = relation(25, 1.3, 0.0);
+        let inner = relation(60, 0.9, 1.0);
+        let k = 4;
+        let got = pair_id_set(&knn_join(&outer, &inner, k).rows);
+        let mut want = std::collections::BTreeSet::new();
+        for e1 in outer.all_points() {
+            for id in brute_force_knn(&inner, &e1, k).ids() {
+                want.insert((e1.id, id));
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_is_not_symmetric() {
+        let outer = relation(30, 1.0, 0.0);
+        let inner = relation(30, 1.0, 10.0);
+        let ab = pair_id_set(&knn_join(&outer, &inner, 2).rows);
+        let ba: std::collections::BTreeSet<(u64, u64)> = knn_join(&inner, &outer, 2)
+            .rows
+            .iter()
+            .map(|p| (p.right.id, p.left.id))
+            .collect();
+        // The same id pairs rarely coincide; assert the operator at least
+        // produced different pair sets for this asymmetric layout.
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential() {
+        let outer = relation(80, 1.1, 0.0);
+        let inner = relation(120, 0.8, 0.5);
+        let seq = knn_join(&outer, &inner, 5);
+        let par = knn_join_parallel(&outer, &inner, 5, 4);
+        assert_eq!(pair_id_set(&seq.rows), pair_id_set(&par.rows));
+        assert_eq!(
+            seq.metrics.neighborhoods_computed,
+            par.metrics.neighborhoods_computed
+        );
+    }
+
+    #[test]
+    fn join_points_subset_matches_full_join_restriction() {
+        let outer = relation(50, 1.0, 0.0);
+        let inner = relation(70, 1.0, 0.0);
+        let mut m = Metrics::default();
+        let subset: Vec<Point> = outer.all_points().into_iter().take(10).collect();
+        let partial = knn_join_points(&subset, &inner, 3, &mut m);
+        let full = knn_join(&outer, &inner, 3);
+        let subset_ids: std::collections::BTreeSet<u64> = subset.iter().map(|p| p.id).collect();
+        let expected: std::collections::BTreeSet<_> = full
+            .rows
+            .iter()
+            .filter(|p| subset_ids.contains(&p.left.id))
+            .map(Pair::ids)
+            .collect();
+        assert_eq!(pair_id_set(&partial), expected);
+    }
+
+    #[test]
+    fn empty_inner_relation_produces_no_pairs() {
+        let outer = relation(10, 1.0, 0.0);
+        let inner = GridIndex::build_with_bounds(
+            vec![],
+            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
+            2,
+        )
+        .unwrap();
+        assert!(knn_join(&outer, &inner, 3).is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Chained kNN-joins: `A → B → C` (Section 4.2).
+//!
+//! The query retrieves triplets `(a, b, c)` such that `b` is among the
+//! `k_{A−B}` nearest `B` neighbors of `a`, and `c` is among the `k_{B−C}`
+//! nearest `C` neighbors of `b`. The three QEPs of Figure 13 are all correct:
+//!
+//! * **QEP1** ([`chained_right_deep`]) — right-deep plan: materialize
+//!   `B ⋈kNN C`, then join `A` against `B` and look the `B` results up in the
+//!   materialized pairs.
+//! * **QEP2** ([`chained_join_intersection`]) — evaluate `A ⋈kNN B` and
+//!   `B ⋈kNN C` independently and intersect on `B`.
+//! * **QEP3** ([`chained_nested`]) — nested join: compute the neighborhood of
+//!   a `B` point only when it is produced as a neighbor of some `a ∈ A`.
+//!   [`chained_nested_cached`] adds the hash-table cache of Section 4.2.1 so
+//!   that a `b` appearing in several `A` neighborhoods is expanded only once.
+
+use std::collections::HashMap;
+
+use twoknn_geometry::PointId;
+use twoknn_index::{get_knn, Metrics, Neighborhood, SpatialIndex};
+
+use crate::join::knn_join_with_metrics;
+use crate::output::{QueryOutput, Triplet};
+
+/// Parameters of a query with two chained kNN-joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainedJoinQuery {
+    /// `k_{A−B}`: the k of the join `A ⋈kNN B`.
+    pub k_ab: usize,
+    /// `k_{B−C}`: the k of the join `B ⋈kNN C`.
+    pub k_bc: usize,
+}
+
+impl ChainedJoinQuery {
+    /// Creates a query description.
+    pub fn new(k_ab: usize, k_bc: usize) -> Self {
+        Self { k_ab, k_bc }
+    }
+}
+
+/// QEP1 of Figure 13: the right-deep plan. `B ⋈kNN C` is fully materialized
+/// before the outer join runs, so every `b ∈ B` pays for a neighborhood
+/// computation even if it never appears as a neighbor of any `a`.
+pub fn chained_right_deep<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + ?Sized,
+    B: SpatialIndex + ?Sized,
+    C: SpatialIndex + ?Sized,
+{
+    let mut metrics = Metrics::default();
+    // Materialize (B ⋈kNN C) into a map keyed by b.
+    let bc_pairs = knn_join_with_metrics(b, c, query.k_bc, &mut metrics);
+    let mut bc_by_b: HashMap<PointId, Vec<twoknn_geometry::Point>> = HashMap::new();
+    for p in &bc_pairs {
+        bc_by_b.entry(p.left.id).or_default().push(p.right);
+    }
+
+    // Outer join: A against B, then look b up in the materialized result.
+    let mut rows = Vec::new();
+    for block in a.blocks() {
+        for a_point in a.block_points(block.id) {
+            let nbr_a = get_knn(b, a_point, query.k_ab, &mut metrics);
+            for n in nbr_a.members() {
+                if let Some(cs) = bc_by_b.get(&n.point.id) {
+                    for c_point in cs {
+                        rows.push(Triplet::new(*a_point, n.point, *c_point));
+                    }
+                }
+            }
+        }
+    }
+    metrics.tuples_emitted = rows.len() as u64;
+    QueryOutput::new(rows, metrics)
+}
+
+/// QEP2 of Figure 13: evaluate the two joins independently and intersect on
+/// the shared `B` component.
+pub fn chained_join_intersection<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + ?Sized,
+    B: SpatialIndex + ?Sized,
+    C: SpatialIndex + ?Sized,
+{
+    let mut metrics = Metrics::default();
+    let ab_pairs = knn_join_with_metrics(a, b, query.k_ab, &mut metrics);
+    let bc_pairs = knn_join_with_metrics(b, c, query.k_bc, &mut metrics);
+
+    let mut bc_by_b: HashMap<PointId, Vec<twoknn_geometry::Point>> = HashMap::new();
+    for p in &bc_pairs {
+        bc_by_b.entry(p.left.id).or_default().push(p.right);
+    }
+    let mut rows = Vec::new();
+    for ab in &ab_pairs {
+        if let Some(cs) = bc_by_b.get(&ab.right.id) {
+            for c_point in cs {
+                rows.push(Triplet::new(ab.left, ab.right, *c_point));
+            }
+        }
+    }
+    metrics.tuples_emitted = rows.len() as u64;
+    QueryOutput::new(rows, metrics)
+}
+
+/// QEP3 of Figure 13: the nested-join plan **without** caching. The
+/// neighborhood of a `b` point is computed each time `b` is produced as a
+/// neighbor of some `a` — so a popular `b` is expanded repeatedly.
+pub fn chained_nested<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + ?Sized,
+    B: SpatialIndex + ?Sized,
+    C: SpatialIndex + ?Sized,
+{
+    chained_nested_impl(a, b, c, query, false)
+}
+
+/// QEP3 with the neighborhood cache of Section 4.2.1: results of the inner
+/// join are cached in a hash table keyed by the `b` point, so each distinct
+/// `b` is expanded at most once. This is the plan the paper recommends.
+pub fn chained_nested_cached<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + ?Sized,
+    B: SpatialIndex + ?Sized,
+    C: SpatialIndex + ?Sized,
+{
+    chained_nested_impl(a, b, c, query, true)
+}
+
+fn chained_nested_impl<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+    use_cache: bool,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + ?Sized,
+    B: SpatialIndex + ?Sized,
+    C: SpatialIndex + ?Sized,
+{
+    let mut metrics = Metrics::default();
+    let mut cache: HashMap<PointId, Neighborhood> = HashMap::new();
+    let mut rows = Vec::new();
+
+    for block in a.blocks() {
+        for a_point in a.block_points(block.id) {
+            let nbr_a = get_knn(b, a_point, query.k_ab, &mut metrics);
+            for n in nbr_a.members() {
+                let nbr_b = if use_cache {
+                    if let Some(hit) = cache.get(&n.point.id) {
+                        metrics.cache_hits += 1;
+                        hit.clone()
+                    } else {
+                        metrics.cache_misses += 1;
+                        let computed = get_knn(c, &n.point, query.k_bc, &mut metrics);
+                        cache.insert(n.point.id, computed.clone());
+                        computed
+                    }
+                } else {
+                    get_knn(c, &n.point, query.k_bc, &mut metrics)
+                };
+                for m in nbr_b.members() {
+                    rows.push(Triplet::new(*a_point, n.point, m.point));
+                }
+            }
+        }
+    }
+    metrics.tuples_emitted = rows.len() as u64;
+    QueryOutput::new(rows, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::triplet_id_set;
+    use twoknn_geometry::Point;
+    use twoknn_index::GridIndex;
+
+    fn scattered(n: usize, seed: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0xD6E8FEB86659FD93) ^ seed.wrapping_mul(0xA3B195354A39B70D);
+                Point::new(
+                    i as u64,
+                    (h % 769) as f64 * 0.13,
+                    ((h / 769) % 769) as f64 * 0.13,
+                )
+            })
+            .collect()
+    }
+
+    fn grid(pts: Vec<Point>) -> GridIndex {
+        GridIndex::build(pts, 8).unwrap()
+    }
+
+    #[test]
+    fn all_four_plans_agree() {
+        let a = grid(scattered(80, 1));
+        let b = grid(scattered(150, 2));
+        let c = grid(scattered(120, 3));
+        for (k_ab, k_bc) in [(1, 1), (2, 2), (3, 4), (4, 2)] {
+            let q = ChainedJoinQuery::new(k_ab, k_bc);
+            let p1 = triplet_id_set(&chained_right_deep(&a, &b, &c, &q).rows);
+            let p2 = triplet_id_set(&chained_join_intersection(&a, &b, &c, &q).rows);
+            let p3 = triplet_id_set(&chained_nested(&a, &b, &c, &q).rows);
+            let p4 = triplet_id_set(&chained_nested_cached(&a, &b, &c, &q).rows);
+            assert_eq!(p1, p2, "k_ab={k_ab} k_bc={k_bc}");
+            assert_eq!(p2, p3, "k_ab={k_ab} k_bc={k_bc}");
+            assert_eq!(p3, p4, "k_ab={k_ab} k_bc={k_bc}");
+        }
+    }
+
+    #[test]
+    fn caching_removes_repeated_expansions() {
+        let a = grid(scattered(200, 4));
+        let b = grid(scattered(60, 5)); // few B points => many repeats
+        let c = grid(scattered(200, 6));
+        let q = ChainedJoinQuery::new(3, 3);
+        let cached = chained_nested_cached(&a, &b, &c, &q);
+        let uncached = chained_nested(&a, &b, &c, &q);
+        assert_eq!(
+            triplet_id_set(&cached.rows),
+            triplet_id_set(&uncached.rows)
+        );
+        assert!(cached.metrics.cache_hits > 0);
+        assert!(
+            cached.metrics.neighborhoods_computed < uncached.metrics.neighborhoods_computed,
+            "cached {} vs uncached {}",
+            cached.metrics.neighborhoods_computed,
+            uncached.metrics.neighborhoods_computed
+        );
+        // Each distinct matched b is expanded exactly once in the cached plan.
+        assert_eq!(
+            cached.metrics.cache_misses,
+            cached.metrics.cache_misses.min(b.num_points() as u64)
+        );
+    }
+
+    #[test]
+    fn nested_plan_skips_unreachable_b_clusters() {
+        // B has a cluster far from every A point; QEP3 never expands it,
+        // QEP1/QEP2 do.
+        let a = grid(scattered(50, 7));
+        let mut b_pts = scattered(100, 8);
+        for i in 0..100 {
+            b_pts.push(Point::new(
+                100 + i,
+                500.0 + (i % 10) as f64,
+                500.0 + (i / 10) as f64,
+            ));
+        }
+        let b = grid(b_pts);
+        let c = grid(scattered(150, 9));
+        let q = ChainedJoinQuery::new(2, 2);
+        let nested = chained_nested_cached(&a, &b, &c, &q);
+        let right_deep = chained_right_deep(&a, &b, &c, &q);
+        assert_eq!(
+            triplet_id_set(&nested.rows),
+            triplet_id_set(&right_deep.rows)
+        );
+        assert!(
+            nested.metrics.neighborhoods_computed < right_deep.metrics.neighborhoods_computed,
+            "nested {} vs right-deep {}",
+            nested.metrics.neighborhoods_computed,
+            right_deep.metrics.neighborhoods_computed
+        );
+    }
+
+    #[test]
+    fn empty_a_relation_gives_empty_result() {
+        let empty = GridIndex::build_with_bounds(
+            vec![],
+            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
+            2,
+        )
+        .unwrap();
+        let b = grid(scattered(40, 10));
+        let c = grid(scattered(40, 11));
+        let q = ChainedJoinQuery::new(2, 2);
+        assert!(chained_right_deep(&empty, &b, &c, &q).is_empty());
+        assert!(chained_nested_cached(&empty, &b, &c, &q).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! # twoknn-core
+//!
+//! Query processing with **two kNN predicates** — the Rust reproduction of
+//! *"Spatial Queries with Two kNN Predicates"* (Aly, Aref, Ouzzani — VLDB
+//! 2012).
+//!
+//! The paper's central observation is that queries combining two kNN
+//! predicates (kNN-select `σ_{k,f}` and kNN-join `⋈_kNN`) cannot be optimized
+//! with the classical relational heuristics: pushing a kNN-select below the
+//! *inner* relation of a kNN-join, or evaluating two kNN-joins / two
+//! kNN-selects one after the other, silently changes the query's result. For
+//! every combination of two predicates the paper gives the *conceptually
+//! correct* query evaluation plan (QEP) and a faster algorithm that preserves
+//! its semantics:
+//!
+//! | Query shape | Correct QEP | Paper's algorithm(s) | Module |
+//! |---|---|---|---|
+//! | kNN-select on the **inner** relation of a kNN-join | join, then intersect | Counting, Block-Marking | [`select_join`] |
+//! | kNN-select on the **outer** relation of a kNN-join | pushdown is valid | select-pushdown | [`select_join`] |
+//! | two **unchained** kNN-joins | independent joins + `∩_B` | Block-Marking (Candidate/Safe blocks) | [`joins2`] |
+//! | two **chained** kNN-joins | three equivalent QEPs | Nested-Join QEP + neighborhood cache | [`joins2`] |
+//! | two kNN-selects | independent selects + `∩` | 2-kNN-select (bounded locality) | [`selects2`] |
+//!
+//! The single-predicate building blocks live in [`select`] and [`join`]; the
+//! [`plan`] module provides a small logical-plan layer with the equivalence
+//! rules of the paper (what may and may not be pushed down), per-relation
+//! statistics, and an optimizer that picks between the algorithms using the
+//! paper's own heuristics (Sections 3.3 and 4.1.2).
+//!
+//! All algorithms are generic over any [`twoknn_index::SpatialIndex`]
+//! (grid, quadtree, or R-tree) and report machine-independent
+//! [`twoknn_index::Metrics`] describing the work they performed.
+//!
+//! ## Example: the paper's motivating query (Section 1)
+//!
+//! "From the list of mechanic shops and the two closest hotels to each
+//! mechanic shop, report the (mechanic shop, hotel) pairs, where the hotel is
+//! amongst the two closest neighbors of the shopping center."
+//!
+//! ```
+//! use twoknn_core::select_join::{self, SelectInnerJoinQuery};
+//! use twoknn_geometry::Point;
+//! use twoknn_index::GridIndex;
+//!
+//! let mechanics = GridIndex::build(
+//!     vec![Point::new(1, 1.0, 1.0), Point::new(2, 4.0, 2.0)], 4).unwrap();
+//! let hotels = GridIndex::build(
+//!     vec![Point::new(1, 2.0, 1.0), Point::new(2, 5.0, 2.0), Point::new(3, 9.0, 9.0)], 4).unwrap();
+//! let query = SelectInnerJoinQuery {
+//!     k_join: 2,
+//!     k_select: 2,
+//!     focal: Point::anonymous(3.0, 1.0), // the shopping center
+//! };
+//! let result = select_join::block_marking(&mechanics, &hotels, &query);
+//! assert!(!result.rows.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod join;
+pub mod joins2;
+pub mod output;
+pub mod plan;
+pub mod select;
+pub mod select_join;
+pub mod selects2;
+
+pub use error::QueryError;
+pub use output::{Pair, QueryOutput, Triplet};

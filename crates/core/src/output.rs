@@ -1,0 +1,130 @@
+//! Query result types: pairs, triplets, and outputs carrying work metrics.
+
+use std::collections::BTreeSet;
+
+use twoknn_geometry::{Point, PointId};
+use twoknn_index::Metrics;
+
+/// A (outer, inner) result pair of a kNN-join-based query, e.g. the
+/// (mechanic shop, hotel) pairs of the paper's motivating example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pair {
+    /// The outer-relation point (`e1 ∈ E1`).
+    pub left: Point,
+    /// The inner-relation point (`e2 ∈ E2`).
+    pub right: Point,
+}
+
+impl Pair {
+    /// Creates a pair.
+    pub fn new(left: Point, right: Point) -> Self {
+        Self { left, right }
+    }
+
+    /// The pair of ids `(left.id, right.id)`.
+    pub fn ids(&self) -> (PointId, PointId) {
+        (self.left.id, self.right.id)
+    }
+}
+
+/// An (a, b, c) result triplet of a two-kNN-join query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// The point from relation `A`.
+    pub a: Point,
+    /// The point from relation `B` (the shared join relation).
+    pub b: Point,
+    /// The point from relation `C`.
+    pub c: Point,
+}
+
+impl Triplet {
+    /// Creates a triplet.
+    pub fn new(a: Point, b: Point, c: Point) -> Self {
+        Self { a, b, c }
+    }
+
+    /// The triple of ids `(a.id, b.id, c.id)`.
+    pub fn ids(&self) -> (PointId, PointId, PointId) {
+        (self.a.id, self.b.id, self.c.id)
+    }
+}
+
+/// The output of a query execution: result rows plus the work performed.
+#[derive(Debug, Clone)]
+pub struct QueryOutput<T> {
+    /// The result rows (pairs, triplets, or points).
+    pub rows: Vec<T>,
+    /// Machine-independent work counters accumulated during execution.
+    pub metrics: Metrics,
+}
+
+impl<T> QueryOutput<T> {
+    /// Wraps rows and metrics into an output.
+    pub fn new(rows: Vec<T>, metrics: Metrics) -> Self {
+        Self { rows, metrics }
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Normalizes a pair result to a canonical, order-independent form for
+/// comparisons in tests and for the equivalence checks of the plan validator.
+pub fn pair_id_set(pairs: &[Pair]) -> BTreeSet<(PointId, PointId)> {
+    pairs.iter().map(Pair::ids).collect()
+}
+
+/// Normalizes a triplet result to a canonical, order-independent form.
+pub fn triplet_id_set(triplets: &[Triplet]) -> BTreeSet<(PointId, PointId, PointId)> {
+    triplets.iter().map(Triplet::ids).collect()
+}
+
+/// Normalizes a point result (e.g. the output of two kNN-selects) to the set
+/// of point ids.
+pub fn point_id_set(points: &[Point]) -> BTreeSet<PointId> {
+    points.iter().map(|p| p.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_and_triplet_ids() {
+        let p = Pair::new(Point::new(1, 0.0, 0.0), Point::new(2, 1.0, 1.0));
+        assert_eq!(p.ids(), (1, 2));
+        let t = Triplet::new(
+            Point::new(1, 0.0, 0.0),
+            Point::new(2, 1.0, 1.0),
+            Point::new(3, 2.0, 2.0),
+        );
+        assert_eq!(t.ids(), (1, 2, 3));
+    }
+
+    #[test]
+    fn id_sets_are_order_independent() {
+        let a = Point::new(1, 0.0, 0.0);
+        let b = Point::new(2, 1.0, 0.0);
+        let left = vec![Pair::new(a, b), Pair::new(b, a)];
+        let right = vec![Pair::new(b, a), Pair::new(a, b)];
+        assert_eq!(pair_id_set(&left), pair_id_set(&right));
+        assert_eq!(point_id_set(&[a, b]), point_id_set(&[b, a]));
+    }
+
+    #[test]
+    fn query_output_accessors() {
+        let out = QueryOutput::new(vec![1, 2, 3], Metrics::default());
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+        let empty: QueryOutput<u32> = QueryOutput::new(vec![], Metrics::default());
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! A tiny catalog and executor for the supported two-predicate query shapes.
+//!
+//! [`Database`] holds named, indexed relations; [`QuerySpec`] names the
+//! relations a query touches plus its parameters; [`Database::execute`] runs
+//! the query either with an explicitly chosen [`Strategy`] or with the
+//! strategy the [`Optimizer`] picks from the relations' statistics.
+
+use std::collections::HashMap;
+
+use twoknn_geometry::Point;
+use twoknn_index::{Metrics, SpatialIndex};
+
+use crate::error::QueryError;
+use crate::joins2::{
+    chained_join_intersection, chained_nested, chained_nested_cached, chained_right_deep,
+    unchained_block_marking, unchained_conceptual, ChainedJoinQuery, UnchainedJoinQuery,
+};
+use crate::output::{Pair, QueryOutput, Triplet};
+use crate::plan::optimizer::Optimizer;
+use crate::plan::stats::RelationProfile;
+use crate::plan::strategy::{
+    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,
+    UnchainedStrategy,
+};
+use crate::select_join::{
+    block_marking, conceptual, counting, select_on_outer_after_join, select_on_outer_pushdown,
+    SelectInnerJoinQuery, SelectOuterJoinQuery,
+};
+use crate::selects2::{two_knn_select, two_selects_conceptual, TwoSelectsQuery};
+
+/// A named catalog of indexed relations.
+#[derive(Default)]
+pub struct Database {
+    relations: HashMap<String, Box<dyn SpatialIndex + Send + Sync>>,
+    optimizer: Optimizer,
+}
+
+/// A query over named relations in a [`Database`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// kNN-join with a kNN-select on the join's inner relation.
+    SelectInnerOfJoin {
+        /// Name of the outer relation (`E1`).
+        outer: String,
+        /// Name of the inner relation (`E2`).
+        inner: String,
+        /// Query parameters.
+        query: SelectInnerJoinQuery,
+    },
+    /// kNN-join with a kNN-select on the join's outer relation.
+    SelectOuterOfJoin {
+        /// Name of the outer relation (`E1`).
+        outer: String,
+        /// Name of the inner relation (`E2`).
+        inner: String,
+        /// Query parameters.
+        query: SelectOuterJoinQuery,
+    },
+    /// Two unchained kNN-joins `(A ⋈ B) ∩_B (C ⋈ B)`.
+    UnchainedJoins {
+        /// Name of relation `A`.
+        a: String,
+        /// Name of the shared inner relation `B`.
+        b: String,
+        /// Name of relation `C`.
+        c: String,
+        /// Query parameters.
+        query: UnchainedJoinQuery,
+    },
+    /// Two chained kNN-joins `A → B → C`.
+    ChainedJoins {
+        /// Name of relation `A`.
+        a: String,
+        /// Name of relation `B`.
+        b: String,
+        /// Name of relation `C`.
+        c: String,
+        /// Query parameters.
+        query: ChainedJoinQuery,
+    },
+    /// Two kNN-selects over one relation.
+    TwoSelects {
+        /// Name of the relation.
+        relation: String,
+        /// Query parameters.
+        query: TwoSelectsQuery,
+    },
+}
+
+/// The result of executing a [`QuerySpec`], tagged by its row type, together
+/// with the strategy that produced it.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// Pair-valued results (select + join queries).
+    Pairs {
+        /// The output rows and metrics.
+        output: QueryOutput<Pair>,
+        /// The strategy that was executed.
+        strategy: Strategy,
+    },
+    /// Triplet-valued results (two-join queries).
+    Triplets {
+        /// The output rows and metrics.
+        output: QueryOutput<Triplet>,
+        /// The strategy that was executed.
+        strategy: Strategy,
+    },
+    /// Point-valued results (two-select queries).
+    Points {
+        /// The output rows and metrics.
+        output: QueryOutput<Point>,
+        /// The strategy that was executed.
+        strategy: Strategy,
+    },
+}
+
+impl QueryResult {
+    /// Number of result rows regardless of row type.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            QueryResult::Pairs { output, .. } => output.len(),
+            QueryResult::Triplets { output, .. } => output.len(),
+            QueryResult::Points { output, .. } => output.len(),
+        }
+    }
+
+    /// The work metrics of the execution.
+    pub fn metrics(&self) -> Metrics {
+        match self {
+            QueryResult::Pairs { output, .. } => output.metrics,
+            QueryResult::Triplets { output, .. } => output.metrics,
+            QueryResult::Points { output, .. } => output.metrics,
+        }
+    }
+
+    /// The strategy that was executed.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            QueryResult::Pairs { strategy, .. }
+            | QueryResult::Triplets { strategy, .. }
+            | QueryResult::Points { strategy, .. } => *strategy,
+        }
+    }
+}
+
+impl Database {
+    /// Creates an empty catalog with the default optimizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty catalog with a custom optimizer configuration.
+    pub fn with_optimizer(optimizer: Optimizer) -> Self {
+        Self {
+            relations: HashMap::new(),
+            optimizer,
+        }
+    }
+
+    /// Registers (or replaces) a relation under a name.
+    pub fn register<I>(&mut self, name: impl Into<String>, index: I)
+    where
+        I: SpatialIndex + Send + Sync + 'static,
+    {
+        self.relations.insert(name.into(), Box::new(index));
+    }
+
+    /// Names of the registered relations (unordered).
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation(&self, name: &str) -> Result<&(dyn SpatialIndex + Send + Sync), QueryError> {
+        self.relations
+            .get(name)
+            .map(|b| b.as_ref())
+            .ok_or_else(|| QueryError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+
+    /// Computes the statistics profile of a registered relation.
+    pub fn profile(&self, name: &str) -> Result<RelationProfile, QueryError> {
+        Ok(RelationProfile::compute(self.relation(name)?))
+    }
+
+    /// Executes a query, letting the optimizer pick the strategy.
+    pub fn execute(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
+        let strategy = self.plan(spec)?;
+        self.execute_with(spec, strategy)
+    }
+
+    /// The strategy the optimizer would choose for a query.
+    pub fn plan(&self, spec: &QuerySpec) -> Result<Strategy, QueryError> {
+        Ok(match spec {
+            QuerySpec::SelectInnerOfJoin { outer, .. } => {
+                Strategy::SelectInner(self.optimizer.choose_select_inner(&self.profile(outer)?))
+            }
+            QuerySpec::SelectOuterOfJoin { outer, .. } => {
+                Strategy::SelectOuter(self.optimizer.choose_select_outer(&self.profile(outer)?))
+            }
+            QuerySpec::UnchainedJoins { a, c, .. } => Strategy::Unchained(
+                self.optimizer
+                    .choose_unchained(&self.profile(a)?, &self.profile(c)?),
+            ),
+            QuerySpec::ChainedJoins { b, .. } => {
+                Strategy::Chained(self.optimizer.choose_chained(&self.profile(b)?))
+            }
+            QuerySpec::TwoSelects { query, .. } => {
+                Strategy::TwoSelects(self.optimizer.choose_two_selects(query))
+            }
+        })
+    }
+
+    /// Executes a query with an explicitly chosen strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::UnknownRelation`] for missing relations and
+    /// [`QueryError::UnsupportedPlanShape`] when the strategy does not match
+    /// the query shape.
+    pub fn execute_with(
+        &self,
+        spec: &QuerySpec,
+        strategy: Strategy,
+    ) -> Result<QueryResult, QueryError> {
+        match (spec, strategy) {
+            (
+                QuerySpec::SelectInnerOfJoin {
+                    outer,
+                    inner,
+                    query,
+                },
+                Strategy::SelectInner(s),
+            ) => {
+                let outer = self.relation(outer)?;
+                let inner = self.relation(inner)?;
+                let output = match s {
+                    SelectInnerStrategy::Conceptual => conceptual(outer, inner, query),
+                    SelectInnerStrategy::Counting => counting(outer, inner, query),
+                    SelectInnerStrategy::BlockMarking => block_marking(outer, inner, query),
+                };
+                Ok(QueryResult::Pairs { output, strategy })
+            }
+            (
+                QuerySpec::SelectOuterOfJoin {
+                    outer,
+                    inner,
+                    query,
+                },
+                Strategy::SelectOuter(s),
+            ) => {
+                let outer = self.relation(outer)?;
+                let inner = self.relation(inner)?;
+                let output = match s {
+                    SelectOuterStrategy::SelectAfterJoin => {
+                        select_on_outer_after_join(outer, inner, query)
+                    }
+                    SelectOuterStrategy::Pushdown => select_on_outer_pushdown(outer, inner, query),
+                };
+                Ok(QueryResult::Pairs { output, strategy })
+            }
+            (QuerySpec::UnchainedJoins { a, b, c, query }, Strategy::Unchained(s)) => {
+                let a = self.relation(a)?;
+                let b = self.relation(b)?;
+                let c = self.relation(c)?;
+                let output = match s {
+                    UnchainedStrategy::Conceptual => unchained_conceptual(a, b, c, query),
+                    UnchainedStrategy::BlockMarkingStartWithA => {
+                        unchained_block_marking(a, b, c, query)
+                    }
+                    UnchainedStrategy::BlockMarkingStartWithC => {
+                        // Start with (C ⋈ B): swap the roles of A and C, then
+                        // swap the components back in the emitted triplets.
+                        let swapped = UnchainedJoinQuery::new(query.k_cb, query.k_ab);
+                        let out = unchained_block_marking(c, b, a, &swapped);
+                        QueryOutput::new(
+                            out.rows
+                                .into_iter()
+                                .map(|t| Triplet::new(t.c, t.b, t.a))
+                                .collect(),
+                            out.metrics,
+                        )
+                    }
+                };
+                Ok(QueryResult::Triplets { output, strategy })
+            }
+            (QuerySpec::ChainedJoins { a, b, c, query }, Strategy::Chained(s)) => {
+                let a = self.relation(a)?;
+                let b = self.relation(b)?;
+                let c = self.relation(c)?;
+                let output = match s {
+                    ChainedStrategy::RightDeep => chained_right_deep(a, b, c, query),
+                    ChainedStrategy::JoinIntersection => chained_join_intersection(a, b, c, query),
+                    ChainedStrategy::NestedJoin => chained_nested(a, b, c, query),
+                    ChainedStrategy::NestedJoinCached => chained_nested_cached(a, b, c, query),
+                };
+                Ok(QueryResult::Triplets { output, strategy })
+            }
+            (QuerySpec::TwoSelects { relation, query }, Strategy::TwoSelects(s)) => {
+                let relation = self.relation(relation)?;
+                let output = match s {
+                    TwoSelectsStrategy::Conceptual => two_selects_conceptual(relation, query),
+                    TwoSelectsStrategy::TwoKnnSelect => two_knn_select(relation, query),
+                };
+                Ok(QueryResult::Points { output, strategy })
+            }
+            (spec, strategy) => Err(QueryError::UnsupportedPlanShape {
+                description: format!("strategy {strategy} does not match query {spec:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::{pair_id_set, point_id_set, triplet_id_set};
+    use twoknn_index::GridIndex;
+
+    fn scattered(n: usize, seed: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x2545F4914F6CDD1D) ^ seed;
+                Point::new(i as u64, (h % 499) as f64 * 0.2, ((h / 499) % 499) as f64 * 0.2)
+            })
+            .collect()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register("A", GridIndex::build(scattered(120, 1), 8).unwrap());
+        db.register("B", GridIndex::build(scattered(250, 2), 8).unwrap());
+        db.register("C", GridIndex::build(scattered(140, 3), 8).unwrap());
+        db
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let db = db();
+        let spec = QuerySpec::TwoSelects {
+            relation: "Nope".into(),
+            query: TwoSelectsQuery::new(1, Point::anonymous(0.0, 0.0), 1, Point::anonymous(1.0, 1.0)),
+        };
+        assert!(matches!(
+            db.execute(&spec),
+            Err(QueryError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_strategy_is_rejected() {
+        let db = db();
+        let spec = QuerySpec::TwoSelects {
+            relation: "A".into(),
+            query: TwoSelectsQuery::new(2, Point::anonymous(0.0, 0.0), 2, Point::anonymous(1.0, 1.0)),
+        };
+        let err = db
+            .execute_with(&spec, Strategy::Chained(ChainedStrategy::RightDeep))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedPlanShape { .. }));
+    }
+
+    #[test]
+    fn select_inner_strategies_agree_through_the_executor() {
+        let db = db();
+        let spec = QuerySpec::SelectInnerOfJoin {
+            outer: "A".into(),
+            inner: "B".into(),
+            query: SelectInnerJoinQuery::new(2, 3, Point::anonymous(30.0, 40.0)),
+        };
+        let results: Vec<_> = [
+            SelectInnerStrategy::Conceptual,
+            SelectInnerStrategy::Counting,
+            SelectInnerStrategy::BlockMarking,
+        ]
+        .into_iter()
+        .map(|s| db.execute_with(&spec, Strategy::SelectInner(s)).unwrap())
+        .collect();
+        let sets: Vec<_> = results
+            .iter()
+            .map(|r| match r {
+                QueryResult::Pairs { output, .. } => pair_id_set(&output.rows),
+                _ => panic!("expected pairs"),
+            })
+            .collect();
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+        // The auto-planned execution agrees too.
+        let auto = db.execute(&spec).unwrap();
+        assert_eq!(auto.num_rows(), results[0].num_rows());
+    }
+
+    #[test]
+    fn unchained_strategies_agree_through_the_executor() {
+        let db = db();
+        let spec = QuerySpec::UnchainedJoins {
+            a: "A".into(),
+            b: "B".into(),
+            c: "C".into(),
+            query: UnchainedJoinQuery::new(2, 2),
+        };
+        let sets: Vec<_> = [
+            UnchainedStrategy::Conceptual,
+            UnchainedStrategy::BlockMarkingStartWithA,
+            UnchainedStrategy::BlockMarkingStartWithC,
+        ]
+        .into_iter()
+        .map(|s| {
+            match db.execute_with(&spec, Strategy::Unchained(s)).unwrap() {
+                QueryResult::Triplets { output, .. } => triplet_id_set(&output.rows),
+                _ => panic!("expected triplets"),
+            }
+        })
+        .collect();
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[0], sets[2]);
+    }
+
+    #[test]
+    fn chained_and_two_select_paths_work_end_to_end() {
+        let db = db();
+        let chained = QuerySpec::ChainedJoins {
+            a: "A".into(),
+            b: "B".into(),
+            c: "C".into(),
+            query: ChainedJoinQuery::new(2, 2),
+        };
+        let r1 = db.execute(&chained).unwrap();
+        assert!(matches!(r1, QueryResult::Triplets { .. }));
+        assert!(r1.num_rows() > 0);
+        assert!(r1.metrics().neighborhoods_computed > 0);
+
+        let selects = QuerySpec::TwoSelects {
+            relation: "B".into(),
+            query: TwoSelectsQuery::new(
+                5,
+                Point::anonymous(30.0, 30.0),
+                50,
+                Point::anonymous(35.0, 35.0),
+            ),
+        };
+        let fast = db.execute(&selects).unwrap();
+        let slow = db
+            .execute_with(&selects, Strategy::TwoSelects(TwoSelectsStrategy::Conceptual))
+            .unwrap();
+        match (&fast, &slow) {
+            (QueryResult::Points { output: f, .. }, QueryResult::Points { output: s, .. }) => {
+                assert_eq!(point_id_set(&f.rows), point_id_set(&s.rows));
+            }
+            _ => panic!("expected point results"),
+        }
+    }
+
+    #[test]
+    fn planner_reports_strategies() {
+        let db = db();
+        let spec = QuerySpec::SelectOuterOfJoin {
+            outer: "A".into(),
+            inner: "B".into(),
+            query: SelectOuterJoinQuery::new(2, 2, Point::anonymous(0.0, 0.0)),
+        };
+        assert_eq!(
+            db.plan(&spec).unwrap(),
+            Strategy::SelectOuter(SelectOuterStrategy::Pushdown)
+        );
+        let r = db.execute(&spec).unwrap();
+        assert_eq!(r.strategy(), Strategy::SelectOuter(SelectOuterStrategy::Pushdown));
+    }
+
+    #[test]
+    fn relation_names_and_profiles() {
+        let db = db();
+        let mut names = db.relation_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["A", "B", "C"]);
+        let p = db.profile("A").unwrap();
+        assert_eq!(p.num_points, 120);
+        assert!(db.profile("missing").is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! Logical expressions over kNN predicates, their validation, and the
+//! paper's equivalence rules as explicit rewrites.
+//!
+//! The expression tree is deliberately small: relations, kNN-select,
+//! kNN-join, the pair-set intersection on the shared relation (`∩_B`), and
+//! the plain set intersection used by the two-kNN-select query. The
+//! [`LogicalExpr::validate`] method enforces the *semantic* rules the paper
+//! establishes:
+//!
+//! 1. A kNN-select **may not** be applied to the inner input of a kNN-join
+//!    (that is the invalid pushdown of Figure 2) — the select must instead be
+//!    expressed as an intersection with the join's result.
+//! 2. A kNN-select applied directly on top of another kNN-select is invalid
+//!    (Figures 14–15); two selects combine through an intersection.
+//! 3. A kNN-join whose inner input is another kNN-join's *output restricted
+//!    to B* is the invalid sequential evaluation of unchained joins
+//!    (Figures 8–9).
+//!
+//! [`Rewrite`] enumerates the transformations the paper proves valid
+//! (outer-select pushdown, chained-join reordering) and
+//! [`LogicalExpr::apply`] refuses the invalid ones with a
+//! [`QueryError::InvalidTransformation`].
+
+use twoknn_geometry::Point;
+
+use crate::error::QueryError;
+
+/// A logical expression over point relations and kNN predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalExpr {
+    /// A named base relation of points.
+    Relation {
+        /// The relation's name in the catalog.
+        name: String,
+    },
+    /// `σ_{k,f}(input)`: the k points of `input` closest to `focal`.
+    KnnSelect {
+        /// Input expression (must produce points).
+        input: Box<LogicalExpr>,
+        /// Number of neighbors to keep.
+        k: usize,
+        /// The focal point.
+        focal: Point,
+    },
+    /// `outer ⋈kNN inner`: pairs `(o, i)` where `i` is among the k nearest
+    /// inner points of `o`.
+    KnnJoin {
+        /// Outer input (each of its points probes the inner input).
+        outer: Box<LogicalExpr>,
+        /// Inner input (must be a base relation or a valid point expression).
+        inner: Box<LogicalExpr>,
+        /// Number of neighbors per outer point.
+        k: usize,
+    },
+    /// Intersection of two pair sets on their shared (inner) component: the
+    /// `∩_B` operator used by unchained joins and by the conceptually correct
+    /// select-inner-join QEP.
+    IntersectOnInner {
+        /// Left pair-producing expression.
+        left: Box<LogicalExpr>,
+        /// Right pair- or point-producing expression.
+        right: Box<LogicalExpr>,
+    },
+    /// Plain set intersection of two point sets (two kNN-selects, Figure 16).
+    Intersect {
+        /// Left point-producing expression.
+        left: Box<LogicalExpr>,
+        /// Right point-producing expression.
+        right: Box<LogicalExpr>,
+    },
+}
+
+/// What kind of collection an expression produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprKind {
+    /// A set of points.
+    Points,
+    /// A set of (outer, inner) pairs.
+    Pairs,
+}
+
+impl LogicalExpr {
+    /// A base relation.
+    pub fn relation(name: impl Into<String>) -> Self {
+        LogicalExpr::Relation { name: name.into() }
+    }
+
+    /// Wraps this expression in a kNN-select.
+    pub fn knn_select(self, k: usize, focal: Point) -> Self {
+        LogicalExpr::KnnSelect {
+            input: Box::new(self),
+            k,
+            focal,
+        }
+    }
+
+    /// Joins this expression (as outer) with `inner`.
+    pub fn knn_join(self, inner: LogicalExpr, k: usize) -> Self {
+        LogicalExpr::KnnJoin {
+            outer: Box::new(self),
+            inner: Box::new(inner),
+            k,
+        }
+    }
+
+    /// Intersects two pair sets on the inner component (`∩_B`).
+    pub fn intersect_on_inner(self, right: LogicalExpr) -> Self {
+        LogicalExpr::IntersectOnInner {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Intersects two point sets.
+    pub fn intersect(self, right: LogicalExpr) -> Self {
+        LogicalExpr::Intersect {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// The kind of collection the expression produces.
+    pub fn kind(&self) -> ExprKind {
+        match self {
+            LogicalExpr::Relation { .. } | LogicalExpr::KnnSelect { .. } | LogicalExpr::Intersect { .. } => {
+                ExprKind::Points
+            }
+            LogicalExpr::KnnJoin { .. } | LogicalExpr::IntersectOnInner { .. } => ExprKind::Pairs,
+        }
+    }
+
+    /// Number of kNN predicates (selects + joins) in the expression.
+    pub fn num_knn_predicates(&self) -> usize {
+        match self {
+            LogicalExpr::Relation { .. } => 0,
+            LogicalExpr::KnnSelect { input, .. } => 1 + input.num_knn_predicates(),
+            LogicalExpr::KnnJoin { outer, inner, .. } => {
+                1 + outer.num_knn_predicates() + inner.num_knn_predicates()
+            }
+            LogicalExpr::IntersectOnInner { left, right } | LogicalExpr::Intersect { left, right } => {
+                left.num_knn_predicates() + right.num_knn_predicates()
+            }
+        }
+    }
+
+    /// Validates the expression against the paper's semantic rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidTransformation`] describing the first
+    /// violated rule, or [`QueryError::ZeroK`] for a predicate with `k = 0`.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        match self {
+            LogicalExpr::Relation { .. } => Ok(()),
+            LogicalExpr::KnnSelect { input, k, .. } => {
+                if *k == 0 {
+                    return Err(QueryError::ZeroK {
+                        predicate: "kNN-select",
+                    });
+                }
+                // Rule 2: a select directly over another select is the
+                // invalid sequential evaluation of Figures 14–15.
+                if matches!(**input, LogicalExpr::KnnSelect { .. }) {
+                    return Err(QueryError::InvalidTransformation {
+                        reason: "a kNN-select over the output of another kNN-select changes the \
+                                 query's meaning; combine two kNN-selects with an intersection \
+                                 (Figure 16)"
+                            .to_string(),
+                    });
+                }
+                // A select over pair output is not defined in this algebra.
+                if input.kind() == ExprKind::Pairs {
+                    return Err(QueryError::UnsupportedPlanShape {
+                        description: "kNN-select applied to pair output; select one component \
+                                      via an intersection instead"
+                            .to_string(),
+                    });
+                }
+                input.validate()
+            }
+            LogicalExpr::KnnJoin { outer, inner, k } => {
+                if *k == 0 {
+                    return Err(QueryError::ZeroK {
+                        predicate: "kNN-join",
+                    });
+                }
+                // Rule 1: the inner input must be a base relation (or another
+                // full point set that was not reduced by a kNN predicate).
+                if inner.num_knn_predicates() > 0 {
+                    return Err(QueryError::InvalidTransformation {
+                        reason: "a kNN predicate below the inner relation of a kNN-join reduces \
+                                 the join's scope and changes its result (Figure 2); express the \
+                                 restriction as an intersection with the join output instead"
+                            .to_string(),
+                    });
+                }
+                if outer.kind() == ExprKind::Pairs {
+                    return Err(QueryError::UnsupportedPlanShape {
+                        description: "kNN-join whose outer input produces pairs".to_string(),
+                    });
+                }
+                outer.validate()?;
+                inner.validate()
+            }
+            LogicalExpr::IntersectOnInner { left, right } => {
+                if left.kind() != ExprKind::Pairs {
+                    return Err(QueryError::UnsupportedPlanShape {
+                        description: "∩_B requires a pair-producing left input".to_string(),
+                    });
+                }
+                left.validate()?;
+                right.validate()
+            }
+            LogicalExpr::Intersect { left, right } => {
+                if left.kind() != ExprKind::Points || right.kind() != ExprKind::Points {
+                    return Err(QueryError::UnsupportedPlanShape {
+                        description: "point intersection requires point-producing inputs"
+                            .to_string(),
+                    });
+                }
+                left.validate()?;
+                right.validate()
+            }
+        }
+    }
+}
+
+/// The plan transformations discussed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rewrite {
+    /// Push a kNN-select (expressed as an intersection on the outer
+    /// component) below the **outer** relation of a kNN-join — valid
+    /// (Figure 3).
+    PushSelectBelowJoinOuter,
+    /// Push a kNN-select below the **inner** relation of a kNN-join —
+    /// invalid (Figure 2); applying it returns an error.
+    PushSelectBelowJoinInner,
+    /// Reorder the evaluation of two chained kNN-joins (QEP1 ⇄ QEP3) —
+    /// valid (Figure 13).
+    ReorderChainedJoins,
+    /// Turn the independent evaluation of two kNN-selects into a sequential
+    /// one — invalid (Figures 14–15); applying it returns an error.
+    SequentializeTwoSelects,
+}
+
+impl LogicalExpr {
+    /// Applies a rewrite, returning the transformed expression when the
+    /// rewrite is valid for this expression shape.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueryError::InvalidTransformation`] for rewrites the paper proves
+    ///   incorrect (inner-select pushdown, sequentialized selects);
+    /// * [`QueryError::UnsupportedPlanShape`] if the expression does not have
+    ///   the shape the rewrite expects.
+    pub fn apply(&self, rewrite: Rewrite) -> Result<LogicalExpr, QueryError> {
+        match rewrite {
+            Rewrite::PushSelectBelowJoinInner => Err(QueryError::InvalidTransformation {
+                reason: "pushing a kNN-select below the inner relation of a kNN-join is invalid: \
+                         (E1 ⋈kNN E2) ∩ (E1 × σ(E2)) ≢ E1 ⋈kNN σ(E2) (Section 3, Figures 1–2)"
+                    .to_string(),
+            }),
+            Rewrite::SequentializeTwoSelects => Err(QueryError::InvalidTransformation {
+                reason: "two kNN-select predicates must be evaluated independently and \
+                         intersected; feeding one select's output into the other changes the \
+                         result (Section 5, Figures 14–16)"
+                    .to_string(),
+            }),
+            Rewrite::PushSelectBelowJoinOuter => {
+                // Expect: IntersectOnInner is not involved; the shape is a
+                // select over the *outer* component expressed as
+                // KnnJoin{outer: σ(E1), inner: E2} already, or an intersection
+                // of a join with a select on the outer side. The canonical
+                // shape we transform is:
+                //   Intersect-like filter "outer ∈ σ(E1)" over KnnJoin(E1,E2)
+                // which this algebra writes as
+                //   KnnJoin { outer: KnnSelect(E1), inner: E2 }  (already pushed)
+                // or as the un-pushed equivalent. For the un-pushed form we
+                // accept `KnnJoin { outer: E1, inner: E2 }` wrapped in nothing
+                // and refuse otherwise, so the useful direction is: given the
+                // un-pushed composite, produce the pushed join.
+                match self {
+                    LogicalExpr::KnnJoin { outer, inner, k } => {
+                        if let LogicalExpr::KnnSelect { .. } = **outer {
+                            // Already pushed; idempotent.
+                            return Ok(self.clone());
+                        }
+                        Err(QueryError::UnsupportedPlanShape {
+                            description: format!(
+                                "outer-select pushdown expects a kNN-select on the outer side; \
+                                 found join with k={k} over {:?}/{:?}",
+                                outer.kind(),
+                                inner.kind()
+                            ),
+                        })
+                    }
+                    LogicalExpr::IntersectOnInner { .. } => Err(QueryError::UnsupportedPlanShape {
+                        description:
+                            "outer-select pushdown applies to a select on the outer component, \
+                             not to ∩_B expressions"
+                                .to_string(),
+                    }),
+                    _ => Err(QueryError::UnsupportedPlanShape {
+                        description: "outer-select pushdown expects a kNN-join".to_string(),
+                    }),
+                }
+            }
+            Rewrite::ReorderChainedJoins => match self {
+                // (A ⋈ B) as outer of (· ⋈ C)  ⇄  A ⋈ (B ⋈ C): both orders are
+                // legal; this rewrite just answers "is reordering allowed",
+                // returning the expression unchanged.
+                LogicalExpr::KnnJoin { .. } | LogicalExpr::IntersectOnInner { .. } => {
+                    Ok(self.clone())
+                }
+                _ => Err(QueryError::UnsupportedPlanShape {
+                    description: "chained-join reordering expects a join expression".to_string(),
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn focal() -> Point {
+        Point::anonymous(1.0, 2.0)
+    }
+
+    #[test]
+    fn valid_shapes_pass_validation() {
+        // Correct select-inner-join composite: join intersected with a select.
+        let expr = LogicalExpr::relation("Mechanics")
+            .knn_join(LogicalExpr::relation("Hotels"), 2)
+            .intersect_on_inner(LogicalExpr::relation("Hotels").knn_select(2, focal()));
+        expr.validate().unwrap();
+
+        // Outer-select pushdown (valid).
+        let expr = LogicalExpr::relation("Mechanics")
+            .knn_select(2, focal())
+            .knn_join(LogicalExpr::relation("Hotels"), 2);
+        expr.validate().unwrap();
+
+        // Two selects combined via intersection (Figure 16).
+        let expr = LogicalExpr::relation("Houses")
+            .knn_select(5, focal())
+            .intersect(LogicalExpr::relation("Houses").knn_select(5, Point::anonymous(9.0, 9.0)));
+        expr.validate().unwrap();
+    }
+
+    #[test]
+    fn inner_select_pushdown_is_rejected() {
+        let expr = LogicalExpr::relation("Mechanics").knn_join(
+            LogicalExpr::relation("Hotels").knn_select(2, focal()),
+            2,
+        );
+        let err = expr.validate().unwrap_err();
+        assert!(matches!(err, QueryError::InvalidTransformation { .. }));
+    }
+
+    #[test]
+    fn select_over_select_is_rejected() {
+        let expr = LogicalExpr::relation("Houses")
+            .knn_select(5, focal())
+            .knn_select(5, Point::anonymous(3.0, 3.0));
+        assert!(matches!(
+            expr.validate(),
+            Err(QueryError::InvalidTransformation { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        let expr = LogicalExpr::relation("Houses").knn_select(0, focal());
+        assert!(matches!(expr.validate(), Err(QueryError::ZeroK { .. })));
+        let expr = LogicalExpr::relation("A").knn_join(LogicalExpr::relation("B"), 0);
+        assert!(matches!(expr.validate(), Err(QueryError::ZeroK { .. })));
+    }
+
+    #[test]
+    fn sequential_unchained_joins_are_rejected() {
+        // (C ⋈ (A ⋈ B)'s B side) — modelled as a join whose inner carries a
+        // kNN predicate.
+        let ab = LogicalExpr::relation("A").knn_join(LogicalExpr::relation("B"), 2);
+        let expr = LogicalExpr::relation("C").knn_join(ab, 2);
+        assert!(expr.validate().is_err());
+    }
+
+    #[test]
+    fn rewrites_report_validity() {
+        let join = LogicalExpr::relation("Mechanics")
+            .knn_select(2, focal())
+            .knn_join(LogicalExpr::relation("Hotels"), 2);
+        // Outer pushdown is accepted (idempotent here).
+        assert!(join.apply(Rewrite::PushSelectBelowJoinOuter).is_ok());
+        // The two forbidden rewrites always error with an explanation.
+        let err = join.apply(Rewrite::PushSelectBelowJoinInner).unwrap_err();
+        assert!(err.to_string().contains("inner"));
+        let err = join.apply(Rewrite::SequentializeTwoSelects).unwrap_err();
+        assert!(err.to_string().contains("independently"));
+        // Chained reordering is allowed on joins.
+        assert!(join.apply(Rewrite::ReorderChainedJoins).is_ok());
+        // ...but not on a bare relation.
+        assert!(LogicalExpr::relation("A")
+            .apply(Rewrite::ReorderChainedJoins)
+            .is_err());
+    }
+
+    #[test]
+    fn predicate_counting_and_kinds() {
+        let expr = LogicalExpr::relation("A")
+            .knn_join(LogicalExpr::relation("B"), 2)
+            .intersect_on_inner(LogicalExpr::relation("B").knn_select(3, focal()));
+        assert_eq!(expr.num_knn_predicates(), 2);
+        assert_eq!(expr.kind(), ExprKind::Pairs);
+        assert_eq!(LogicalExpr::relation("A").kind(), ExprKind::Points);
+    }
+}

@@ -1,0 +1,33 @@
+//! A small query-planning layer around the two-kNN-predicate algorithms.
+//!
+//! The paper frames its contribution as *query optimization*: which plans are
+//! semantically valid for a query with two kNN predicates, and which
+//! algorithm evaluates a valid plan fastest given the data distribution. This
+//! module exposes that framing programmatically:
+//!
+//! * [`logical`] — a logical expression tree for kNN-select / kNN-join
+//!   queries, a validator that rejects semantically invalid compositions
+//!   (e.g. a kNN-select pushed below the inner relation of a kNN-join), and
+//!   the legal/illegal rewrites of the paper as explicit transformations;
+//! * [`stats`] — cheap per-relation statistics (cardinality, block occupancy,
+//!   coverage, skew) computed from index block metadata;
+//! * [`strategy`] — the physical strategies available for each query shape;
+//! * [`optimizer`] — the paper's heuristics (Sections 3.3 and 4.1.2) mapping
+//!   statistics to a strategy;
+//! * [`executor`] — a tiny catalog (`Database`) plus an executor that runs a
+//!   query spec with a chosen (or optimizer-chosen) strategy.
+
+pub mod executor;
+pub mod logical;
+pub mod optimizer;
+pub mod stats;
+pub mod strategy;
+
+pub use executor::{Database, QueryResult, QuerySpec};
+pub use logical::{LogicalExpr, Rewrite};
+pub use optimizer::Optimizer;
+pub use stats::RelationProfile;
+pub use strategy::{
+    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,
+    UnchainedStrategy,
+};

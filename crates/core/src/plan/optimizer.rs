@@ -1,0 +1,205 @@
+//! The optimizer: mapping relation statistics to a physical strategy using
+//! the paper's own guidance.
+//!
+//! * **Counting vs Block-Marking** (Section 3.3): "when the number of points
+//!   in the outer relation is small, the Counting algorithm has better
+//!   performance ... when the number of points in the outer relation is
+//!   relatively high, i.e., high density, the Block-Marking algorithm has
+//!   better performance because entire blocks will be excluded from the
+//!   join."
+//! * **Unchained join order** (Section 4.1.2): start with the clustered
+//!   relation's join; with two clustered relations start with the one with
+//!   smaller cluster coverage; with two uniform relations use the conceptual
+//!   QEP (the preprocessing has no payoff).
+//! * **Chained joins** (Section 4.2.1): the nested QEP3 with the neighborhood
+//!   cache dominates; the join-intersection QEP only matches it for uniform
+//!   data, so the cached nested join is always chosen.
+//! * **Two kNN-selects** (Section 5.2): the 2-kNN-select algorithm is chosen
+//!   whenever the two k values differ; with equal k the conceptual QEP does
+//!   the same work, so either is fine.
+
+use crate::plan::stats::RelationProfile;
+use crate::plan::strategy::{
+    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, TwoSelectsStrategy,
+    UnchainedStrategy,
+};
+use crate::selects2::TwoSelectsQuery;
+
+/// Tunable thresholds of the optimizer. The paper gives qualitative guidance
+/// only; the defaults here are calibrated on the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Optimizer {
+    /// Outer relations with fewer points than this use the Counting algorithm
+    /// for the select-inner-join query; larger ones use Block-Marking.
+    pub counting_outer_limit: usize,
+    /// Outer relations whose average occupied-block population is below this
+    /// also use Counting (low density = little payoff from per-block work).
+    pub counting_density_limit: f64,
+    /// Coverage fraction above which a relation is treated as uniformly
+    /// distributed for the unchained-join heuristics.
+    pub uniform_coverage_threshold: f64,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Self {
+            counting_outer_limit: 50_000,
+            counting_density_limit: 8.0,
+            uniform_coverage_threshold: 0.6,
+        }
+    }
+}
+
+impl Optimizer {
+    /// Creates an optimizer with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chooses between Counting and Block-Marking for a kNN-select on the
+    /// inner relation of a kNN-join, based on the *outer* relation's profile.
+    pub fn choose_select_inner(&self, outer: &RelationProfile) -> SelectInnerStrategy {
+        if outer.num_points < self.counting_outer_limit
+            || outer.avg_points_per_occupied_block < self.counting_density_limit
+        {
+            SelectInnerStrategy::Counting
+        } else {
+            SelectInnerStrategy::BlockMarking
+        }
+    }
+
+    /// The select-on-outer case: pushdown is always valid and always at least
+    /// as cheap, so it is always chosen.
+    pub fn choose_select_outer(&self, _outer: &RelationProfile) -> SelectOuterStrategy {
+        SelectOuterStrategy::Pushdown
+    }
+
+    /// Chooses the unchained-join strategy given the profiles of the two
+    /// outer relations `A` and `C` (Section 4.1.2).
+    pub fn choose_unchained(
+        &self,
+        a: &RelationProfile,
+        c: &RelationProfile,
+    ) -> UnchainedStrategy {
+        let a_uniform = a.looks_uniform(self.uniform_coverage_threshold);
+        let c_uniform = c.looks_uniform(self.uniform_coverage_threshold);
+        match (a_uniform, c_uniform) {
+            (true, true) => UnchainedStrategy::Conceptual,
+            (false, true) => UnchainedStrategy::BlockMarkingStartWithA,
+            (true, false) => UnchainedStrategy::BlockMarkingStartWithC,
+            (false, false) => {
+                if a.coverage_fraction <= c.coverage_fraction {
+                    UnchainedStrategy::BlockMarkingStartWithA
+                } else {
+                    UnchainedStrategy::BlockMarkingStartWithC
+                }
+            }
+        }
+    }
+
+    /// Chooses the chained-join strategy. The cached nested join dominates or
+    /// matches the alternatives on every workload in the paper, so it is the
+    /// unconditional choice.
+    pub fn choose_chained(&self, _b: &RelationProfile) -> ChainedStrategy {
+        ChainedStrategy::NestedJoinCached
+    }
+
+    /// Chooses the two-selects strategy. The 2-kNN-select algorithm reduces
+    /// work whenever `k1 != k2` and never does more work than the conceptual
+    /// plan, so it is always chosen.
+    pub fn choose_two_selects(&self, _query: &TwoSelectsQuery) -> TwoSelectsStrategy {
+        TwoSelectsStrategy::TwoKnnSelect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoknn_geometry::{Point, Rect};
+    use twoknn_index::GridIndex;
+
+    fn profile(points: Vec<Point>) -> RelationProfile {
+        let g =
+            GridIndex::build_with_bounds(points, Rect::new(0.0, 0.0, 100.0, 100.0), 10).unwrap();
+        RelationProfile::compute(&g)
+    }
+
+    fn uniform(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                Point::new(i as u64, (h % 100) as f64, ((h / 100) % 100) as f64)
+            })
+            .collect()
+    }
+
+    fn clustered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    3.0 + (i % 40) as f64 * 0.02,
+                    3.0 + (i as u64 / 40) as f64 * 0.02,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_or_sparse_outer_prefers_counting() {
+        let opt = Optimizer::new();
+        let small = profile(uniform(500));
+        assert_eq!(opt.choose_select_inner(&small), SelectInnerStrategy::Counting);
+    }
+
+    #[test]
+    fn large_dense_outer_prefers_block_marking() {
+        let opt = Optimizer {
+            counting_outer_limit: 1_000,
+            counting_density_limit: 2.0,
+            ..Optimizer::default()
+        };
+        let dense = profile(clustered(50_000));
+        assert_eq!(
+            opt.choose_select_inner(&dense),
+            SelectInnerStrategy::BlockMarking
+        );
+    }
+
+    #[test]
+    fn unchained_heuristics_follow_the_paper() {
+        let opt = Optimizer::new();
+        let u = profile(uniform(5_000));
+        let c = profile(clustered(5_000));
+        assert_eq!(opt.choose_unchained(&u, &u), UnchainedStrategy::Conceptual);
+        assert_eq!(
+            opt.choose_unchained(&c, &u),
+            UnchainedStrategy::BlockMarkingStartWithA
+        );
+        assert_eq!(
+            opt.choose_unchained(&u, &c),
+            UnchainedStrategy::BlockMarkingStartWithC
+        );
+        // Both clustered: the one with smaller coverage goes first.
+        let tight = profile(clustered(2_000));
+        let wide = profile(
+            (0..2_000u64)
+                .map(|i| Point::new(i, (i % 200) as f64 * 0.5, (i / 200) as f64 * 5.0))
+                .collect(),
+        );
+        assert_eq!(
+            opt.choose_unchained(&tight, &wide),
+            UnchainedStrategy::BlockMarkingStartWithA
+        );
+    }
+
+    #[test]
+    fn chained_and_two_selects_defaults() {
+        let opt = Optimizer::new();
+        let p = profile(uniform(100));
+        assert_eq!(opt.choose_chained(&p), ChainedStrategy::NestedJoinCached);
+        let q = TwoSelectsQuery::new(5, Point::anonymous(0.0, 0.0), 50, Point::anonymous(1.0, 1.0));
+        assert_eq!(opt.choose_two_selects(&q), TwoSelectsStrategy::TwoKnnSelect);
+        assert_eq!(opt.choose_select_outer(&p), SelectOuterStrategy::Pushdown);
+    }
+}

@@ -1,0 +1,85 @@
+//! The kNN-select operator `σ_{k,f}(E)`.
+//!
+//! "For a focal point f, σ_{k,f}(E1) returns from the set of points in E1 the
+//! k-closest to f." (Section 1.) The operator is a thin wrapper over the
+//! locality-based `getkNN` of the index layer; it exists as a named operator
+//! so that plans, the optimizer and the conceptually correct QEPs can treat
+//! it uniformly.
+
+use twoknn_geometry::Point;
+use twoknn_index::{get_knn, Metrics, Neighborhood, SpatialIndex};
+
+use crate::output::QueryOutput;
+
+/// Evaluates `σ_{k,focal}(relation)` and returns the selected points ordered
+/// by increasing distance from the focal point.
+pub fn knn_select<I>(relation: &I, focal: &Point, k: usize) -> QueryOutput<Point>
+where
+    I: SpatialIndex + ?Sized,
+{
+    let mut metrics = Metrics::default();
+    let nbr = knn_select_neighborhood(relation, focal, k, &mut metrics);
+    let rows: Vec<Point> = nbr.points().copied().collect();
+    metrics.tuples_emitted += rows.len() as u64;
+    QueryOutput::new(rows, metrics)
+}
+
+/// Evaluates the kNN-select but returns the full [`Neighborhood`] (points plus
+/// distances), accumulating work into `metrics`. This is the form the
+/// two-predicate algorithms use internally, because they need the nearest and
+/// farthest members to derive search thresholds.
+pub fn knn_select_neighborhood<I>(
+    relation: &I,
+    focal: &Point,
+    k: usize,
+    metrics: &mut Metrics,
+) -> Neighborhood
+where
+    I: SpatialIndex + ?Sized,
+{
+    get_knn(relation, focal, k, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoknn_index::GridIndex;
+
+    fn grid() -> GridIndex {
+        let pts: Vec<Point> = (0..200)
+            .map(|i| Point::new(i, (i % 20) as f64, (i / 20) as f64))
+            .collect();
+        GridIndex::build(pts, 8).unwrap()
+    }
+
+    #[test]
+    fn select_returns_k_nearest_in_distance_order() {
+        let g = grid();
+        let focal = Point::anonymous(0.0, 0.0);
+        let out = knn_select(&g, &focal, 3);
+        assert_eq!(out.len(), 3);
+        let d: Vec<f64> = out.rows.iter().map(|p| focal.distance(p)).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.metrics.neighborhoods_computed, 1);
+        assert_eq!(out.metrics.tuples_emitted, 3);
+    }
+
+    #[test]
+    fn select_matches_brute_force() {
+        let g = grid();
+        let focal = Point::anonymous(7.3, 4.1);
+        let out = knn_select(&g, &focal, 10);
+        let brute = twoknn_index::brute_force_knn(&g, &focal, 10);
+        let mut got: Vec<u64> = out.rows.iter().map(|p| p.id).collect();
+        let mut want = brute.ids();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_with_k_zero_is_empty() {
+        let g = grid();
+        assert!(knn_select(&g, &Point::anonymous(1.0, 1.0), 0).is_empty());
+    }
+}

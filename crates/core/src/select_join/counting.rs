@@ -1,0 +1,184 @@
+//! The **Counting** algorithm (Procedure 1, Section 3.1).
+//!
+//! For each outer point `e1`, the algorithm decides *without computing e1's
+//! neighborhood* whether that neighborhood could possibly intersect the
+//! neighborhood of the focal point `f`:
+//!
+//! 1. the *search threshold* is the distance from `e1` to the nearest point
+//!    of `nbr_f`;
+//! 2. blocks of the inner relation are scanned in increasing MAXDIST order
+//!    from `e1`, accumulating their point counts, as long as they are
+//!    *completely included* within the search threshold (MAXDIST ≤ threshold);
+//! 3. if more than `k⋈` points are found this way, then `e1` already has more
+//!    than `k⋈` inner points strictly closer than any member of `nbr_f`, so
+//!    its neighborhood cannot intersect `nbr_f` and `e1` is skipped.
+//!
+//! Only the surviving outer points pay for a neighborhood computation.
+
+use twoknn_index::{get_knn, Metrics, SpatialIndex};
+
+use crate::output::{Pair, QueryOutput};
+use crate::select::knn_select_neighborhood;
+
+use super::SelectInnerJoinQuery;
+
+/// Evaluates `(E1 ⋈kNN E2) ∩ (E1 × σ_{kσ,f}(E2))` with the Counting
+/// algorithm (Procedure 1).
+pub fn counting<O, I>(outer: &O, inner: &I, query: &SelectInnerJoinQuery) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + ?Sized,
+    I: SpatialIndex + ?Sized,
+{
+    let mut metrics = Metrics::default();
+
+    // Line 1: the neighborhood of f (the kNN-select side).
+    let nbr_f = knn_select_neighborhood(inner, &query.focal, query.k_select, &mut metrics);
+    let mut rows = Vec::new();
+    if nbr_f.is_empty() {
+        // An empty select result can never intersect any join neighborhood.
+        return QueryOutput::new(rows, metrics);
+    }
+
+    // Lines 3–22: per outer tuple.
+    for block in outer.blocks() {
+        for e1 in outer.block_points(block.id) {
+            // Line 5: distance from e1 to the nearest member of nbr_f.
+            let search_threshold = nbr_f
+                .nearest_distance_from(e1)
+                .expect("nbr_f is non-empty here");
+            metrics.distance_computations += nbr_f.len() as u64;
+
+            // Lines 6–14: count inner points in blocks completely included
+            // within the search threshold, scanning in MAXDIST order from e1.
+            let mut count = 0usize;
+            let mut max_order = inner.maxdist_order(e1);
+            while count <= query.k_join {
+                let Some(ob) = max_order.next() else {
+                    break;
+                };
+                metrics.blocks_scanned += 1;
+                if ob.distance >= search_threshold {
+                    // This block (and all following ones) is not *strictly*
+                    // included within the search threshold. Using `>=` keeps
+                    // the pruning sound even when an inner point lies at
+                    // exactly the threshold distance (a tie the paper's
+                    // pseudocode ignores).
+                    break;
+                }
+                count += ob.block.count;
+            }
+
+            // Lines 15–21: only compute e1's neighborhood if the count did not
+            // prove the intersection impossible.
+            if count <= query.k_join {
+                let nbr_e1 = get_knn(inner, e1, query.k_join, &mut metrics);
+                for i in nbr_e1.intersect(&nbr_f) {
+                    rows.push(Pair::new(*e1, i));
+                }
+            } else {
+                metrics.points_pruned += 1;
+            }
+        }
+    }
+    metrics.tuples_emitted = rows.len() as u64;
+    QueryOutput::new(rows, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::pair_id_set;
+    use crate::select_join::conceptual;
+    use twoknn_geometry::Point;
+    use twoknn_index::GridIndex;
+
+    fn grid(points: Vec<Point>) -> GridIndex {
+        GridIndex::build(points, 8).unwrap()
+    }
+
+    fn scattered(n: usize, seed: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let h = i as u64 * 2654435761 ^ seed.wrapping_mul(0x9E3779B97F4A7C15);
+                Point::new(
+                    i as u64,
+                    (h % 1000) as f64 * 0.1,
+                    ((h / 1000) % 1000) as f64 * 0.1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counting_matches_conceptual_plan() {
+        let outer = grid(scattered(150, 1));
+        let inner = grid(scattered(400, 2));
+        for (k_join, k_select) in [(1, 1), (2, 2), (4, 8), (8, 3)] {
+            let query =
+                SelectInnerJoinQuery::new(k_join, k_select, Point::anonymous(30.0, 40.0));
+            let fast = counting(&outer, &inner, &query);
+            let slow = conceptual(&outer, &inner, &query);
+            assert_eq!(
+                pair_id_set(&fast.rows),
+                pair_id_set(&slow.rows),
+                "k_join={k_join} k_select={k_select}"
+            );
+        }
+    }
+
+    #[test]
+    fn counting_prunes_far_outer_points() {
+        // Outer points far from the focal point with plenty of inner points
+        // around them must be pruned without neighborhood computations.
+        let mut inner_pts = scattered(500, 3);
+        // Dense inner cloud near (90, 90) so that far outer points are
+        // surrounded by many closer inner points.
+        for i in 0..200 {
+            inner_pts.push(Point::new(
+                500 + i,
+                90.0 + (i % 20) as f64 * 0.05,
+                90.0 + (i / 20) as f64 * 0.05,
+            ));
+        }
+        let inner = grid(inner_pts);
+        let outer = grid(vec![
+            Point::new(0, 90.2, 90.2),
+            Point::new(1, 90.4, 90.4),
+            Point::new(2, 5.0, 5.0),
+        ]);
+        let query = SelectInnerJoinQuery::new(2, 2, Point::anonymous(5.0, 5.0));
+        let out = counting(&outer, &inner, &query);
+        assert!(out.metrics.points_pruned >= 2, "{}", out.metrics);
+        // Correctness still holds.
+        let slow = conceptual(&outer, &inner, &query);
+        assert_eq!(pair_id_set(&out.rows), pair_id_set(&slow.rows));
+    }
+
+    #[test]
+    fn counting_does_fewer_neighborhood_computations_than_conceptual() {
+        let outer = grid(scattered(300, 7));
+        let inner = grid(scattered(600, 8));
+        let query = SelectInnerJoinQuery::new(3, 3, Point::anonymous(10.0, 10.0));
+        let fast = counting(&outer, &inner, &query);
+        let slow = conceptual(&outer, &inner, &query);
+        assert!(
+            fast.metrics.neighborhoods_computed < slow.metrics.neighborhoods_computed,
+            "counting {} vs conceptual {}",
+            fast.metrics.neighborhoods_computed,
+            slow.metrics.neighborhoods_computed
+        );
+    }
+
+    #[test]
+    fn empty_inner_relation_yields_empty_result() {
+        let outer = grid(scattered(10, 1));
+        let inner = GridIndex::build_with_bounds(
+            vec![],
+            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
+            2,
+        )
+        .unwrap();
+        let query = SelectInnerJoinQuery::new(2, 2, Point::anonymous(0.0, 0.0));
+        assert!(counting(&outer, &inner, &query).is_empty());
+    }
+}

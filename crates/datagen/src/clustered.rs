@@ -1,0 +1,194 @@
+//! Clustered point sets: non-overlapping circular clusters of equal size.
+//!
+//! The paper's experiments on unchained and chained joins (Figures 22, 23 and
+//! 25) generate "clusters of points ... All the clusters have the same number
+//! of points (4000), have the same area, and are non-overlapping. We vary the
+//! number of clusters."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twoknn_geometry::{Point, Rect};
+
+/// Configuration for the clustered generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of clusters to generate.
+    pub num_clusters: usize,
+    /// Number of points in every cluster.
+    pub points_per_cluster: usize,
+    /// Radius of every cluster (all clusters have the same area).
+    pub cluster_radius: f64,
+    /// Extent within which cluster centers are placed.
+    pub extent: Rect,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's Figure 23 setup: equal-size (4,000-point), equal-area,
+    /// non-overlapping clusters inside the default extent.
+    pub fn paper_default(num_clusters: usize, seed: u64) -> Self {
+        Self {
+            num_clusters,
+            points_per_cluster: 4_000,
+            cluster_radius: 2_000.0,
+            extent: crate::default_extent(),
+            seed,
+        }
+    }
+
+    /// Total number of points this configuration will generate.
+    pub fn total_points(&self) -> usize {
+        self.num_clusters * self.points_per_cluster
+    }
+}
+
+/// Generates non-overlapping clusters of points per `config`.
+///
+/// Cluster centers are sampled rejection-style so that clusters do not
+/// overlap; if the extent is too crowded to place all clusters after a bounded
+/// number of attempts, remaining centers are placed on a regular lattice
+/// (preserving the non-overlap property whenever geometrically possible).
+pub fn clustered(config: &ClusterConfig) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let r = config.cluster_radius;
+    let extent = config.extent;
+    let inner = Rect::new(
+        extent.min_x + r,
+        extent.min_y + r,
+        (extent.max_x - r).max(extent.min_x + r),
+        (extent.max_y - r).max(extent.min_y + r),
+    );
+
+    let mut centers: Vec<(f64, f64)> = Vec::with_capacity(config.num_clusters);
+    let max_attempts = 200 * config.num_clusters.max(1);
+    let mut attempts = 0;
+    while centers.len() < config.num_clusters && attempts < max_attempts {
+        attempts += 1;
+        let cx = rng.gen_range(inner.min_x..=inner.max_x);
+        let cy = rng.gen_range(inner.min_y..=inner.max_y);
+        let ok = centers
+            .iter()
+            .all(|&(ox, oy)| ((cx - ox).powi(2) + (cy - oy).powi(2)).sqrt() >= 2.0 * r);
+        if ok {
+            centers.push((cx, cy));
+        }
+    }
+    // Fallback lattice placement for any centers we could not fit randomly.
+    let mut lattice_i = 0usize;
+    while centers.len() < config.num_clusters {
+        let per_row = ((extent.width() / (2.0 * r)).floor() as usize).max(1);
+        let ix = lattice_i % per_row;
+        let iy = lattice_i / per_row;
+        lattice_i += 1;
+        let cx = extent.min_x + r + ix as f64 * 2.0 * r;
+        let cy = extent.min_y + r + iy as f64 * 2.0 * r;
+        centers.push((cx, cy));
+    }
+
+    let mut points = Vec::with_capacity(config.total_points());
+    let mut id = 0u64;
+    for &(cx, cy) in &centers {
+        for _ in 0..config.points_per_cluster {
+            // Uniform inside the circle of radius r.
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let rho = r * rng.gen_range(0.0f64..1.0).sqrt();
+            points.push(Point::new(id, cx + rho * theta.cos(), cy + rho * theta.sin()));
+            id += 1;
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_structure() {
+        let cfg = ClusterConfig {
+            num_clusters: 5,
+            points_per_cluster: 200,
+            cluster_radius: 1_000.0,
+            extent: crate::default_extent(),
+            seed: 11,
+        };
+        let pts = clustered(&cfg);
+        assert_eq!(pts.len(), cfg.total_points());
+    }
+
+    #[test]
+    fn clusters_are_compact() {
+        let cfg = ClusterConfig::paper_default(3, 5);
+        let pts = clustered(&cfg);
+        // Group by cluster index (ids are assigned cluster by cluster).
+        for c in 0..3 {
+            let chunk =
+                &pts[c * cfg.points_per_cluster..(c + 1) * cfg.points_per_cluster];
+            let bbox = Rect::bounding(chunk).unwrap();
+            assert!(bbox.width() <= 2.0 * cfg.cluster_radius + 1e-6);
+            assert!(bbox.height() <= 2.0 * cfg.cluster_radius + 1e-6);
+        }
+    }
+
+    #[test]
+    fn clusters_do_not_overlap_for_sparse_configs() {
+        let cfg = ClusterConfig::paper_default(8, 3);
+        let pts = clustered(&cfg);
+        // Compute cluster centers as the mean of each id-chunk and assert
+        // pairwise distance >= 2r (sampled centers were rejected otherwise).
+        let mut centers = Vec::new();
+        for c in 0..cfg.num_clusters {
+            let chunk = &pts[c * cfg.points_per_cluster..(c + 1) * cfg.points_per_cluster];
+            let (sx, sy) = chunk
+                .iter()
+                .fold((0.0, 0.0), |(ax, ay), p| (ax + p.x, ay + p.y));
+            centers.push((sx / chunk.len() as f64, sy / chunk.len() as f64));
+        }
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                let d = ((centers[i].0 - centers[j].0).powi(2)
+                    + (centers[i].1 - centers[j].1).powi(2))
+                .sqrt();
+                assert!(
+                    d >= 1.8 * cfg.cluster_radius,
+                    "clusters {i} and {j} too close: {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ClusterConfig::paper_default(4, 9);
+        assert_eq!(clustered(&cfg), clustered(&cfg));
+    }
+
+    #[test]
+    fn ids_are_unique_and_dense() {
+        let cfg = ClusterConfig {
+            num_clusters: 2,
+            points_per_cluster: 50,
+            cluster_radius: 500.0,
+            extent: crate::default_extent(),
+            seed: 1,
+        };
+        let pts = clustered(&cfg);
+        let mut ids: Vec<u64> = pts.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overcrowded_config_still_produces_all_clusters() {
+        let cfg = ClusterConfig {
+            num_clusters: 60,
+            points_per_cluster: 10,
+            cluster_radius: 20_000.0, // impossible to fit 60 without overlap
+            extent: crate::default_extent(),
+            seed: 2,
+        };
+        let pts = clustered(&cfg);
+        assert_eq!(pts.len(), 600);
+    }
+}

@@ -1,0 +1,108 @@
+//! Declarative dataset specifications used by the benchmark harness.
+
+use twoknn_geometry::{Point, Rect};
+
+use crate::{berlinmod, clustered, uniform, BerlinModConfig, ClusterConfig};
+
+/// A named description of a dataset, resolvable to a point set with
+/// [`generate`].
+///
+/// The benchmark harness builds its workloads from these specs so that every
+/// experiment documents its inputs declaratively (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetSpec {
+    /// Uniformly distributed points over an extent.
+    Uniform {
+        /// Number of points.
+        n: usize,
+        /// Extent; `None` means [`crate::default_extent`].
+        extent: Option<Rect>,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Equal-size, equal-area, non-overlapping clusters.
+    Clustered(ClusterConfig),
+    /// BerlinMOD-like synthetic moving-object snapshot.
+    BerlinMod(BerlinModConfig),
+}
+
+impl DatasetSpec {
+    /// Uniform dataset over the default extent.
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        DatasetSpec::Uniform {
+            n,
+            extent: None,
+            seed,
+        }
+    }
+
+    /// BerlinMOD-like dataset with the default fleet configuration.
+    pub fn berlinmod(n: usize, seed: u64) -> Self {
+        DatasetSpec::BerlinMod(BerlinModConfig::with_points(n, seed))
+    }
+
+    /// Clustered dataset with the paper's Figure 23 cluster shape.
+    pub fn clustered(num_clusters: usize, seed: u64) -> Self {
+        DatasetSpec::Clustered(ClusterConfig::paper_default(num_clusters, seed))
+    }
+
+    /// Number of points the spec will generate.
+    pub fn num_points(&self) -> usize {
+        match self {
+            DatasetSpec::Uniform { n, .. } => *n,
+            DatasetSpec::Clustered(c) => c.total_points(),
+            DatasetSpec::BerlinMod(c) => c.num_points,
+        }
+    }
+
+    /// Short human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            DatasetSpec::Uniform { n, .. } => format!("uniform({n})"),
+            DatasetSpec::Clustered(c) => {
+                format!("clustered({}x{})", c.num_clusters, c.points_per_cluster)
+            }
+            DatasetSpec::BerlinMod(c) => format!("berlinmod({})", c.num_points),
+        }
+    }
+}
+
+/// Materializes a dataset spec into a point set.
+pub fn generate(spec: &DatasetSpec) -> Vec<Point> {
+    match spec {
+        DatasetSpec::Uniform { n, extent, seed } => {
+            uniform(*n, extent.unwrap_or_else(crate::default_extent), *seed)
+        }
+        DatasetSpec::Clustered(cfg) => clustered(cfg),
+        DatasetSpec::BerlinMod(cfg) => berlinmod(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_matches_spec_size() {
+        for spec in [
+            DatasetSpec::uniform(123, 1),
+            DatasetSpec::berlinmod(456, 2),
+            DatasetSpec::clustered(2, 3),
+        ] {
+            assert_eq!(generate(&spec).len(), spec.num_points());
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(DatasetSpec::uniform(10, 0).label(), "uniform(10)");
+        assert!(DatasetSpec::clustered(3, 0).label().starts_with("clustered(3x"));
+        assert_eq!(DatasetSpec::berlinmod(99, 0).label(), "berlinmod(99)");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::berlinmod(200, 9);
+        assert_eq!(generate(&spec), generate(&spec));
+    }
+}

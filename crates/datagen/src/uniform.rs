@@ -1,0 +1,70 @@
+//! Uniformly distributed point sets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twoknn_geometry::{Point, Rect};
+
+/// Generates `n` points uniformly distributed over `extent`.
+///
+/// Ids are assigned sequentially from 0, unique within the generated
+/// relation. The generator is deterministic for a given `(n, extent, seed)`.
+pub fn uniform(n: usize, extent: Rect, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Point::new(
+                i as u64,
+                rng.gen_range(extent.min_x..=extent.max_x),
+                rng.gen_range(extent.min_y..=extent.max_y),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_extent;
+
+    #[test]
+    fn generates_requested_count_inside_extent() {
+        let extent = default_extent();
+        let pts = uniform(500, extent, 42);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert!(extent.contains(p));
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let extent = default_extent();
+        assert_eq!(uniform(100, extent, 7), uniform(100, extent, 7));
+        assert_ne!(uniform(100, extent, 7), uniform(100, extent, 8));
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let pts = uniform(10, default_extent(), 1);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn covers_the_extent_roughly_evenly() {
+        let extent = default_extent();
+        let pts = uniform(4000, extent, 3);
+        // Split into 4 quadrants; each should hold between 15% and 35%.
+        let cx = (extent.min_x + extent.max_x) / 2.0;
+        let cy = (extent.min_y + extent.max_y) / 2.0;
+        let mut counts = [0usize; 4];
+        for p in &pts {
+            let q = usize::from(p.x >= cx) + 2 * usize::from(p.y >= cy);
+            counts[q] += 1;
+        }
+        for c in counts {
+            assert!(c > 600 && c < 1400, "quadrant count {c} too skewed");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Distance metrics: Euclidean, MINDIST, and MAXDIST.
+//!
+//! MINDIST and MAXDIST between a point `p` and a block `b` are the minimum and
+//! maximum possible distance between `p` and *any* point inside `b`
+//! (Roussopoulos, Kelley, Vincent — SIGMOD 1995; Section 2 of the paper). The
+//! paper's algorithms scan blocks in MINDIST or MAXDIST order from a query
+//! point, and use MAXDIST to decide whether a block is *completely included*
+//! within a search threshold.
+
+use crate::{Point, Rect};
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn euclidean_sq(a: &Point, b: &Point) -> f64 {
+    a.distance_sq(b)
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn euclidean(a: &Point, b: &Point) -> f64 {
+    a.distance(b)
+}
+
+/// Squared MINDIST between a point and a rectangle.
+///
+/// Zero when the point lies inside (or on the boundary of) the rectangle;
+/// otherwise the squared distance to the closest point of the rectangle.
+#[inline]
+pub fn mindist_sq(p: &Point, r: &Rect) -> f64 {
+    let dx = axis_gap(p.x, r.min_x, r.max_x);
+    let dy = axis_gap(p.y, r.min_y, r.max_y);
+    dx * dx + dy * dy
+}
+
+/// MINDIST between a point and a rectangle.
+#[inline]
+pub fn mindist(p: &Point, r: &Rect) -> f64 {
+    mindist_sq(p, r).sqrt()
+}
+
+/// Squared MAXDIST between a point and a rectangle: the squared distance from
+/// the point to the farthest corner of the rectangle.
+#[inline]
+pub fn maxdist_sq(p: &Point, r: &Rect) -> f64 {
+    let dx = (p.x - r.min_x).abs().max((p.x - r.max_x).abs());
+    let dy = (p.y - r.min_y).abs().max((p.y - r.max_y).abs());
+    dx * dx + dy * dy
+}
+
+/// MAXDIST between a point and a rectangle.
+#[inline]
+pub fn maxdist(p: &Point, r: &Rect) -> f64 {
+    maxdist_sq(p, r).sqrt()
+}
+
+/// Distance from coordinate `v` to the interval `[lo, hi]` (0 when inside).
+#[inline]
+fn axis_gap(v: f64, lo: f64, hi: f64) -> f64 {
+    if v < lo {
+        lo - v
+    } else if v > hi {
+        v - hi
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Rect {
+        Rect::new(2.0, 2.0, 4.0, 6.0)
+    }
+
+    #[test]
+    fn mindist_is_zero_inside_and_on_boundary() {
+        let r = block();
+        assert_eq!(mindist(&Point::anonymous(3.0, 4.0), &r), 0.0);
+        assert_eq!(mindist(&Point::anonymous(2.0, 2.0), &r), 0.0);
+        assert_eq!(mindist(&Point::anonymous(4.0, 6.0), &r), 0.0);
+    }
+
+    #[test]
+    fn mindist_outside_is_distance_to_nearest_edge_or_corner() {
+        let r = block();
+        // Directly left of the rectangle: nearest point is on the left edge.
+        assert_eq!(mindist(&Point::anonymous(0.0, 4.0), &r), 2.0);
+        // Below-left: nearest point is the (2,2) corner, distance sqrt(2).
+        let d = mindist(&Point::anonymous(1.0, 1.0), &r);
+        assert!((d - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxdist_is_distance_to_farthest_corner() {
+        let r = block();
+        // From the center, the farthest corner is any corner: dx=1, dy=2.
+        let d = maxdist(&Point::anonymous(3.0, 4.0), &r);
+        assert!((d - (1.0f64 + 4.0).sqrt()).abs() < 1e-12);
+        // From far left, the farthest corner is (4, 6) or (4, 2).
+        let d = maxdist(&Point::anonymous(0.0, 2.0), &r);
+        assert!((d - (16.0f64 + 16.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mindist_never_exceeds_maxdist() {
+        let r = block();
+        for (x, y) in [(0.0, 0.0), (3.0, 4.0), (10.0, -3.0), (2.0, 6.0)] {
+            let p = Point::anonymous(x, y);
+            assert!(mindist(&p, &r) <= maxdist(&p, &r) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn squared_variants_are_consistent() {
+        let r = block();
+        let p = Point::anonymous(-1.0, 8.0);
+        assert!((mindist_sq(&p, &r).sqrt() - mindist(&p, &r)).abs() < 1e-12);
+        assert!((maxdist_sq(&p, &r).sqrt() - maxdist(&p, &r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_inside_block_bounds_hold_for_contained_points() {
+        // MINDIST <= d(p, q) <= MAXDIST for any q inside the block.
+        let r = block();
+        let p = Point::anonymous(9.0, 9.0);
+        for (qx, qy) in [(2.0, 2.0), (3.3, 5.1), (4.0, 6.0), (2.5, 4.4)] {
+            let q = Point::anonymous(qx, qy);
+            assert!(r.contains(&q));
+            let d = euclidean(&p, &q);
+            assert!(mindist(&p, &r) <= d + 1e-12);
+            assert!(d <= maxdist(&p, &r) + 1e-12);
+        }
+    }
+}

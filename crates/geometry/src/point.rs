@@ -1,0 +1,126 @@
+//! Points in the two-dimensional Euclidean plane.
+
+use crate::{GeomResult, GeometryError};
+
+/// Identifier of a point within its relation.
+///
+/// The paper treats relations as sets of points; downstream code (joins,
+/// result pairs/triplets) needs a stable identity to report results, so every
+/// [`Point`] carries an id that is unique *within its relation*.
+pub type PointId = u64;
+
+/// A point in the two-dimensional Euclidean plane, tagged with an identifier.
+///
+/// Coordinates are `f64`; the paper's algorithms use plain Euclidean distance
+/// (Section 1: "For simplicity, we use the Euclidean distance").
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// Identifier, unique within the relation this point belongs to.
+    pub id: PointId,
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point, validating that the coordinates are finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::NonFiniteCoordinate`] if either coordinate is
+    /// NaN or infinite.
+    pub fn try_new(id: PointId, x: f64, y: f64) -> GeomResult<Self> {
+        for value in [x, y] {
+            if !value.is_finite() {
+                return Err(GeometryError::NonFiniteCoordinate { value });
+            }
+        }
+        Ok(Self { id, x, y })
+    }
+
+    /// Creates a new point without validation.
+    ///
+    /// Use [`Point::try_new`] when the coordinates come from untrusted input.
+    #[inline]
+    pub const fn new(id: PointId, x: f64, y: f64) -> Self {
+        Self { id, x, y }
+    }
+
+    /// Creates an anonymous point (id 0). Useful for pure geometric queries
+    /// such as block centers or focal points that are not part of a relation.
+    #[inline]
+    pub const fn anonymous(x: f64, y: f64) -> Self {
+        Self { id: 0, x, y }
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Returns the coordinates as a tuple.
+    #[inline]
+    pub const fn coords(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}({:.3}, {:.3})", self.id, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_accepts_finite_coordinates() {
+        let p = Point::try_new(7, 1.5, -2.25).unwrap();
+        assert_eq!(p.id, 7);
+        assert_eq!(p.coords(), (1.5, -2.25));
+    }
+
+    #[test]
+    fn try_new_rejects_nan_and_infinity() {
+        assert!(Point::try_new(0, f64::NAN, 0.0).is_err());
+        assert!(Point::try_new(0, 0.0, f64::INFINITY).is_err());
+        assert!(Point::try_new(0, f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(1, 0.0, 0.0);
+        let b = Point::new(2, 3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        // Symmetry.
+        assert_eq!(b.distance(&a), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(1, 2.5, -7.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn display_includes_id_and_coords() {
+        let p = Point::new(3, 1.0, 2.0);
+        let s = p.to_string();
+        assert!(s.contains("p3"));
+        assert!(s.contains("1.000"));
+    }
+}

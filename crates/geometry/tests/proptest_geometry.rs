@@ -1,0 +1,88 @@
+//! Property-based tests of the geometry kernel.
+
+use proptest::prelude::*;
+use twoknn_geometry::{euclidean, maxdist, mindist, Point, Rect};
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        0.0f64..300.0,
+        0.0f64..300.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::anonymous(x, y))
+}
+
+proptest! {
+    /// The Euclidean distance is symmetric and satisfies the triangle
+    /// inequality.
+    #[test]
+    fn distance_is_a_metric(a in point(), b in point(), c in point()) {
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+        prop_assert!(a.distance(&a) == 0.0);
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    /// MINDIST of a point inside a rectangle is zero; MAXDIST equals the
+    /// distance to the farthest corner.
+    #[test]
+    fn mindist_zero_inside_and_maxdist_is_corner_distance(r in rect(), fx in 0.0f64..1.0, fy in 0.0f64..1.0) {
+        let inside = Point::anonymous(
+            r.min_x + fx * r.width(),
+            r.min_y + fy * r.height(),
+        );
+        prop_assert_eq!(mindist(&inside, &r), 0.0);
+        let far_corner = r
+            .corners()
+            .iter()
+            .map(|c| euclidean(&inside, c))
+            .fold(0.0f64, f64::max);
+        prop_assert!((maxdist(&inside, &r) - far_corner).abs() < 1e-9);
+    }
+
+    /// MINDIST and MAXDIST bound the distance to any point in the rectangle;
+    /// MINDIST never exceeds MAXDIST.
+    #[test]
+    fn mindist_maxdist_are_tight_bounds(r in rect(), p in point(), fx in 0.0f64..1.0, fy in 0.0f64..1.0) {
+        let q = Point::anonymous(r.min_x + fx * r.width(), r.min_y + fy * r.height());
+        let d = euclidean(&p, &q);
+        prop_assert!(mindist(&p, &r) <= d + 1e-9);
+        prop_assert!(d <= maxdist(&p, &r) + 1e-9);
+        prop_assert!(mindist(&p, &r) <= maxdist(&p, &r) + 1e-9);
+    }
+
+    /// The bounding rectangle of a point set contains every input point, and
+    /// union/contains_rect are consistent.
+    #[test]
+    fn bounding_union_containment(
+        coords in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
+        other in rect(),
+    ) {
+        let pts: Vec<Point> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(i as u64, x, y))
+            .collect();
+        let bb = Rect::bounding(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(p));
+        }
+        let u = bb.union(&other);
+        prop_assert!(u.contains_rect(&bb));
+        prop_assert!(u.contains_rect(&other));
+        prop_assert!(u.intersects(&bb) && u.intersects(&other));
+    }
+
+    /// Expanding a rectangle preserves containment and grows the area.
+    #[test]
+    fn expansion_grows(r in rect(), margin in 0.0f64..100.0) {
+        let e = r.expanded(margin);
+        prop_assert!(e.contains_rect(&r));
+        prop_assert!(e.area() + 1e-9 >= r.area());
+        prop_assert!((e.diagonal() >= r.diagonal() - 1e-9));
+    }
+}

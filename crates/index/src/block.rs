@@ -1,0 +1,102 @@
+//! Blocks: the unit of space partitioning exposed by every index.
+//!
+//! Section 2 of the paper: "The quadtree and its variants are hierarchical
+//! spatial data structures that recursively partition the underlying space
+//! into blocks ... We assume that the index maintains the count of points in
+//! each block." All of the paper's algorithms operate on blocks through
+//! exactly three pieces of information — the block's spatial footprint, its
+//! point count, and a way to get at the points inside it — so that is all
+//! [`BlockMeta`] carries.
+
+use twoknn_geometry::{maxdist, maxdist_sq, mindist, mindist_sq, Point, Rect};
+
+/// Identifier of a block within its index.
+///
+/// Block ids are dense (`0..num_blocks`) so they can be used to index into
+/// per-block side tables (e.g. the Candidate/Safe marks of Procedure 4).
+pub type BlockId = u32;
+
+/// Metadata of a single index block: footprint, point count, identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockMeta {
+    /// Dense identifier of the block within its index.
+    pub id: BlockId,
+    /// Spatial footprint of the block.
+    pub mbr: Rect,
+    /// Number of points stored in the block.
+    pub count: usize,
+}
+
+impl BlockMeta {
+    /// Creates block metadata.
+    pub fn new(id: BlockId, mbr: Rect, count: usize) -> Self {
+        Self { id, mbr, count }
+    }
+
+    /// Center of the block (the reference location used by Block-Marking
+    /// preprocessing, per Theorem 1).
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.mbr.center()
+    }
+
+    /// Length of the block's diagonal (`d` in Procedure 3).
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.mbr.diagonal()
+    }
+
+    /// MINDIST from a point to this block.
+    #[inline]
+    pub fn mindist(&self, p: &Point) -> f64 {
+        mindist(p, &self.mbr)
+    }
+
+    /// Squared MINDIST from a point to this block.
+    #[inline]
+    pub fn mindist_sq(&self, p: &Point) -> f64 {
+        mindist_sq(p, &self.mbr)
+    }
+
+    /// MAXDIST from a point to this block.
+    #[inline]
+    pub fn maxdist(&self, p: &Point) -> f64 {
+        maxdist(p, &self.mbr)
+    }
+
+    /// Squared MAXDIST from a point to this block.
+    #[inline]
+    pub fn maxdist_sq(&self, p: &Point) -> f64 {
+        maxdist_sq(p, &self.mbr)
+    }
+
+    /// Whether the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities_match_geometry() {
+        let b = BlockMeta::new(3, Rect::new(0.0, 0.0, 3.0, 4.0), 17);
+        assert_eq!(b.diagonal(), 5.0);
+        let c = b.center();
+        assert_eq!((c.x, c.y), (1.5, 2.0));
+        assert!(!b.is_empty());
+        assert!(BlockMeta::new(0, Rect::new(0.0, 0.0, 1.0, 1.0), 0).is_empty());
+    }
+
+    #[test]
+    fn min_and_max_dist_delegate_to_metrics() {
+        let b = BlockMeta::new(0, Rect::new(2.0, 2.0, 4.0, 6.0), 1);
+        let p = Point::anonymous(0.0, 4.0);
+        assert_eq!(b.mindist(&p), 2.0);
+        assert!(b.maxdist(&p) > b.mindist(&p));
+        assert!((b.mindist_sq(&p) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,322 @@
+//! `getkNN`: computing the neighborhood of a point.
+//!
+//! The paper (Section 2): "One can use any algorithm to compute the
+//! neighborhood of a point. In this paper, we employ the locality algorithm
+//! of [15]. Given a point, say p, the main idea of the algorithm is to build
+//! the minimum locality of p, and then compute the neighborhood of p only
+//! from its locality."
+//!
+//! Three implementations are provided:
+//!
+//! * [`get_knn`] — the locality-based algorithm used throughout the paper
+//!   (and throughout this workspace).
+//! * [`get_knn_best_first`] — the classic best-first (Hjaltason–Samet)
+//!   incremental kNN, used for cross-checking and index ablations.
+//! * [`brute_force_knn`] — an `O(n log n)` scan, the ground truth for tests.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use twoknn_geometry::Point;
+
+use crate::locality::Locality;
+use crate::metrics::Metrics;
+use crate::neighborhood::{Neighbor, Neighborhood};
+use crate::ordering::OrderedF64;
+use crate::traits::SpatialIndex;
+
+/// Computes the neighborhood (the `k` nearest neighbors) of `p` using the
+/// locality algorithm, counting the work into `metrics`.
+///
+/// When `p` itself is stored in the index (same id and coordinates), it is
+/// *not* excluded: the paper's operators query focal points and outer-relation
+/// points against *other* relations, so self-exclusion is handled by callers
+/// that need it.
+pub fn get_knn<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    metrics: &mut Metrics,
+) -> Neighborhood {
+    metrics.neighborhoods_computed += 1;
+    if k == 0 || index.num_points() == 0 {
+        return Neighborhood::empty(*p, k);
+    }
+    let locality = Locality::build(index, p, k, metrics);
+    neighborhood_from_locality(index, p, k, &locality, metrics)
+}
+
+/// Computes the neighborhood of `p` restricted to a search threshold: only
+/// blocks with MINDIST ≤ `threshold` are examined (Procedure 5's bounded
+/// locality). The result is exact for every member whose distance from `p`
+/// is at most `threshold`; members farther than the threshold may be missing.
+pub fn get_knn_bounded<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    threshold: f64,
+    metrics: &mut Metrics,
+) -> Neighborhood {
+    metrics.neighborhoods_computed += 1;
+    if k == 0 || index.num_points() == 0 {
+        return Neighborhood::empty(*p, k);
+    }
+    let locality = Locality::build_bounded(index, p, k, threshold, metrics);
+    neighborhood_from_locality(index, p, k, &locality, metrics)
+}
+
+/// Extracts the `k` nearest points of `p` from the blocks of a locality.
+pub fn neighborhood_from_locality<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    locality: &Locality,
+    metrics: &mut Metrics,
+) -> Neighborhood {
+    let mut members = Vec::with_capacity(locality.point_count().min(4 * k + 16));
+    for block in locality.blocks() {
+        for q in index.block_points(block.id) {
+            metrics.points_scanned += 1;
+            metrics.distance_computations += 1;
+            members.push(Neighbor {
+                point: *q,
+                distance: p.distance(q),
+            });
+        }
+    }
+    Neighborhood::from_unsorted(*p, k, members)
+}
+
+/// Best-first incremental nearest-neighbor search (Hjaltason & Samet).
+///
+/// Maintains a priority queue of blocks (keyed by MINDIST) and points (keyed
+/// by distance); pops the nearest element, expanding blocks into their points,
+/// until `k` points have been reported. Provided as an independently
+/// implemented cross-check of [`get_knn`] and for the index-ablation bench.
+pub fn get_knn_best_first<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    metrics: &mut Metrics,
+) -> Neighborhood {
+    metrics.neighborhoods_computed += 1;
+    if k == 0 || index.num_points() == 0 {
+        return Neighborhood::empty(*p, k);
+    }
+
+    enum Entry {
+        Block(u32),
+        Point(Point),
+    }
+    struct Queued {
+        dist: OrderedF64,
+        seq: u64,
+        entry: Entry,
+    }
+    impl PartialEq for Queued {
+        fn eq(&self, other: &Self) -> bool {
+            self.dist == other.dist && self.seq == other.seq
+        }
+    }
+    impl Eq for Queued {}
+    impl PartialOrd for Queued {
+        fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Queued {
+        fn cmp(&self, other: &Self) -> CmpOrdering {
+            // Min-heap by distance; ties broken by insertion sequence so that
+            // blocks at distance 0 are expanded before points at distance 0.
+            other
+                .dist
+                .cmp(&self.dist)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    let mut heap: BinaryHeap<Queued> = BinaryHeap::with_capacity(index.num_blocks());
+    let mut seq = 0u64;
+    for b in index.blocks() {
+        if b.count == 0 {
+            continue;
+        }
+        heap.push(Queued {
+            dist: OrderedF64(b.mindist(p)),
+            seq,
+            entry: Entry::Block(b.id),
+        });
+        seq += 1;
+    }
+
+    let mut members = Vec::with_capacity(k);
+    while let Some(q) = heap.pop() {
+        match q.entry {
+            Entry::Block(id) => {
+                metrics.blocks_scanned += 1;
+                for pt in index.block_points(id) {
+                    metrics.points_scanned += 1;
+                    metrics.distance_computations += 1;
+                    heap.push(Queued {
+                        dist: OrderedF64(p.distance(pt)),
+                        seq,
+                        entry: Entry::Point(*pt),
+                    });
+                    seq += 1;
+                }
+            }
+            Entry::Point(pt) => {
+                members.push(Neighbor {
+                    point: pt,
+                    distance: q.dist.0,
+                });
+                if members.len() == k {
+                    break;
+                }
+            }
+        }
+    }
+    Neighborhood::from_unsorted(*p, k, members)
+}
+
+/// Ground-truth `k` nearest neighbors by scanning every indexed point.
+pub fn brute_force_knn<I: SpatialIndex + ?Sized>(index: &I, p: &Point, k: usize) -> Neighborhood {
+    let members = index
+        .all_points()
+        .into_iter()
+        .map(|q| Neighbor {
+            point: q,
+            distance: p.distance(&q),
+        })
+        .collect();
+    Neighborhood::from_unsorted(*p, k, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridIndex;
+    use crate::quadtree::QuadtreeIndex;
+    use crate::rtree::StrRTree;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    ((i * 7919) % 1009) as f64 * 0.11,
+                    ((i * 6131) % 997) as f64 * 0.13,
+                )
+            })
+            .collect()
+    }
+
+    fn assert_same_ids(a: &Neighborhood, b: &Neighborhood) {
+        let mut ai = a.ids();
+        let mut bi = b.ids();
+        ai.sort_unstable();
+        bi.sort_unstable();
+        assert_eq!(ai, bi);
+    }
+
+    #[test]
+    fn locality_knn_matches_brute_force_on_grid() {
+        let g = GridIndex::build(pts(1500), 14).unwrap();
+        let mut m = Metrics::default();
+        for (x, y, k) in [(10.0, 20.0, 1), (55.0, 64.0, 7), (0.0, 0.0, 25), (111.0, 1.0, 64)] {
+            let q = Point::anonymous(x, y);
+            let got = get_knn(&g, &q, k, &mut m);
+            let want = brute_force_knn(&g, &q, k);
+            assert_same_ids(&got, &want);
+        }
+    }
+
+    #[test]
+    fn locality_knn_matches_brute_force_on_quadtree_and_rtree() {
+        let data = pts(1200);
+        let qt = QuadtreeIndex::build(data.clone(), 24).unwrap();
+        let rt = StrRTree::build(data, 24).unwrap();
+        let mut m = Metrics::default();
+        for (x, y, k) in [(30.0, 30.0, 5), (80.0, 10.0, 17)] {
+            let q = Point::anonymous(x, y);
+            assert_same_ids(&get_knn(&qt, &q, k, &mut m), &brute_force_knn(&qt, &q, k));
+            assert_same_ids(&get_knn(&rt, &q, k, &mut m), &brute_force_knn(&rt, &q, k));
+        }
+    }
+
+    #[test]
+    fn best_first_matches_locality_based() {
+        let g = GridIndex::build(pts(900), 10).unwrap();
+        let mut m = Metrics::default();
+        for (x, y, k) in [(42.0, 17.0, 3), (5.0, 99.0, 20)] {
+            let q = Point::anonymous(x, y);
+            assert_same_ids(
+                &get_knn(&g, &q, k, &mut m),
+                &get_knn_best_first(&g, &q, k, &mut m),
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_relation_yield_empty_neighborhoods() {
+        let g = GridIndex::build(pts(100), 5).unwrap();
+        let mut m = Metrics::default();
+        let q = Point::anonymous(1.0, 1.0);
+        assert!(get_knn(&g, &q, 0, &mut m).is_empty());
+
+        let empty =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
+        assert!(get_knn(&empty, &q, 3, &mut m).is_empty());
+    }
+
+    #[test]
+    fn k_exceeding_dataset_returns_all_points() {
+        let g = GridIndex::build(pts(37), 4).unwrap();
+        let mut m = Metrics::default();
+        let nbr = get_knn(&g, &Point::anonymous(3.0, 3.0), 100, &mut m);
+        assert_eq!(nbr.len(), 37);
+    }
+
+    #[test]
+    fn bounded_knn_is_exact_within_threshold() {
+        let g = GridIndex::build(pts(2000), 18).unwrap();
+        let mut m = Metrics::default();
+        let q = Point::anonymous(50.0, 50.0);
+        let k = 12;
+        let exact = brute_force_knn(&g, &q, k);
+        // Threshold comfortably larger than the true kNN radius: bounded
+        // result must be identical.
+        let threshold = exact.radius() * 2.0 + 1.0;
+        let bounded = get_knn_bounded(&g, &q, k, threshold, &mut m);
+        assert_same_ids(&bounded, &exact);
+    }
+
+    #[test]
+    fn bounded_knn_members_within_threshold_are_correct() {
+        let g = GridIndex::build(pts(2000), 18).unwrap();
+        let mut m = Metrics::default();
+        let q = Point::anonymous(50.0, 50.0);
+        let k = 40;
+        let threshold = 3.0; // deliberately small
+        let exact = brute_force_knn(&g, &q, k);
+        let bounded = get_knn_bounded(&g, &q, k, threshold, &mut m);
+        // Every exact member within the threshold must appear in the bounded
+        // result (the guarantee Procedure 5 relies on).
+        let bounded_ids: std::collections::HashSet<u64> = bounded.ids().into_iter().collect();
+        for nb in exact.members().iter().filter(|n| n.distance <= threshold) {
+            assert!(bounded_ids.contains(&nb.point.id));
+        }
+    }
+
+    #[test]
+    fn metrics_count_neighborhood_computations() {
+        let g = GridIndex::build(pts(200), 6).unwrap();
+        let mut m = Metrics::default();
+        get_knn(&g, &Point::anonymous(0.0, 0.0), 4, &mut m);
+        get_knn(&g, &Point::anonymous(9.0, 9.0), 4, &mut m);
+        assert_eq!(m.neighborhoods_computed, 2);
+        assert!(m.points_scanned > 0);
+        assert!(m.distance_computations >= m.points_scanned);
+    }
+}

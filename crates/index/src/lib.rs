@@ -1,0 +1,65 @@
+//! # twoknn-index
+//!
+//! Block-based in-memory spatial indexes and the neighborhood / locality
+//! machinery required by *"Spatial Queries with Two kNN Predicates"* (Aly,
+//! Aref, Ouzzani — VLDB 2012).
+//!
+//! The paper's algorithms are index-agnostic (Section 2): they only require a
+//! space-partitioning index that exposes *blocks* with per-block point counts
+//! and supports MINDIST/MAXDIST orderings of blocks around a query point.
+//! This crate provides:
+//!
+//! * [`SpatialIndex`] — the trait capturing exactly those requirements;
+//! * [`GridIndex`] — the simple grid used in the paper's evaluation (§6);
+//! * [`QuadtreeIndex`] — a PR-quadtree;
+//! * [`StrRTree`] — an STR bulk-loaded R-tree whose leaves act as blocks;
+//! * [`BlockOrder`] — lazy MINDIST/MAXDIST orderings;
+//! * [`Locality`] / [`get_knn`] — the locality-based kNN algorithm of
+//!   Sankaranarayanan, Samet & Varshney used by the paper for `getkNN`;
+//! * [`Neighborhood`] — the k-nearest-neighbor set with the accessors the
+//!   two-predicate algorithms need (nearest/farthest member, intersection);
+//! * [`Metrics`] — machine-independent work counters used by the benchmark
+//!   harness alongside wall-clock time.
+//!
+//! ## Example
+//!
+//! ```
+//! use twoknn_geometry::Point;
+//! use twoknn_index::{get_knn, GridIndex, Metrics, SpatialIndex};
+//!
+//! let points: Vec<Point> = (0..1000)
+//!     .map(|i| Point::new(i, (i % 37) as f64, (i % 53) as f64))
+//!     .collect();
+//! let index = GridIndex::build(points, 16).unwrap();
+//! let mut metrics = Metrics::default();
+//! let neighborhood = get_knn(&index, &Point::anonymous(10.0, 10.0), 5, &mut metrics);
+//! assert_eq!(neighborhood.len(), 5);
+//! assert!(index.num_blocks() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod block;
+mod grid;
+mod knn;
+mod locality;
+mod metrics;
+mod neighborhood;
+mod ordering;
+mod quadtree;
+mod rtree;
+mod traits;
+
+pub use block::{BlockId, BlockMeta};
+pub use grid::GridIndex;
+pub use knn::{
+    brute_force_knn, get_knn, get_knn_best_first, get_knn_bounded, neighborhood_from_locality,
+};
+pub use locality::Locality;
+pub use metrics::Metrics;
+pub use neighborhood::{Neighbor, Neighborhood};
+pub use ordering::{BlockOrder, OrderMetric, OrderedBlock, OrderedF64};
+pub use quadtree::QuadtreeIndex;
+pub use rtree::StrRTree;
+pub use traits::{check_index_invariants, SpatialIndex};

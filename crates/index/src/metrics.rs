@@ -1,0 +1,144 @@
+//! Machine-independent execution metrics.
+//!
+//! The paper's evaluation reports wall-clock execution time. Wall time on a
+//! different machine, language and index implementation is not directly
+//! comparable, so in addition to timing (done by the bench harness) every
+//! algorithm in this workspace counts the *work* it performs. The dominant
+//! cost in all of the paper's algorithms is computing the neighborhood of a
+//! point (`getkNN`), followed by block scans, so those are the headline
+//! counters.
+
+/// Counters describing the work performed by an algorithm invocation.
+///
+/// All counters are cumulative; use [`Metrics::default`] for a fresh set and
+/// `+=` to merge the work of sub-operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of neighborhood (`getkNN`) computations performed.
+    pub neighborhoods_computed: u64,
+    /// Number of blocks examined in MINDIST/MAXDIST scans (including blocks
+    /// only inspected for their count).
+    pub blocks_scanned: u64,
+    /// Number of blocks added to localities.
+    pub locality_blocks: u64,
+    /// Number of individual points examined (distance computed or compared).
+    pub points_scanned: u64,
+    /// Number of point-to-point distance computations.
+    pub distance_computations: u64,
+    /// Number of output tuples (pairs or triplets) emitted.
+    pub tuples_emitted: u64,
+    /// Number of neighborhood-cache hits (chained-join cached QEP3).
+    pub cache_hits: u64,
+    /// Number of neighborhood-cache misses.
+    pub cache_misses: u64,
+    /// Number of blocks pruned without per-point processing
+    /// (Non-Contributing blocks in Block-Marking, contour cut-offs, ...).
+    pub blocks_pruned: u64,
+    /// Number of outer points skipped without a neighborhood computation
+    /// (e.g. by the Counting algorithm's threshold test).
+    pub points_pruned: u64,
+}
+
+impl Metrics {
+    /// A fresh, zeroed metrics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of "expensive" operations: neighborhood computations plus
+    /// block scans. A convenient single scalar for plotting experiment shapes.
+    pub fn work(&self) -> u64 {
+        self.neighborhoods_computed + self.blocks_scanned
+    }
+}
+
+impl std::ops::AddAssign for Metrics {
+    fn add_assign(&mut self, rhs: Self) {
+        self.neighborhoods_computed += rhs.neighborhoods_computed;
+        self.blocks_scanned += rhs.blocks_scanned;
+        self.locality_blocks += rhs.locality_blocks;
+        self.points_scanned += rhs.points_scanned;
+        self.distance_computations += rhs.distance_computations;
+        self.tuples_emitted += rhs.tuples_emitted;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.blocks_pruned += rhs.blocks_pruned;
+        self.points_pruned += rhs.points_pruned;
+    }
+}
+
+impl std::ops::Add for Metrics {
+    type Output = Metrics;
+
+    fn add(mut self, rhs: Self) -> Self::Output {
+        self += rhs;
+        self
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} cache={}/{}",
+            self.neighborhoods_computed,
+            self.blocks_scanned,
+            self.points_scanned,
+            self.distance_computations,
+            self.tuples_emitted,
+            self.blocks_pruned,
+            self.points_pruned,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates_every_field() {
+        let mut a = Metrics {
+            neighborhoods_computed: 1,
+            blocks_scanned: 2,
+            locality_blocks: 3,
+            points_scanned: 4,
+            distance_computations: 5,
+            tuples_emitted: 6,
+            cache_hits: 7,
+            cache_misses: 8,
+            blocks_pruned: 9,
+            points_pruned: 10,
+        };
+        a += a;
+        assert_eq!(a.neighborhoods_computed, 2);
+        assert_eq!(a.points_pruned, 20);
+        assert_eq!(a.work(), 2 + 4);
+    }
+
+    #[test]
+    fn add_is_consistent_with_add_assign() {
+        let a = Metrics {
+            neighborhoods_computed: 2,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            blocks_scanned: 3,
+            ..Metrics::default()
+        };
+        let c = a + b;
+        assert_eq!(c.neighborhoods_computed, 2);
+        assert_eq!(c.blocks_scanned, 3);
+        assert_eq!(c.work(), 5);
+    }
+
+    #[test]
+    fn display_is_compact_single_line() {
+        let m = Metrics::default();
+        let s = m.to_string();
+        assert!(s.contains("knn=0"));
+        assert!(!s.contains('\n'));
+    }
+}

@@ -1,0 +1,266 @@
+//! A point-region (PR) quadtree index.
+//!
+//! Section 2 of the paper: "The quadtree and its variants are hierarchical
+//! spatial data structures that recursively partition the underlying space
+//! into blocks until the number of points inside a block satisfies some
+//! criterion (being less/greater than some threshold)." This implementation
+//! splits a quadrant whenever it holds more than `capacity` points (up to a
+//! maximum depth, to stay robust against duplicate points), and exposes its
+//! **leaves** as the blocks consumed by the paper's algorithms.
+
+use twoknn_geometry::{GeomResult, GeometryError, Point, Rect};
+
+use crate::block::{BlockId, BlockMeta};
+use crate::traits::SpatialIndex;
+
+/// Default maximum tree depth; bounds the tree in the presence of duplicate
+/// or near-duplicate points.
+const DEFAULT_MAX_DEPTH: usize = 16;
+
+/// A PR-quadtree whose leaves are the index blocks.
+#[derive(Debug, Clone)]
+pub struct QuadtreeIndex {
+    bounds: Rect,
+    capacity: usize,
+    max_depth: usize,
+    blocks: Vec<BlockMeta>,
+    leaf_points: Vec<Vec<Point>>,
+    num_points: usize,
+}
+
+/// Intermediate node used only during construction.
+enum BuildNode {
+    Leaf(Vec<Point>),
+    Internal(Box<[BuildNode; 4]>),
+}
+
+impl QuadtreeIndex {
+    /// Builds a quadtree splitting quadrants that hold more than `capacity`
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `points` is empty or `capacity` is zero.
+    pub fn build(points: Vec<Point>, capacity: usize) -> GeomResult<Self> {
+        let bounds = Rect::bounding(&points)?;
+        Self::build_with_bounds(points, bounds, capacity, DEFAULT_MAX_DEPTH)
+    }
+
+    /// Builds a quadtree over an explicit bounding rectangle with an explicit
+    /// maximum depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `capacity` is zero.
+    pub fn build_with_bounds(
+        points: Vec<Point>,
+        bounds: Rect,
+        capacity: usize,
+        max_depth: usize,
+    ) -> GeomResult<Self> {
+        if capacity == 0 {
+            return Err(GeometryError::EmptyPointSet);
+        }
+        // Guard against degenerate extents, as in the grid.
+        let bounds = Rect::new(
+            bounds.min_x,
+            bounds.min_y,
+            bounds.max_x.max(bounds.min_x + f64::EPSILON),
+            bounds.max_y.max(bounds.min_y + f64::EPSILON),
+        );
+        let num_points = points.len();
+        let root = build_node(points, &bounds, capacity, max_depth, 0);
+
+        let mut blocks = Vec::new();
+        let mut leaf_points = Vec::new();
+        collect_leaves(&root, &bounds, &mut blocks, &mut leaf_points);
+
+        Ok(Self {
+            bounds,
+            capacity,
+            max_depth,
+            blocks,
+            leaf_points,
+            num_points,
+        })
+    }
+
+    /// The split threshold used when building this tree.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The maximum depth used when building this tree.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+fn quadrants(r: &Rect) -> [Rect; 4] {
+    let cx = (r.min_x + r.max_x) * 0.5;
+    let cy = (r.min_y + r.max_y) * 0.5;
+    [
+        Rect::new(r.min_x, r.min_y, cx, cy),
+        Rect::new(cx, r.min_y, r.max_x, cy),
+        Rect::new(r.min_x, cy, cx, r.max_y),
+        Rect::new(cx, cy, r.max_x, r.max_y),
+    ]
+}
+
+/// Index (0..4) of the quadrant of `r` that point `p` belongs to.
+/// Points on the split lines go to the upper/right quadrant, except points on
+/// the outer boundary which stay inside `r` by construction.
+fn quadrant_of(r: &Rect, p: &Point) -> usize {
+    let cx = (r.min_x + r.max_x) * 0.5;
+    let cy = (r.min_y + r.max_y) * 0.5;
+    let right = usize::from(p.x >= cx);
+    let top = usize::from(p.y >= cy);
+    top * 2 + right
+}
+
+fn build_node(
+    points: Vec<Point>,
+    bounds: &Rect,
+    capacity: usize,
+    max_depth: usize,
+    depth: usize,
+) -> BuildNode {
+    if points.len() <= capacity || depth >= max_depth {
+        return BuildNode::Leaf(points);
+    }
+    let quads = quadrants(bounds);
+    let mut children: [Vec<Point>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for p in points {
+        children[quadrant_of(bounds, &p)].push(p);
+    }
+    let [c0, c1, c2, c3] = children;
+    BuildNode::Internal(Box::new([
+        build_node(c0, &quads[0], capacity, max_depth, depth + 1),
+        build_node(c1, &quads[1], capacity, max_depth, depth + 1),
+        build_node(c2, &quads[2], capacity, max_depth, depth + 1),
+        build_node(c3, &quads[3], capacity, max_depth, depth + 1),
+    ]))
+}
+
+fn collect_leaves(
+    node: &BuildNode,
+    bounds: &Rect,
+    blocks: &mut Vec<BlockMeta>,
+    leaf_points: &mut Vec<Vec<Point>>,
+) {
+    match node {
+        BuildNode::Leaf(points) => {
+            let id = blocks.len() as BlockId;
+            blocks.push(BlockMeta::new(id, *bounds, points.len()));
+            leaf_points.push(points.clone());
+        }
+        BuildNode::Internal(children) => {
+            let quads = quadrants(bounds);
+            for (child, quad) in children.iter().zip(quads.iter()) {
+                collect_leaves(child, quad, blocks, leaf_points);
+            }
+        }
+    }
+}
+
+impl SpatialIndex for QuadtreeIndex {
+    fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    fn block_points(&self, id: BlockId) -> &[Point] {
+        &self.leaf_points[id as usize]
+    }
+
+    fn locate(&self, p: &Point) -> Option<BlockId> {
+        if !self.bounds.expanded(1e-9).contains(p) {
+            return None;
+        }
+        // Leaves tile the space; a linear scan would be correct but slow, so
+        // descend geometrically: find the leaf whose footprint contains p,
+        // preferring the one that tiles the containing region.
+        self.blocks
+            .iter()
+            .find(|b| b.mbr.contains(p))
+            .map(|b| b.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_index_invariants;
+
+    fn skewed_points(n: usize) -> Vec<Point> {
+        // Half the points in a tiny corner region, half spread out: forces an
+        // unbalanced tree.
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Point::new(i as u64, (i % 13) as f64 * 0.01, (i % 7) as f64 * 0.01)
+                } else {
+                    Point::new(i as u64, (i % 97) as f64, (i % 89) as f64)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_invariants() {
+        let q = QuadtreeIndex::build(skewed_points(2000), 32).unwrap();
+        assert_eq!(q.num_points(), 2000);
+        assert!(q.num_blocks() > 4);
+        check_index_invariants(&q).unwrap();
+    }
+
+    #[test]
+    fn leaves_respect_capacity_unless_max_depth_reached() {
+        let q = QuadtreeIndex::build(skewed_points(5000), 64).unwrap();
+        for b in q.blocks() {
+            // Blocks at max depth may exceed capacity; they must be small.
+            if b.count > q.capacity() {
+                assert!(b.mbr.diagonal() < q.bounds().diagonal() / 2f64.powi(8));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_capacity() {
+        assert!(QuadtreeIndex::build(vec![], 8).is_err());
+        assert!(QuadtreeIndex::build(skewed_points(10), 0).is_err());
+    }
+
+    #[test]
+    fn locate_finds_a_containing_leaf() {
+        let q = QuadtreeIndex::build(skewed_points(1000), 16).unwrap();
+        for p in q.all_points().iter().take(100) {
+            let id = q.locate(p).expect("point inside bounds");
+            assert!(q.blocks()[id as usize].mbr.contains(p));
+        }
+        assert_eq!(q.locate(&Point::anonymous(1e12, 0.0)), None);
+    }
+
+    #[test]
+    fn duplicate_points_terminate_via_max_depth() {
+        let pts: Vec<Point> = (0..500).map(|i| Point::new(i, 5.0, 5.0)).collect();
+        let q = QuadtreeIndex::build(pts, 4).unwrap();
+        check_index_invariants(&q).unwrap();
+        assert_eq!(q.num_points(), 500);
+    }
+
+    #[test]
+    fn small_input_is_single_leaf() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i, i as f64, 0.0)).collect();
+        let q = QuadtreeIndex::build(pts, 10).unwrap();
+        assert_eq!(q.num_blocks(), 1);
+        assert_eq!(q.blocks()[0].count, 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! An STR (Sort-Tile-Recursive) bulk-loaded R-tree.
+//!
+//! The paper notes its algorithms apply to "an R-tree, or any of their
+//! variants" (Section 2). For the purposes of the two-kNN algorithms, only
+//! the *leaf level* matters: leaves are the blocks that carry point counts
+//! and footprints. This implementation bulk-loads the data with the classic
+//! STR packing (Leutenegger et al.): sort by x, slice into vertical strips,
+//! sort each strip by y, and cut into leaves of at most `leaf_capacity`
+//! points. Leaf MBRs are tight (unlike grid/quadtree cells, they do not tile
+//! the space), which exercises the algorithms' independence from the block
+//! geometry.
+
+use twoknn_geometry::{GeomResult, GeometryError, Point, Rect};
+
+use crate::block::{BlockId, BlockMeta};
+use crate::traits::SpatialIndex;
+
+/// A bulk-loaded R-tree exposing its leaves as blocks.
+#[derive(Debug, Clone)]
+pub struct StrRTree {
+    bounds: Rect,
+    leaf_capacity: usize,
+    blocks: Vec<BlockMeta>,
+    leaf_points: Vec<Vec<Point>>,
+    num_points: usize,
+}
+
+impl StrRTree {
+    /// Bulk-loads an STR R-tree with leaves of at most `leaf_capacity` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `points` is empty or `leaf_capacity` is zero.
+    pub fn build(mut points: Vec<Point>, leaf_capacity: usize) -> GeomResult<Self> {
+        if leaf_capacity == 0 {
+            return Err(GeometryError::EmptyPointSet);
+        }
+        let bounds = Rect::bounding(&points)?;
+        let num_points = points.len();
+
+        let n = points.len();
+        let leaves_needed = n.div_ceil(leaf_capacity);
+        let strips = (leaves_needed as f64).sqrt().ceil() as usize;
+        let points_per_strip = n.div_ceil(strips);
+
+        points.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite coordinates"));
+
+        let mut blocks = Vec::with_capacity(leaves_needed);
+        let mut leaf_points = Vec::with_capacity(leaves_needed);
+        for strip in points.chunks(points_per_strip.max(1)) {
+            let mut strip: Vec<Point> = strip.to_vec();
+            strip.sort_by(|a, b| a.y.partial_cmp(&b.y).expect("finite coordinates"));
+            for leaf in strip.chunks(leaf_capacity) {
+                let mbr = Rect::bounding(leaf).expect("leaf chunks are non-empty");
+                let id = blocks.len() as BlockId;
+                blocks.push(BlockMeta::new(id, mbr, leaf.len()));
+                leaf_points.push(leaf.to_vec());
+            }
+        }
+
+        Ok(Self {
+            bounds,
+            leaf_capacity,
+            blocks,
+            leaf_points,
+            num_points,
+        })
+    }
+
+    /// The maximum number of points stored in a leaf.
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+}
+
+impl SpatialIndex for StrRTree {
+    fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    fn block_points(&self, id: BlockId) -> &[Point] {
+        &self.leaf_points[id as usize]
+    }
+
+    fn locate(&self, p: &Point) -> Option<BlockId> {
+        // Leaf MBRs may overlap and do not tile the space: prefer a leaf that
+        // actually stores a point with the same id or coordinates, fall back
+        // to any containing leaf.
+        let mut containing = None;
+        for b in &self.blocks {
+            if b.mbr.contains(p) {
+                containing.get_or_insert(b.id);
+                if self.leaf_points[b.id as usize]
+                    .iter()
+                    .any(|q| q.id == p.id && q.x == p.x && q.y == p.y)
+                {
+                    return Some(b.id);
+                }
+            }
+        }
+        containing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_index_invariants;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    ((i * 37) % 101) as f64 * 1.7,
+                    ((i * 61) % 89) as f64 * 2.3,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_invariants() {
+        let t = StrRTree::build(pts(1234), 32).unwrap();
+        assert_eq!(t.num_points(), 1234);
+        check_index_invariants(&t).unwrap();
+        for b in t.blocks() {
+            assert!(b.count <= t.leaf_capacity());
+            assert!(b.count > 0, "STR leaves are never empty");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(StrRTree::build(vec![], 16).is_err());
+        assert!(StrRTree::build(pts(10), 0).is_err());
+    }
+
+    #[test]
+    fn locate_prefers_the_storing_leaf() {
+        let t = StrRTree::build(pts(500), 16).unwrap();
+        for p in t.all_points().iter().take(200) {
+            let id = t.locate(p).expect("indexed point is locatable");
+            assert!(t
+                .block_points(id)
+                .iter()
+                .any(|q| q.id == p.id && q.x == p.x && q.y == p.y));
+        }
+    }
+
+    #[test]
+    fn all_points_preserved() {
+        let input = pts(777);
+        let t = StrRTree::build(input.clone(), 25).unwrap();
+        let mut got: Vec<u64> = t.all_points().iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = input.iter().map(|p| p.id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let t = StrRTree::build(vec![Point::new(9, 1.0, 2.0)], 8).unwrap();
+        assert_eq!(t.num_blocks(), 1);
+        assert_eq!(t.blocks()[0].count, 1);
+        assert_eq!(t.locate(&Point::new(9, 1.0, 2.0)), Some(0));
+    }
+}

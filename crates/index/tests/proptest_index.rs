@@ -1,0 +1,97 @@
+//! Property-based tests of the index layer: block orderings, neighborhood
+//! semantics, and the locality algorithm, on randomly generated point sets.
+
+use proptest::prelude::*;
+use twoknn_geometry::Point;
+use twoknn_index::{
+    brute_force_knn, check_index_invariants, get_knn, BlockOrder, GridIndex, Locality, Metrics,
+    OrderMetric, QuadtreeIndex, SpatialIndex,
+};
+
+fn points(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..200.0, 0.0f64..200.0), 1..=max_n).prop_map(|coords| {
+        coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point::new(i as u64, x, y))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Block orderings yield every block exactly once, in non-decreasing
+    /// distance order, for both metrics.
+    #[test]
+    fn block_orderings_are_complete_and_sorted(
+        pts in points(200),
+        qx in -50.0f64..250.0,
+        qy in -50.0f64..250.0,
+        cells in 2usize..10,
+    ) {
+        let grid = GridIndex::build(pts, cells).unwrap();
+        let q = Point::anonymous(qx, qy);
+        for metric in [OrderMetric::MinDist, OrderMetric::MaxDist] {
+            let mut seen = std::collections::HashSet::new();
+            let mut prev = f64::NEG_INFINITY;
+            for ob in BlockOrder::new(grid.blocks(), &q, metric) {
+                prop_assert!(ob.distance + 1e-9 >= prev);
+                prev = ob.distance;
+                prop_assert!(seen.insert(ob.block.id));
+            }
+            prop_assert_eq!(seen.len(), grid.num_blocks());
+        }
+    }
+
+    /// The neighborhood returned by getkNN has the documented shape: at most
+    /// k members, sorted by distance, all within the brute-force radius.
+    #[test]
+    fn neighborhood_shape_and_radius(
+        pts in points(250),
+        qx in 0.0f64..200.0,
+        qy in 0.0f64..200.0,
+        k in 1usize..25,
+        cells in 2usize..12,
+    ) {
+        let grid = GridIndex::build(pts, cells).unwrap();
+        let q = Point::anonymous(qx, qy);
+        let mut m = Metrics::default();
+        let nbr = get_knn(&grid, &q, k, &mut m);
+        prop_assert!(nbr.len() <= k);
+        prop_assert_eq!(nbr.len(), k.min(grid.num_points()));
+        let dists: Vec<f64> = nbr.members().iter().map(|n| n.distance).collect();
+        prop_assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        let oracle = brute_force_knn(&grid, &q, k);
+        prop_assert!((nbr.radius() - oracle.radius()).abs() < 1e-9);
+    }
+
+    /// The locality's point count is at least min(k, n) and its blocks all
+    /// hold at least one point.
+    #[test]
+    fn locality_is_sufficient_and_nonempty(
+        pts in points(250),
+        qx in 0.0f64..200.0,
+        qy in 0.0f64..200.0,
+        k in 1usize..30,
+    ) {
+        let n = pts.len();
+        let grid = GridIndex::build(pts, 8).unwrap();
+        let q = Point::anonymous(qx, qy);
+        let mut m = Metrics::default();
+        let loc = Locality::build(&grid, &q, k, &mut m);
+        prop_assert!(loc.point_count() >= k.min(n));
+        prop_assert!(loc.blocks().iter().all(|b| b.count > 0));
+    }
+
+    /// Quadtree leaves partition the point set (every point is in exactly one
+    /// leaf) and the index invariants hold for random capacities.
+    #[test]
+    fn quadtree_partitions_points(pts in points(300), capacity in 1usize..40) {
+        let n = pts.len();
+        let quad = QuadtreeIndex::build(pts, capacity).unwrap();
+        check_index_invariants(&quad).map_err(|e| TestCaseError::fail(e))?;
+        let total: usize = quad.blocks().iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, n);
+    }
+}

@@ -1,0 +1,119 @@
+//! Using the plan layer: a relation catalog, logical-plan validation (which
+//! rewrites are legal), statistics-driven strategy selection, and execution.
+//!
+//! Run with: `cargo run --release --example plan_optimizer`
+
+use two_knn::core::joins2::UnchainedJoinQuery;
+use two_knn::core::plan::{Database, LogicalExpr, QuerySpec, Rewrite, Strategy};
+use two_knn::core::select_join::SelectInnerJoinQuery;
+use two_knn::core::selects2::TwoSelectsQuery;
+use two_knn::datagen::{berlinmod, clustered, BerlinModConfig, ClusterConfig};
+use two_knn::{GridIndex, Point};
+
+fn main() {
+    // ----- 1. Logical-plan validation ---------------------------------------
+    println!("== logical-plan validation ==");
+    let shopping_center = Point::anonymous(52_000.0, 49_000.0);
+
+    // The correct composite: join intersected with the select's result.
+    let correct = LogicalExpr::relation("Mechanics")
+        .knn_join(LogicalExpr::relation("Hotels"), 2)
+        .intersect_on_inner(LogicalExpr::relation("Hotels").knn_select(2, shopping_center));
+    println!("correct composite validates: {:?}", correct.validate().is_ok());
+
+    // The classical pushdown: select below the join's inner relation.
+    let pushed = LogicalExpr::relation("Mechanics").knn_join(
+        LogicalExpr::relation("Hotels").knn_select(2, shopping_center),
+        2,
+    );
+    match pushed.validate() {
+        Err(e) => println!("inner pushdown rejected: {e}"),
+        Ok(()) => unreachable!("the validator must reject the inner pushdown"),
+    }
+
+    // Rewrites: the validator also answers "may I apply this transformation?"
+    let outer_pushed = LogicalExpr::relation("Mechanics")
+        .knn_select(5, shopping_center)
+        .knn_join(LogicalExpr::relation("Hotels"), 2);
+    println!(
+        "outer-select pushdown allowed: {:?}",
+        outer_pushed.apply(Rewrite::PushSelectBelowJoinOuter).is_ok()
+    );
+    println!(
+        "sequentializing two selects allowed: {:?}\n",
+        outer_pushed.apply(Rewrite::SequentializeTwoSelects).is_ok()
+    );
+
+    // ----- 2. Statistics-driven strategy selection ---------------------------
+    println!("== optimizer ==");
+    let mut db = Database::new();
+    db.register(
+        "Mechanics",
+        GridIndex::build_with_target_occupancy(
+            berlinmod(&BerlinModConfig::with_points(60_000, 41)),
+            64,
+        )
+        .unwrap(),
+    );
+    db.register(
+        "Hotels",
+        GridIndex::build_with_target_occupancy(
+            berlinmod(&BerlinModConfig::with_points(20_000, 42)),
+            64,
+        )
+        .unwrap(),
+    );
+    db.register(
+        "Attractions",
+        GridIndex::build_with_target_occupancy(
+            clustered(&ClusterConfig {
+                num_clusters: 3,
+                points_per_cluster: 2_000,
+                cluster_radius: 2_000.0,
+                extent: two_knn::datagen::default_extent(),
+                seed: 43,
+            }),
+            64,
+        )
+        .unwrap(),
+    );
+
+    for name in ["Mechanics", "Hotels", "Attractions"] {
+        println!("profile[{name}]: {}", db.profile(name).unwrap());
+    }
+
+    let select_inner = QuerySpec::SelectInnerOfJoin {
+        outer: "Mechanics".into(),
+        inner: "Hotels".into(),
+        query: SelectInnerJoinQuery::new(2, 2, shopping_center),
+    };
+    let unchained = QuerySpec::UnchainedJoins {
+        a: "Attractions".into(),
+        b: "Hotels".into(),
+        c: "Mechanics".into(),
+        query: UnchainedJoinQuery::new(2, 2),
+    };
+    let two_selects = QuerySpec::TwoSelects {
+        relation: "Hotels".into(),
+        query: TwoSelectsQuery::new(
+            10,
+            shopping_center,
+            640,
+            Point::anonymous(47_000.0, 51_000.0),
+        ),
+    };
+
+    for (label, spec) in [
+        ("select-inner-of-join", &select_inner),
+        ("unchained-joins", &unchained),
+        ("two-selects", &two_selects),
+    ] {
+        let strategy: Strategy = db.plan(spec).unwrap();
+        let result = db.execute(spec).unwrap();
+        println!(
+            "{label:>22}: strategy = {strategy}, rows = {}, work = {}",
+            result.num_rows(),
+            result.metrics()
+        );
+    }
+}

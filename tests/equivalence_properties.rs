@@ -1,0 +1,164 @@
+//! Property-based equivalence tests: on arbitrary random inputs, every
+//! efficient algorithm of the paper must return exactly the same result set
+//! as its conceptually correct QEP. These are the invariants listed in
+//! DESIGN.md §5 (1–5).
+
+use proptest::prelude::*;
+
+use two_knn::core::joins2::{
+    chained_join_intersection, chained_nested, chained_nested_cached, chained_right_deep,
+    unchained_block_marking, unchained_conceptual, ChainedJoinQuery, UnchainedJoinQuery,
+};
+use two_knn::core::output::{pair_id_set, point_id_set, triplet_id_set};
+use two_knn::core::select_join::{
+    block_marking, block_marking_with_config, conceptual, counting, select_on_outer_after_join,
+    select_on_outer_pushdown, BlockMarkingConfig, SelectInnerJoinQuery, SelectOuterJoinQuery,
+};
+use two_knn::core::selects2::{two_knn_select, two_selects_conceptual, TwoSelectsQuery};
+use two_knn::{GridIndex, Point};
+
+/// Strategy producing a relation of `1..=max_n` points with coordinates in
+/// `[0, 100)²`, indexed into a grid.
+fn relation(max_n: usize) -> impl Strategy<Value = GridIndex> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..=max_n).prop_map(|coords| {
+        let points: Vec<Point> = coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point::new(i as u64, x, y))
+            .collect();
+        GridIndex::build_with_bounds(points, two_knn::Rect::new(0.0, 0.0, 100.0, 100.0), 7)
+            .expect("grid over fixed bounds")
+    })
+}
+
+fn focal() -> impl Strategy<Value = Point> {
+    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::anonymous(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: Counting ≡ Block-Marking ≡ conceptual QEP for the
+    /// select-inner-of-join query.
+    #[test]
+    fn select_inner_algorithms_are_equivalent(
+        outer in relation(120),
+        inner in relation(160),
+        f in focal(),
+        k_join in 1usize..6,
+        k_select in 1usize..8,
+    ) {
+        let query = SelectInnerJoinQuery::new(k_join, k_select, f);
+        let reference = pair_id_set(&conceptual(&outer, &inner, &query).rows);
+        prop_assert_eq!(pair_id_set(&counting(&outer, &inner, &query).rows), reference.clone());
+        prop_assert_eq!(pair_id_set(&block_marking(&outer, &inner, &query).rows), reference.clone());
+        let no_contour = BlockMarkingConfig { contour_pruning: false };
+        prop_assert_eq!(
+            pair_id_set(&block_marking_with_config(&outer, &inner, &query, &no_contour).rows),
+            reference
+        );
+    }
+
+    /// Invariant 2: pushing a kNN-select below the *outer* relation of a
+    /// kNN-join does not change the result (Figure 3).
+    #[test]
+    fn outer_select_pushdown_is_an_equivalence(
+        outer in relation(120),
+        inner in relation(120),
+        f in focal(),
+        k_join in 1usize..5,
+        k_select in 1usize..10,
+    ) {
+        let query = SelectOuterJoinQuery::new(k_join, k_select, f);
+        prop_assert_eq!(
+            pair_id_set(&select_on_outer_pushdown(&outer, &inner, &query).rows),
+            pair_id_set(&select_on_outer_after_join(&outer, &inner, &query).rows)
+        );
+    }
+
+    /// Invariant 3: the unchained Block-Marking algorithm (either join first)
+    /// matches the conceptual independent-joins-plus-∩B plan.
+    #[test]
+    fn unchained_algorithms_are_equivalent(
+        a in relation(80),
+        b in relation(120),
+        c in relation(80),
+        k_ab in 1usize..4,
+        k_cb in 1usize..4,
+    ) {
+        let query = UnchainedJoinQuery::new(k_ab, k_cb);
+        let reference = triplet_id_set(&unchained_conceptual(&a, &b, &c, &query).rows);
+        prop_assert_eq!(
+            triplet_id_set(&unchained_block_marking(&a, &b, &c, &query).rows),
+            reference.clone()
+        );
+        // Starting with the other join answers the symmetric query
+        // (C ⋈ B) ∩_B (A ⋈ B); swap the components to compare.
+        let swapped = UnchainedJoinQuery::new(k_cb, k_ab);
+        let other_order: std::collections::BTreeSet<_> =
+            unchained_block_marking(&c, &b, &a, &swapped)
+                .rows
+                .iter()
+                .map(|t| (t.c.id, t.b.id, t.a.id))
+                .collect();
+        prop_assert_eq!(other_order, reference);
+    }
+
+    /// Invariant 4: the four chained-join QEPs are equivalent.
+    #[test]
+    fn chained_plans_are_equivalent(
+        a in relation(60),
+        b in relation(90),
+        c in relation(90),
+        k_ab in 1usize..4,
+        k_bc in 1usize..4,
+    ) {
+        let query = ChainedJoinQuery::new(k_ab, k_bc);
+        let reference = triplet_id_set(&chained_right_deep(&a, &b, &c, &query).rows);
+        prop_assert_eq!(triplet_id_set(&chained_join_intersection(&a, &b, &c, &query).rows), reference.clone());
+        prop_assert_eq!(triplet_id_set(&chained_nested(&a, &b, &c, &query).rows), reference.clone());
+        prop_assert_eq!(triplet_id_set(&chained_nested_cached(&a, &b, &c, &query).rows), reference);
+    }
+
+    /// Invariant 5: the 2-kNN-select algorithm matches the conceptual
+    /// independent-selects-plus-intersection plan, for any k1/k2 relation.
+    #[test]
+    fn two_selects_algorithms_are_equivalent(
+        relation in relation(200),
+        f1 in focal(),
+        f2 in focal(),
+        k1 in 1usize..30,
+        k2 in 1usize..150,
+    ) {
+        let query = TwoSelectsQuery::new(k1, f1, k2, f2);
+        prop_assert_eq!(
+            point_id_set(&two_knn_select(&relation, &query).rows),
+            point_id_set(&two_selects_conceptual(&relation, &query).rows)
+        );
+    }
+
+    /// The result of the select-inner-of-join query is always a subset of the
+    /// full kNN-join and of the cross product of the outer relation with the
+    /// focal neighborhood (the formal definition in Section 3).
+    #[test]
+    fn select_inner_result_is_bounded_by_both_predicates(
+        outer in relation(60),
+        inner in relation(90),
+        f in focal(),
+        k_join in 1usize..4,
+        k_select in 1usize..6,
+    ) {
+        let query = SelectInnerJoinQuery::new(k_join, k_select, f);
+        let result = block_marking(&outer, &inner, &query);
+        // Bound 1: at most k_join pairs per outer point and k_select distinct
+        // inner points overall.
+        let mut per_outer = std::collections::HashMap::new();
+        let mut inner_ids = std::collections::BTreeSet::new();
+        for p in &result.rows {
+            *per_outer.entry(p.left.id).or_insert(0usize) += 1;
+            inner_ids.insert(p.right.id);
+        }
+        prop_assert!(per_outer.values().all(|&c| c <= k_join));
+        prop_assert!(inner_ids.len() <= k_select);
+    }
+}
