@@ -1,37 +1,29 @@
 //! Ablation A2: Block-Marking design choices — the contour-based early stop
 //! of the preprocessing scan (Figure 6) on/off, with Counting as a reference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twoknn_bench::micro::BenchGroup;
 use twoknn_bench::workloads;
 use twoknn_core::select_join::{
     block_marking, block_marking_with_config, counting, BlockMarkingConfig, SelectInnerJoinQuery,
 };
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let inner = workloads::berlin_relation(8_000, 181);
     let query = SelectInnerJoinQuery::new(8, 8, workloads::focal_point());
     let no_contour = BlockMarkingConfig {
         contour_pruning: false,
     };
-    let mut group = c.benchmark_group("ablation_block_marking");
+    let mut group = BenchGroup::new("ablation_block_marking").sample_size(10);
     for n in [8_000usize, 16_000] {
         let outer = workloads::berlin_relation(n, 900 + n as u64);
-        group.bench_with_input(BenchmarkId::new("counting", n), &n, |b, _| {
-            b.iter(|| counting(&outer, &inner, &query))
+        group.bench(&format!("counting/{n}"), || {
+            counting(&outer, &inner, &query)
         });
-        group.bench_with_input(BenchmarkId::new("bm_no_contour", n), &n, |b, _| {
-            b.iter(|| block_marking_with_config(&outer, &inner, &query, &no_contour))
+        group.bench(&format!("block_marking_no_contour/{n}"), || {
+            block_marking_with_config(&outer, &inner, &query, &no_contour)
         });
-        group.bench_with_input(BenchmarkId::new("bm_contour", n), &n, |b, _| {
-            b.iter(|| block_marking(&outer, &inner, &query))
+        group.bench(&format!("block_marking_contour/{n}"), || {
+            block_marking(&outer, &inner, &query)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

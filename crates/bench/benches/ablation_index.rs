@@ -3,60 +3,53 @@
 //! agnostic (Section 2); the Block-Marking vs conceptual ranking should hold
 //! for every structure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twoknn_bench::micro::BenchGroup;
 use twoknn_bench::workloads;
 use twoknn_core::select_join::{
-    block_marking, block_marking_with_config, conceptual, BlockMarkingConfig,
-    SelectInnerJoinQuery,
+    block_marking, block_marking_with_config, conceptual, BlockMarkingConfig, SelectInnerJoinQuery,
 };
 use twoknn_datagen::{berlinmod, BerlinModConfig};
 use twoknn_index::{QuadtreeIndex, StrRTree};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let n_outer = 4_000;
     let n_inner = 8_000;
     let outer_pts = berlinmod(&BerlinModConfig::with_points(n_outer, 171));
     let inner_pts = berlinmod(&BerlinModConfig::with_points(n_inner, 172));
     let query = SelectInnerJoinQuery::new(8, 8, workloads::focal_point());
 
-    let mut group = c.benchmark_group("ablation_index");
+    let mut group = BenchGroup::new("ablation_index").sample_size(10);
 
     let outer_grid = workloads::berlin_relation(n_outer, 171);
     let inner_grid = workloads::berlin_relation(n_inner, 172);
-    group.bench_function(BenchmarkId::new("grid", "conceptual"), |b| {
-        b.iter(|| conceptual(&outer_grid, &inner_grid, &query))
+    group.bench("grid/conceptual", || {
+        conceptual(&outer_grid, &inner_grid, &query)
     });
-    group.bench_function(BenchmarkId::new("grid", "block_marking"), |b| {
-        b.iter(|| block_marking(&outer_grid, &inner_grid, &query))
-    });
-
-    let outer_qt = QuadtreeIndex::build(outer_pts.clone(), 128).unwrap();
-    let inner_qt = QuadtreeIndex::build(inner_pts.clone(), 128).unwrap();
-    group.bench_function(BenchmarkId::new("quadtree", "conceptual"), |b| {
-        b.iter(|| conceptual(&outer_qt, &inner_qt, &query))
-    });
-    group.bench_function(BenchmarkId::new("quadtree", "block_marking"), |b| {
-        b.iter(|| block_marking(&outer_qt, &inner_qt, &query))
+    group.bench("grid/block_marking", || {
+        block_marking(&outer_grid, &inner_grid, &query)
     });
 
-    let outer_rt = StrRTree::build(outer_pts, 128).unwrap();
-    let inner_rt = StrRTree::build(inner_pts, 128).unwrap();
+    let outer_quad = QuadtreeIndex::build(outer_pts.clone(), 128).expect("non-empty");
+    let inner_quad = QuadtreeIndex::build(inner_pts.clone(), 128).expect("non-empty");
+    group.bench("quadtree/conceptual", || {
+        conceptual(&outer_quad, &inner_quad, &query)
+    });
+    group.bench("quadtree/block_marking", || {
+        block_marking(&outer_quad, &inner_quad, &query)
+    });
+
+    // STR R-tree leaves do not tile the space, so the contour-based early
+    // stop is disabled for correctness (see DESIGN.md); the per-block test
+    // still prunes.
+    let outer_rtree = StrRTree::build(outer_pts, 128).expect("non-empty");
+    let inner_rtree = StrRTree::build(inner_pts, 128).expect("non-empty");
     let cfg = BlockMarkingConfig {
         contour_pruning: false,
     };
-    group.bench_function(BenchmarkId::new("str_rtree", "conceptual"), |b| {
-        b.iter(|| conceptual(&outer_rt, &inner_rt, &query))
+    group.bench("str_rtree/conceptual", || {
+        conceptual(&outer_rtree, &inner_rtree, &query)
     });
-    group.bench_function(BenchmarkId::new("str_rtree", "block_marking"), |b| {
-        b.iter(|| block_marking_with_config(&outer_rt, &inner_rt, &query, &cfg))
+    group.bench("str_rtree/block_marking", || {
+        block_marking_with_config(&outer_rtree, &inner_rtree, &query, &cfg)
     });
-
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

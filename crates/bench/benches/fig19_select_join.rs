@@ -1,29 +1,21 @@
 //! Figure 19: kNN-select on the inner relation of a kNN-join.
 //! Conceptual QEP vs Block-Marking, two outer-relation sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twoknn_bench::micro::BenchGroup;
 use twoknn_bench::workloads;
 use twoknn_core::select_join::{block_marking, conceptual, SelectInnerJoinQuery};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let inner = workloads::berlin_relation(8_000, 101);
     let query = SelectInnerJoinQuery::new(8, 8, workloads::focal_point());
-    let mut group = c.benchmark_group("fig19_select_inner_of_join");
+    let mut group = BenchGroup::new("fig19_select_inner_of_join").sample_size(10);
     for n in [2_000usize, 8_000] {
         let outer = workloads::berlin_relation(n, 200 + n as u64);
-        group.bench_with_input(BenchmarkId::new("conceptual", n), &n, |b, _| {
-            b.iter(|| conceptual(&outer, &inner, &query))
+        group.bench(&format!("conceptual/{n}"), || {
+            conceptual(&outer, &inner, &query)
         });
-        group.bench_with_input(BenchmarkId::new("block_marking", n), &n, |b, _| {
-            b.iter(|| block_marking(&outer, &inner, &query))
+        group.bench(&format!("block_marking/{n}"), || {
+            block_marking(&outer, &inner, &query)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,29 +1,21 @@
 //! Figure 21: Counting vs Block-Marking with a high-density outer relation
 //! (Block-Marking is expected to win).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twoknn_bench::micro::BenchGroup;
 use twoknn_bench::workloads;
 use twoknn_core::select_join::{block_marking, counting, SelectInnerJoinQuery};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let inner = workloads::berlin_relation(8_000, 112);
     let query = SelectInnerJoinQuery::new(8, 8, workloads::focal_point());
-    let mut group = c.benchmark_group("fig21_high_density_outer");
+    let mut group = BenchGroup::new("fig21_high_density_outer").sample_size(10);
     for n in [16_000usize, 32_000] {
         let outer = workloads::berlin_relation(n, 310 + n as u64);
-        group.bench_with_input(BenchmarkId::new("counting", n), &n, |b, _| {
-            b.iter(|| counting(&outer, &inner, &query))
+        group.bench(&format!("counting/{n}"), || {
+            counting(&outer, &inner, &query)
         });
-        group.bench_with_input(BenchmarkId::new("block_marking", n), &n, |b, _| {
-            b.iter(|| block_marking(&outer, &inner, &query))
+        group.bench(&format!("block_marking/{n}"), || {
+            block_marking(&outer, &inner, &query)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! Figure 22: two unchained kNN-joins with a clustered `A` relation.
 //! Conceptual QEP (independent joins + ∩_B) vs Block-Marking (Procedure 4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twoknn_bench::micro::BenchGroup;
 use twoknn_bench::workloads;
 use twoknn_core::joins2::{unchained_block_marking, unchained_conceptual, UnchainedJoinQuery};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let a = workloads::clustered_relation_sized(2, 1_000, 121);
     let b = workloads::berlin_relation(8_000, 122);
     let query = UnchainedJoinQuery::new(2, 2);
-    let mut group = c.benchmark_group("fig22_unchained_joins");
+    let mut group = BenchGroup::new("fig22_unchained_joins").sample_size(10);
     for n in [4_000usize, 8_000] {
         let c_rel = workloads::berlin_relation(n, 400 + n as u64);
-        group.bench_with_input(BenchmarkId::new("conceptual", n), &n, |bch, _| {
-            bch.iter(|| unchained_conceptual(&a, &b, &c_rel, &query))
+        group.bench(&format!("conceptual/{n}"), || {
+            unchained_conceptual(&a, &b, &c_rel, &query)
         });
-        group.bench_with_input(BenchmarkId::new("block_marking", n), &n, |bch, _| {
-            bch.iter(|| unchained_block_marking(&a, &b, &c_rel, &query))
+        group.bench(&format!("block_marking/{n}"), || {
+            unchained_block_marking(&a, &b, &c_rel, &query)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

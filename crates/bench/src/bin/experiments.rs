@@ -5,11 +5,14 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p twoknn-bench --release --bin experiments -- [--scale quick|paper] [--exp fig19,...] [--out FILE]
+//! cargo run -p twoknn-bench --release --bin experiments -- [--scale smoke|quick|paper] [--smoke] [--exp fig19,...] [--out FILE]
 //! ```
 //!
 //! With no arguments every experiment runs at the quick scale and the report
-//! is printed to stdout.
+//! is printed to stdout. `--smoke` (shorthand for `--scale smoke`) shrinks
+//! every dataset so the full sweep finishes in seconds — the CI path: it
+//! checks that every experiment runs and that the compared algorithms agree
+//! on result cardinalities, not that the timings mean anything.
 
 use std::io::Write;
 
@@ -31,10 +34,13 @@ fn main() {
                 scale = match Scale::parse(value) {
                     Some(s) => s,
                     None => {
-                        eprintln!("unknown scale `{value}` (expected quick|paper)");
+                        eprintln!("unknown scale `{value}` (expected smoke|quick|paper)");
                         std::process::exit(2);
                     }
                 };
+            }
+            "--smoke" => {
+                scale = Scale::Smoke;
             }
             "--exp" => {
                 i += 1;
@@ -53,7 +59,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "experiments [--scale quick|paper] [--exp id[,id...]] [--out FILE] [--list]"
+                    "experiments [--scale smoke|quick|paper] [--smoke] [--exp id[,id...]] [--out FILE] [--list]"
                 );
                 return;
             }
@@ -96,8 +102,8 @@ fn main() {
     }
 
     if let Some(path) = out_path {
-        let mut file = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         file.write_all(full_report.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("report written to {path}");

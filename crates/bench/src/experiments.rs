@@ -4,13 +4,14 @@
 //! cardinalities, and returns a [`Report`] whose rendered table has the same
 //! shape as the paper's plot (same x-axis, same series).
 
+use twoknn_core::exec::{available_threads, ExecutionMode};
 use twoknn_core::joins2::{
     chained_join_intersection, chained_nested, chained_nested_cached, unchained_block_marking,
-    unchained_conceptual, ChainedJoinQuery, UnchainedJoinQuery,
+    unchained_block_marking_with_mode, unchained_conceptual, ChainedJoinQuery, UnchainedJoinQuery,
 };
 use twoknn_core::select_join::{
-    block_marking, block_marking_with_config, conceptual, counting, BlockMarkingConfig,
-    SelectInnerJoinQuery,
+    block_marking, block_marking_with_config, block_marking_with_mode, conceptual, counting,
+    BlockMarkingConfig, SelectInnerJoinQuery,
 };
 use twoknn_core::selects2::{two_knn_select, two_selects_conceptual, TwoSelectsQuery};
 use twoknn_core::QueryOutput;
@@ -244,8 +245,20 @@ pub fn fig26(scale: Scale) -> Report {
             last
         });
         assert_same_rows(&slow, &fast, "fig26");
-        record(&mut report, &x, "conceptual", t_slow_total / reps as f64, &slow);
-        record(&mut report, &x, "2-kNN-select", t_fast_total / reps as f64, &fast);
+        record(
+            &mut report,
+            &x,
+            "conceptual",
+            t_slow_total / reps as f64,
+            &slow,
+        );
+        record(
+            &mut report,
+            &x,
+            "2-kNN-select",
+            t_fast_total / reps as f64,
+            &fast,
+        );
     }
     report
 }
@@ -260,16 +273,15 @@ pub fn ablation_index(scale: Scale) -> Report {
         "index",
     );
     let n_outer = match scale {
+        Scale::Smoke => 2_000,
         Scale::Quick => 16_000,
         Scale::Paper => 160_000,
     };
     let n_inner = workloads::fig19_inner_size(scale) / 2;
-    let outer_pts = twoknn_datagen::berlinmod(&twoknn_datagen::BerlinModConfig::with_points(
-        n_outer, 171,
-    ));
-    let inner_pts = twoknn_datagen::berlinmod(&twoknn_datagen::BerlinModConfig::with_points(
-        n_inner, 172,
-    ));
+    let outer_pts =
+        twoknn_datagen::berlinmod(&twoknn_datagen::BerlinModConfig::with_points(n_outer, 171));
+    let inner_pts =
+        twoknn_datagen::berlinmod(&twoknn_datagen::BerlinModConfig::with_points(n_inner, 172));
     let query = SelectInnerJoinQuery::new(SELECT_JOIN_K, SELECT_JOIN_K, workloads::focal_point());
 
     // Grid.
@@ -321,6 +333,7 @@ pub fn ablation_block_marking(scale: Scale) -> Report {
     let inner = workloads::berlin_relation(workloads::fig19_inner_size(scale) / 2, 181);
     let query = SelectInnerJoinQuery::new(SELECT_JOIN_K, SELECT_JOIN_K, workloads::focal_point());
     let sizes = match scale {
+        Scale::Smoke => vec![2_000, 4_000],
         Scale::Quick => vec![16_000, 32_000, 64_000],
         Scale::Paper => vec![160_000, 320_000, 640_000],
     };
@@ -360,6 +373,59 @@ pub fn ablation_block_marking(scale: Scale) -> Report {
     report
 }
 
+/// Ablation A3: serial vs multi-core execution of the hot paths
+/// (Block-Marking and the unchained two-join Block-Marking). With the
+/// `parallel` feature disabled the parallel mode falls back to serial and
+/// both series coincide; with it enabled the speedup tracks the core count.
+pub fn ablation_parallel(scale: Scale) -> Report {
+    let threads = available_threads();
+    let mut report = Report::new(
+        "ablation_parallel",
+        &format!("serial vs parallel execution ({threads} worker threads)"),
+        "workload",
+    );
+    let parallel = ExecutionMode::Parallel { threads };
+    let n_outer = match scale {
+        Scale::Smoke => 2_000,
+        Scale::Quick => 100_000,
+        Scale::Paper => 320_000,
+    };
+
+    // Block-Marking on a large outer relation.
+    {
+        let outer = workloads::berlin_relation(n_outer, 191);
+        let inner = workloads::berlin_relation(n_outer / 4, 192);
+        let query =
+            SelectInnerJoinQuery::new(SELECT_JOIN_K, SELECT_JOIN_K, workloads::focal_point());
+        let cfg = BlockMarkingConfig::default();
+        let (t_serial, serial) = time_ms(|| {
+            block_marking_with_mode(&outer, &inner, &query, &cfg, ExecutionMode::Serial)
+        });
+        let (t_par, par) =
+            time_ms(|| block_marking_with_mode(&outer, &inner, &query, &cfg, parallel));
+        assert_same_rows(&serial, &par, "ablation_parallel/block_marking");
+        record(&mut report, "block-marking", "serial", t_serial, &serial);
+        record(&mut report, "block-marking", "parallel", t_par, &par);
+    }
+
+    // Unchained two-join Block-Marking.
+    {
+        let a = workloads::clustered_relation_sized(4, n_outer / 25, 193);
+        let b = workloads::berlin_relation(n_outer / 2, 194);
+        let c = workloads::berlin_relation(n_outer, 195);
+        let query = UnchainedJoinQuery::new(TWO_JOINS_K, TWO_JOINS_K);
+        let (t_serial, serial) = time_ms(|| {
+            unchained_block_marking_with_mode(&a, &b, &c, &query, ExecutionMode::Serial)
+        });
+        let (t_par, par) =
+            time_ms(|| unchained_block_marking_with_mode(&a, &b, &c, &query, parallel));
+        assert_same_rows(&serial, &par, "ablation_parallel/unchained");
+        record(&mut report, "unchained-joins", "serial", t_serial, &serial);
+        record(&mut report, "unchained-joins", "parallel", t_par, &par);
+    }
+    report
+}
+
 /// All experiment ids, in the order they appear in the paper.
 pub const ALL_IDS: &[&str] = &[
     "fig19",
@@ -372,6 +438,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig26",
     "ablation_index",
     "ablation_block_marking",
+    "ablation_parallel",
 ];
 
 /// Runs one experiment by id.
@@ -387,6 +454,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "fig26" => fig26(scale),
         "ablation_index" => ablation_index(scale),
         "ablation_block_marking" => ablation_block_marking(scale),
+        "ablation_parallel" => ablation_parallel(scale),
         _ => return None,
     })
 }
@@ -406,7 +474,20 @@ mod tests {
         // sweeps is the experiments binary's job.
         for id in ALL_IDS {
             assert!(
-                matches!(*id, "fig19" | "fig20" | "fig21" | "fig22" | "fig23" | "fig24" | "fig25" | "fig26" | "ablation_index" | "ablation_block_marking"),
+                matches!(
+                    *id,
+                    "fig19"
+                        | "fig20"
+                        | "fig21"
+                        | "fig22"
+                        | "fig23"
+                        | "fig24"
+                        | "fig25"
+                        | "fig26"
+                        | "ablation_index"
+                        | "ablation_block_marking"
+                        | "ablation_parallel"
+                ),
                 "unknown id {id}"
             );
         }

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod micro;
 pub mod workloads;
 
 use std::time::Instant;
@@ -27,6 +28,10 @@ use std::time::Instant;
 /// How large the benchmark datasets are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Tiny sizes for CI smoke runs: the full sweep finishes in seconds and
+    /// only checks that every experiment still runs and that the compared
+    /// algorithms still agree — the timings carry no signal at this scale.
+    Smoke,
     /// Reduced sizes (default): every experiment finishes in seconds to a few
     /// minutes.
     Quick,
@@ -36,9 +41,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses a scale name (`quick` / `paper` / `full`).
+    /// Parses a scale name (`smoke` / `quick` / `paper` / `full`).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
+            "smoke" | "ci" => Some(Scale::Smoke),
             "quick" | "small" => Some(Scale::Quick),
             "paper" | "full" => Some(Scale::Paper),
             _ => None,
@@ -187,6 +193,8 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("FULL"), Some(Scale::Paper));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("ci"), Some(Scale::Smoke));
         assert_eq!(Scale::parse("bogus"), None);
     }
 
@@ -200,7 +208,12 @@ mod tests {
     #[test]
     fn report_rendering_includes_all_series_and_xs() {
         let mut r = Report::new("figX", "demo", "n");
-        for (x, s, t) in [("10", "slow", 100.0), ("10", "fast", 1.0), ("20", "slow", 200.0), ("20", "fast", 2.0)] {
+        for (x, s, t) in [
+            ("10", "slow", 100.0),
+            ("10", "fast", 1.0),
+            ("20", "slow", 200.0),
+            ("20", "fast", 2.0),
+        ] {
             r.push(Measurement {
                 x: x.into(),
                 series: s.into(),

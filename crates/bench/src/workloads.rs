@@ -91,6 +91,7 @@ fn grid(points: Vec<Point>) -> GridIndex {
 /// Sizes of the outer relation for Figure 19 (conceptual vs Block-Marking).
 pub fn fig19_outer_sizes(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => vec![1_000, 2_000],
         Scale::Quick => vec![8_000, 16_000, 32_000, 64_000],
         Scale::Paper => vec![32_000, 160_000, 320_000, 640_000, 1_280_000, 2_560_000],
     }
@@ -99,6 +100,7 @@ pub fn fig19_outer_sizes(scale: Scale) -> Vec<usize> {
 /// Inner-relation size for Figure 19.
 pub fn fig19_inner_size(scale: Scale) -> usize {
     match scale {
+        Scale::Smoke => 4_000,
         Scale::Quick => 32_000,
         Scale::Paper => 320_000,
     }
@@ -107,6 +109,7 @@ pub fn fig19_inner_size(scale: Scale) -> usize {
 /// Outer sizes for Figure 20 (low-density outer: Counting should win).
 pub fn fig20_outer_sizes(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => vec![500, 1_000],
         Scale::Quick => vec![1_000, 2_000, 4_000, 8_000],
         Scale::Paper => vec![32_000, 64_000, 128_000, 256_000],
     }
@@ -115,6 +118,7 @@ pub fn fig20_outer_sizes(scale: Scale) -> Vec<usize> {
 /// Outer sizes for Figure 21 (high-density outer: Block-Marking should win).
 pub fn fig21_outer_sizes(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => vec![4_000, 8_000],
         Scale::Quick => vec![32_000, 64_000, 128_000],
         Scale::Paper => vec![640_000, 1_280_000, 2_560_000],
     }
@@ -123,6 +127,7 @@ pub fn fig21_outer_sizes(scale: Scale) -> Vec<usize> {
 /// Inner-relation size for Figures 20 and 21.
 pub fn fig20_21_inner_size(scale: Scale) -> usize {
     match scale {
+        Scale::Smoke => 4_000,
         Scale::Quick => 32_000,
         Scale::Paper => 320_000,
     }
@@ -131,6 +136,7 @@ pub fn fig20_21_inner_size(scale: Scale) -> usize {
 /// Sizes of relation `C` for Figure 22 (unchained joins, A clustered).
 pub fn fig22_c_sizes(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => vec![1_000, 2_000],
         Scale::Quick => vec![8_000, 16_000, 32_000, 64_000],
         Scale::Paper => vec![32_000, 160_000, 320_000, 640_000, 1_280_000],
     }
@@ -139,6 +145,7 @@ pub fn fig22_c_sizes(scale: Scale) -> Vec<usize> {
 /// Size of relation `B` for Figures 22–25.
 pub fn joins_b_size(scale: Scale) -> usize {
     match scale {
+        Scale::Smoke => 4_000,
         Scale::Quick => 32_000,
         Scale::Paper => 320_000,
     }
@@ -148,6 +155,7 @@ pub fn joins_b_size(scale: Scale) -> usize {
 /// `base` clusters, d = 1..=10).
 pub fn fig23_cluster_diffs(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => (1..=2).collect(),
         Scale::Quick => (1..=5).collect(),
         Scale::Paper => (1..=10).collect(),
     }
@@ -159,6 +167,7 @@ pub const FIG23_BASE_CLUSTERS: usize = 2;
 /// Outer (`A`) sizes for Figure 24 (chained joins, cached vs uncached).
 pub fn fig24_a_sizes(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => vec![1_000, 2_000],
         Scale::Quick => vec![4_000, 8_000, 16_000, 32_000],
         Scale::Paper => vec![32_000, 64_000, 128_000, 256_000],
     }
@@ -167,6 +176,7 @@ pub fn fig24_a_sizes(scale: Scale) -> Vec<usize> {
 /// Number-of-clusters sweep for relation `B` in Figure 25.
 pub fn fig25_b_clusters(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => vec![1, 2],
         Scale::Quick => vec![1, 2, 3, 4, 5, 6],
         Scale::Paper => vec![1, 2, 3, 4, 5, 6, 7, 8],
     }
@@ -175,6 +185,7 @@ pub fn fig25_b_clusters(scale: Scale) -> Vec<usize> {
 /// Relation size for Figure 26 (two kNN-selects).
 pub fn fig26_relation_size(scale: Scale) -> usize {
     match scale {
+        Scale::Smoke => 16_000,
         Scale::Quick => 128_000,
         Scale::Paper => 640_000,
     }
@@ -183,6 +194,7 @@ pub fn fig26_relation_size(scale: Scale) -> usize {
 /// The `log2(k2/k1)` sweep of Figure 26 (k1 = 10 fixed).
 pub fn fig26_k_ratios(scale: Scale) -> Vec<u32> {
     match scale {
+        Scale::Smoke => (0..=3).collect(),
         Scale::Quick => (0..=8).collect(),
         Scale::Paper => (0..=8).collect(),
     }

@@ -55,14 +55,14 @@ mod tests {
         assert!(QueryError::ZeroK { predicate: "join" }
             .to_string()
             .contains("join"));
-        assert!(QueryError::InvalidTransformation {
-            reason: "x".into()
+        assert!(QueryError::InvalidTransformation { reason: "x".into() }
+            .to_string()
+            .contains("invalid"));
+        assert!(QueryError::UnknownRelation {
+            name: "Hotels".into()
         }
         .to_string()
-        .contains("invalid"));
-        assert!(QueryError::UnknownRelation { name: "Hotels".into() }
-            .to_string()
-            .contains("Hotels"));
+        .contains("Hotels"));
         assert!(QueryError::UnsupportedPlanShape {
             description: "three joins".into()
         }

@@ -1,0 +1,236 @@
+//! Execution modes and the multi-core work-partitioning substrate.
+//!
+//! Every hot-path algorithm in this crate is written as a loop over
+//! independent work items (outer blocks, contributing blocks, query specs).
+//! [`run_partitioned`] abstracts that loop: in [`ExecutionMode::Serial`] it
+//! is a plain iteration; in [`ExecutionMode::Parallel`] the items are
+//! distributed dynamically over scoped worker threads, each accumulating into
+//! its own [`Metrics`], and the per-item outputs are re-assembled in item
+//! order so that **parallel execution produces byte-for-byte the same rows in
+//! the same order as serial execution**, with merged work counters.
+//!
+//! Real threading is compiled in only with the `parallel` cargo feature; the
+//! APIs are identical without it (everything degrades to serial), so callers
+//! never need `cfg` gates.
+
+use twoknn_index::Metrics;
+
+/// How an operator should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Single-threaded execution.
+    Serial,
+    /// Multi-core execution over `threads` worker threads (clamped to at
+    /// least 1). Falls back to serial when the `parallel` feature is off.
+    Parallel {
+        /// Number of worker threads to use.
+        threads: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Parallel execution over all available cores.
+    pub fn parallel() -> Self {
+        ExecutionMode::Parallel {
+            threads: available_threads(),
+        }
+    }
+
+    /// The mode the [`crate::plan::Database`] driver uses when none is given:
+    /// parallel over all cores when the `parallel` feature is enabled, serial
+    /// otherwise.
+    pub fn default_mode() -> Self {
+        if cfg!(feature = "parallel") {
+            ExecutionMode::parallel()
+        } else {
+            ExecutionMode::Serial
+        }
+    }
+
+    /// The number of worker threads this mode will actually use.
+    ///
+    /// Always 1 for [`ExecutionMode::Serial`], and 1 for any mode when the
+    /// `parallel` feature is disabled.
+    pub fn effective_threads(&self) -> usize {
+        match self {
+            ExecutionMode::Serial => 1,
+            ExecutionMode::Parallel { threads } => {
+                if cfg!(feature = "parallel") {
+                    (*threads).max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+impl Default for ExecutionMode {
+    fn default() -> Self {
+        ExecutionMode::default_mode()
+    }
+}
+
+/// Number of hardware threads available to the process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `work` once per item, serially or across threads per `mode`.
+///
+/// `work` receives the item, an output vector to push result rows into, and a
+/// metrics accumulator. Outputs are concatenated **in item order** regardless
+/// of the schedule, and every worker's metrics are merged into `metrics`, so
+/// serial and parallel runs report identical rows and identical work
+/// counters (for algorithms whose per-item work is schedule-independent).
+pub fn run_partitioned<T, R, F>(
+    items: &[T],
+    mode: ExecutionMode,
+    metrics: &mut Metrics,
+    work: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut Vec<R>, &mut Metrics) + Sync,
+{
+    let threads = mode.effective_threads().min(items.len().max(1));
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for item in items {
+            work(item, &mut out, metrics);
+        }
+        return out;
+    }
+    run_threaded(items, threads, metrics, &work)
+}
+
+/// Runs `work` once per *block*, pushing result rows. Thin alias over
+/// [`run_partitioned`] for the common block-partitioned algorithms.
+pub fn run_over_blocks<R, F>(
+    blocks: &[twoknn_index::BlockMeta],
+    mode: ExecutionMode,
+    metrics: &mut Metrics,
+    work: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(twoknn_index::BlockMeta, &mut Vec<R>, &mut Metrics) + Sync,
+{
+    run_partitioned(blocks, mode, metrics, |block, out, metrics| {
+        work(*block, out, metrics)
+    })
+}
+
+#[cfg(feature = "parallel")]
+fn run_threaded<T, R, F>(items: &[T], threads: usize, metrics: &mut Metrics, work: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut Vec<R>, &mut Metrics) + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // Dynamic scheduling: workers pull the next item index from a shared
+    // counter, so a single expensive item (e.g. one dense block) cannot
+    // serialize the run the way fixed chunking would.
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, Vec<R>)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local_metrics = Metrics::default();
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let mut out = Vec::new();
+                    work(&items[i], &mut out, &mut local_metrics);
+                    local.push((i, out));
+                }
+                (local, local_metrics)
+            }));
+        }
+        for handle in handles {
+            let (local, local_metrics) = handle.join().expect("worker thread panicked");
+            metrics.merge(&local_metrics);
+            tagged.extend(local);
+        }
+    });
+    // Restore item order for deterministic output.
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    let mut out = Vec::with_capacity(tagged.iter().map(|(_, v)| v.len()).sum());
+    for (_, mut v) in tagged {
+        out.append(&mut v);
+    }
+    out
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_threaded<T, R, F>(items: &[T], _threads: usize, metrics: &mut Metrics, work: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut Vec<R>, &mut Metrics) + Sync,
+{
+    let mut out = Vec::new();
+    for item in items {
+        work(item, &mut out, metrics);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_produce_identical_ordered_output() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let work = |item: &u64, out: &mut Vec<u64>, metrics: &mut Metrics| {
+            metrics.points_scanned += 1;
+            out.push(item * 2);
+            if item % 3 == 0 {
+                out.push(item * 2 + 1);
+            }
+        };
+        let mut m_serial = Metrics::default();
+        let serial = run_partitioned(&items, ExecutionMode::Serial, &mut m_serial, work);
+        let mut m_par = Metrics::default();
+        let parallel = run_partitioned(
+            &items,
+            ExecutionMode::Parallel { threads: 7 },
+            &mut m_par,
+            work,
+        );
+        assert_eq!(serial, parallel);
+        assert_eq!(m_serial, m_par);
+        assert_eq!(m_serial.points_scanned, 1_000);
+    }
+
+    #[test]
+    fn empty_input_is_fine_in_both_modes() {
+        let items: Vec<u64> = Vec::new();
+        let mut m = Metrics::default();
+        let out = run_partitioned(
+            &items,
+            ExecutionMode::parallel(),
+            &mut m,
+            |_, _out: &mut Vec<u64>, _| {},
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_is_at_least_one() {
+        assert_eq!(ExecutionMode::Serial.effective_threads(), 1);
+        let p = ExecutionMode::Parallel { threads: 0 };
+        assert!(p.effective_threads() >= 1);
+        assert!(available_threads() >= 1);
+    }
+}

@@ -14,6 +14,7 @@
 use twoknn_geometry::Point;
 use twoknn_index::{get_knn, Metrics, SpatialIndex};
 
+use crate::exec::ExecutionMode;
 use crate::output::{Pair, QueryOutput};
 
 /// Evaluates `outer ⋈_kNN inner` with the given `k`.
@@ -25,6 +26,34 @@ where
     let mut metrics = Metrics::default();
     let rows = knn_join_with_metrics(outer, inner, k, &mut metrics);
     QueryOutput::new(rows, metrics)
+}
+
+/// Evaluates the kNN-join under an explicit [`ExecutionMode`], accumulating
+/// work into `metrics`. In parallel mode the outer relation's blocks are
+/// partitioned across worker threads; rows come back in the same order as
+/// the serial evaluation and metrics are the merged per-worker counters.
+pub fn knn_join_rows_with_mode<O, I>(
+    outer: &O,
+    inner: &I,
+    k: usize,
+    mode: ExecutionMode,
+    metrics: &mut Metrics,
+) -> Vec<Pair>
+where
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    let rows =
+        crate::exec::run_over_blocks(outer.blocks(), mode, metrics, |block, pairs, metrics| {
+            for e1 in outer.block_points(block.id) {
+                let nbr = get_knn(inner, e1, k, metrics);
+                for n in nbr.members() {
+                    pairs.push(Pair::new(*e1, n.point));
+                }
+            }
+        });
+    metrics.tuples_emitted += rows.len() as u64;
+    rows
 }
 
 /// Evaluates the kNN-join, accumulating work into `metrics`.
@@ -74,9 +103,15 @@ where
     pairs
 }
 
-/// Thread-parallel kNN-join: outer blocks are distributed round-robin over
-/// `num_threads` worker threads. The result set is identical to
-/// [`knn_join`] (up to row order); metrics are the sum of per-thread work.
+/// Thread-parallel kNN-join: outer blocks are distributed over
+/// `num_threads` worker threads with dynamic scheduling (each worker pulls
+/// the next block), and the rows are reassembled in block order. The result
+/// set is identical to [`knn_join`] (including row order); metrics are the
+/// merged per-thread work.
+///
+/// Real threading requires the `parallel` cargo feature; without it this
+/// runs serially (same results, one thread) — see
+/// [`crate::exec::ExecutionMode`].
 pub fn knn_join_parallel<O, I>(
     outer: &O,
     inner: &I,
@@ -87,43 +122,16 @@ where
     O: SpatialIndex + Sync + ?Sized,
     I: SpatialIndex + Sync + ?Sized,
 {
-    let num_threads = num_threads.max(1);
-    if num_threads == 1 {
-        return knn_join(outer, inner, k);
-    }
-
-    let blocks = outer.blocks();
-    let mut results: Vec<(Vec<Pair>, Metrics)> = Vec::with_capacity(num_threads);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_threads);
-        for t in 0..num_threads {
-            handles.push(scope.spawn(move |_| {
-                let mut metrics = Metrics::default();
-                let mut pairs = Vec::new();
-                for block in blocks.iter().skip(t).step_by(num_threads) {
-                    for e1 in outer.block_points(block.id) {
-                        let nbr = get_knn(inner, e1, k, &mut metrics);
-                        for n in nbr.members() {
-                            pairs.push(Pair::new(*e1, n.point));
-                        }
-                    }
-                }
-                (pairs, metrics)
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("kNN-join worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-
     let mut metrics = Metrics::default();
-    let mut rows = Vec::new();
-    for (pairs, m) in results {
-        metrics += m;
-        rows.extend(pairs);
-    }
-    metrics.tuples_emitted += rows.len() as u64;
+    let rows = knn_join_rows_with_mode(
+        outer,
+        inner,
+        k,
+        ExecutionMode::Parallel {
+            threads: num_threads,
+        },
+        &mut metrics,
+    );
     QueryOutput::new(rows, metrics)
 }
 
@@ -220,12 +228,9 @@ mod tests {
     #[test]
     fn empty_inner_relation_produces_no_pairs() {
         let outer = relation(10, 1.0, 0.0);
-        let inner = GridIndex::build_with_bounds(
-            vec![],
-            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
-            2,
-        )
-        .unwrap();
+        let inner =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
         assert!(knn_join(&outer, &inner, 3).is_empty());
     }
 }

@@ -19,7 +19,8 @@ use std::collections::HashMap;
 use twoknn_geometry::PointId;
 use twoknn_index::{get_knn, Metrics, Neighborhood, SpatialIndex};
 
-use crate::join::knn_join_with_metrics;
+use crate::exec::{run_over_blocks, run_partitioned, ExecutionMode};
+use crate::join::knn_join_rows_with_mode;
 use crate::output::{QueryOutput, Triplet};
 
 /// Parameters of a query with two chained kNN-joins.
@@ -48,23 +49,39 @@ pub fn chained_right_deep<A, B, C>(
     query: &ChainedJoinQuery,
 ) -> QueryOutput<Triplet>
 where
-    A: SpatialIndex + ?Sized,
-    B: SpatialIndex + ?Sized,
-    C: SpatialIndex + ?Sized,
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
+{
+    chained_right_deep_with_mode(a, b, c, query, ExecutionMode::Serial)
+}
+
+/// QEP1 under an explicit [`ExecutionMode`]: both the materializing join and
+/// the outer join are block-partitioned across worker threads.
+pub fn chained_right_deep_with_mode<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
     // Materialize (B ⋈kNN C) into a map keyed by b.
-    let bc_pairs = knn_join_with_metrics(b, c, query.k_bc, &mut metrics);
+    let bc_pairs = knn_join_rows_with_mode(b, c, query.k_bc, mode, &mut metrics);
     let mut bc_by_b: HashMap<PointId, Vec<twoknn_geometry::Point>> = HashMap::new();
     for p in &bc_pairs {
         bc_by_b.entry(p.left.id).or_default().push(p.right);
     }
 
     // Outer join: A against B, then look b up in the materialized result.
-    let mut rows = Vec::new();
-    for block in a.blocks() {
+    let rows = run_over_blocks(a.blocks(), mode, &mut metrics, |block, rows, metrics| {
         for a_point in a.block_points(block.id) {
-            let nbr_a = get_knn(b, a_point, query.k_ab, &mut metrics);
+            let nbr_a = get_knn(b, a_point, query.k_ab, metrics);
             for n in nbr_a.members() {
                 if let Some(cs) = bc_by_b.get(&n.point.id) {
                     for c_point in cs {
@@ -73,7 +90,7 @@ where
                 }
             }
         }
-    }
+    });
     metrics.tuples_emitted = rows.len() as u64;
     QueryOutput::new(rows, metrics)
 }
@@ -87,13 +104,30 @@ pub fn chained_join_intersection<A, B, C>(
     query: &ChainedJoinQuery,
 ) -> QueryOutput<Triplet>
 where
-    A: SpatialIndex + ?Sized,
-    B: SpatialIndex + ?Sized,
-    C: SpatialIndex + ?Sized,
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
+{
+    chained_join_intersection_with_mode(a, b, c, query, ExecutionMode::Serial)
+}
+
+/// QEP2 under an explicit [`ExecutionMode`]: both independent joins are
+/// block-partitioned across worker threads before the intersection on `B`.
+pub fn chained_join_intersection_with_mode<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
-    let ab_pairs = knn_join_with_metrics(a, b, query.k_ab, &mut metrics);
-    let bc_pairs = knn_join_with_metrics(b, c, query.k_bc, &mut metrics);
+    let ab_pairs = knn_join_rows_with_mode(a, b, query.k_ab, mode, &mut metrics);
+    let bc_pairs = knn_join_rows_with_mode(b, c, query.k_bc, mode, &mut metrics);
 
     let mut bc_by_b: HashMap<PointId, Vec<twoknn_geometry::Point>> = HashMap::new();
     for p in &bc_pairs {
@@ -121,11 +155,29 @@ pub fn chained_nested<A, B, C>(
     query: &ChainedJoinQuery,
 ) -> QueryOutput<Triplet>
 where
-    A: SpatialIndex + ?Sized,
-    B: SpatialIndex + ?Sized,
-    C: SpatialIndex + ?Sized,
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
 {
-    chained_nested_impl(a, b, c, query, false)
+    chained_nested_with_mode(a, b, c, query, ExecutionMode::Serial)
+}
+
+/// QEP3 (uncached) under an explicit [`ExecutionMode`]: `A`'s blocks are
+/// partitioned across worker threads. Rows (in order) and merged work
+/// counters are identical to the serial run.
+pub fn chained_nested_with_mode<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
+{
+    chained_nested_impl(a, b, c, query, false, mode)
 }
 
 /// QEP3 with the neighborhood cache of Section 4.2.1: results of the inner
@@ -138,11 +190,35 @@ pub fn chained_nested_cached<A, B, C>(
     query: &ChainedJoinQuery,
 ) -> QueryOutput<Triplet>
 where
-    A: SpatialIndex + ?Sized,
-    B: SpatialIndex + ?Sized,
-    C: SpatialIndex + ?Sized,
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
 {
-    chained_nested_impl(a, b, c, query, true)
+    chained_nested_cached_with_mode(a, b, c, query, ExecutionMode::Serial)
+}
+
+/// The cached QEP3 under an explicit [`ExecutionMode`].
+///
+/// In parallel mode, `A`'s blocks are grouped into contiguous chunks and each
+/// chunk gets its **own** neighborhood cache — sharing one cache would either
+/// serialize the workers behind a lock or make the hit pattern racy. The
+/// result set is identical to the serial run (in order); the *cache* counters
+/// (`cache_hits`/`cache_misses`, and hence `neighborhoods_computed`) may be
+/// higher than serial, because a popular `b` can be expanded once per chunk
+/// instead of once overall.
+pub fn chained_nested_cached_with_mode<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &ChainedJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
+{
+    chained_nested_impl(a, b, c, query, true, mode)
 }
 
 fn chained_nested_impl<A, B, C>(
@@ -151,39 +227,54 @@ fn chained_nested_impl<A, B, C>(
     c: &C,
     query: &ChainedJoinQuery,
     use_cache: bool,
+    mode: ExecutionMode,
 ) -> QueryOutput<Triplet>
 where
-    A: SpatialIndex + ?Sized,
-    B: SpatialIndex + ?Sized,
-    C: SpatialIndex + ?Sized,
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
-    let mut cache: HashMap<PointId, Neighborhood> = HashMap::new();
-    let mut rows = Vec::new();
+    let blocks = a.blocks();
 
-    for block in a.blocks() {
-        for a_point in a.block_points(block.id) {
-            let nbr_a = get_knn(b, a_point, query.k_ab, &mut metrics);
-            for n in nbr_a.members() {
-                let nbr_b = if use_cache {
-                    if let Some(hit) = cache.get(&n.point.id) {
-                        metrics.cache_hits += 1;
-                        hit.clone()
+    // One cache per work item. Serial runs use a single chunk spanning every
+    // block, so the cache is global exactly as in the paper; parallel runs
+    // split the blocks into a few chunks per worker (cheap dynamic load
+    // balancing without sacrificing too much cache reuse).
+    let threads = mode.effective_threads();
+    let chunk_len = if threads <= 1 {
+        blocks.len().max(1)
+    } else {
+        blocks.len().div_ceil(threads * 4).max(1)
+    };
+    let chunks: Vec<&[twoknn_index::BlockMeta]> = blocks.chunks(chunk_len).collect();
+
+    let rows = run_partitioned(&chunks, mode, &mut metrics, |chunk, rows, metrics| {
+        let mut cache: HashMap<PointId, Neighborhood> = HashMap::new();
+        for block in *chunk {
+            for a_point in a.block_points(block.id) {
+                let nbr_a = get_knn(b, a_point, query.k_ab, metrics);
+                for n in nbr_a.members() {
+                    let nbr_b = if use_cache {
+                        if let Some(hit) = cache.get(&n.point.id) {
+                            metrics.cache_hits += 1;
+                            hit.clone()
+                        } else {
+                            metrics.cache_misses += 1;
+                            let computed = get_knn(c, &n.point, query.k_bc, metrics);
+                            cache.insert(n.point.id, computed.clone());
+                            computed
+                        }
                     } else {
-                        metrics.cache_misses += 1;
-                        let computed = get_knn(c, &n.point, query.k_bc, &mut metrics);
-                        cache.insert(n.point.id, computed.clone());
-                        computed
+                        get_knn(c, &n.point, query.k_bc, metrics)
+                    };
+                    for m in nbr_b.members() {
+                        rows.push(Triplet::new(*a_point, n.point, m.point));
                     }
-                } else {
-                    get_knn(c, &n.point, query.k_bc, &mut metrics)
-                };
-                for m in nbr_b.members() {
-                    rows.push(Triplet::new(*a_point, n.point, m.point));
                 }
             }
         }
-    }
+    });
     metrics.tuples_emitted = rows.len() as u64;
     QueryOutput::new(rows, metrics)
 }
@@ -198,7 +289,8 @@ mod tests {
     fn scattered(n: usize, seed: u64) -> Vec<Point> {
         (0..n)
             .map(|i| {
-                let h = (i as u64).wrapping_mul(0xD6E8FEB86659FD93) ^ seed.wrapping_mul(0xA3B195354A39B70D);
+                let h = (i as u64).wrapping_mul(0xD6E8FEB86659FD93)
+                    ^ seed.wrapping_mul(0xA3B195354A39B70D);
                 Point::new(
                     i as u64,
                     (h % 769) as f64 * 0.13,
@@ -237,10 +329,7 @@ mod tests {
         let q = ChainedJoinQuery::new(3, 3);
         let cached = chained_nested_cached(&a, &b, &c, &q);
         let uncached = chained_nested(&a, &b, &c, &q);
-        assert_eq!(
-            triplet_id_set(&cached.rows),
-            triplet_id_set(&uncached.rows)
-        );
+        assert_eq!(triplet_id_set(&cached.rows), triplet_id_set(&uncached.rows));
         assert!(cached.metrics.cache_hits > 0);
         assert!(
             cached.metrics.neighborhoods_computed < uncached.metrics.neighborhoods_computed,
@@ -287,12 +376,9 @@ mod tests {
 
     #[test]
     fn empty_a_relation_gives_empty_result() {
-        let empty = GridIndex::build_with_bounds(
-            vec![],
-            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
-            2,
-        )
-        .unwrap();
+        let empty =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
         let b = grid(scattered(40, 10));
         let c = grid(scattered(40, 11));
         let q = ChainedJoinQuery::new(2, 2);

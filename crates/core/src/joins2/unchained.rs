@@ -5,7 +5,8 @@ use std::collections::{HashMap, HashSet};
 use twoknn_geometry::PointId;
 use twoknn_index::{get_knn, BlockId, Metrics, SpatialIndex};
 
-use crate::join::knn_join_with_metrics;
+use crate::exec::{run_over_blocks, ExecutionMode};
+use crate::join::{knn_join_rows_with_mode, knn_join_with_metrics};
 use crate::output::{Pair, QueryOutput, Triplet};
 
 /// Parameters of a query with two unchained kNN-joins.
@@ -34,13 +35,31 @@ pub fn unchained_conceptual<A, B, C>(
     query: &UnchainedJoinQuery,
 ) -> QueryOutput<Triplet>
 where
-    A: SpatialIndex + ?Sized,
-    B: SpatialIndex + ?Sized,
-    C: SpatialIndex + ?Sized,
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
+{
+    unchained_conceptual_with_mode(a, b, c, query, ExecutionMode::Serial)
+}
+
+/// The conceptual unchained QEP under an explicit [`ExecutionMode`]: both
+/// independent joins are block-partitioned across worker threads in parallel
+/// mode before the `∩_B` intersection.
+pub fn unchained_conceptual_with_mode<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &UnchainedJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
-    let ab_pairs = knn_join_with_metrics(a, b, query.k_ab, &mut metrics);
-    let cb_pairs = knn_join_with_metrics(c, b, query.k_cb, &mut metrics);
+    let ab_pairs = knn_join_rows_with_mode(a, b, query.k_ab, mode, &mut metrics);
+    let cb_pairs = knn_join_rows_with_mode(c, b, query.k_cb, mode, &mut metrics);
     let rows = intersect_on_b(&ab_pairs, &cb_pairs);
     metrics.tuples_emitted = rows.len() as u64;
     QueryOutput::new(rows, metrics)
@@ -99,14 +118,36 @@ pub fn unchained_block_marking<A, B, C>(
     query: &UnchainedJoinQuery,
 ) -> QueryOutput<Triplet>
 where
-    A: SpatialIndex + ?Sized,
-    B: SpatialIndex + ?Sized,
-    C: SpatialIndex + ?Sized,
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
+{
+    unchained_block_marking_with_mode(a, b, c, query, ExecutionMode::Serial)
+}
+
+/// Procedure 4 under an explicit [`ExecutionMode`].
+///
+/// Both phases parallelize by block partitioning: the first join over `A`'s
+/// blocks, then the classification-plus-join over `C`'s blocks (each `C`
+/// block's classification depends only on the shared Candidate set, never on
+/// another `C` block). Rows (in order) and merged work counters are
+/// identical to the serial run.
+pub fn unchained_block_marking_with_mode<A, B, C>(
+    a: &A,
+    b: &B,
+    c: &C,
+    query: &UnchainedJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Triplet>
+where
+    A: SpatialIndex + Sync + ?Sized,
+    B: SpatialIndex + Sync + ?Sized,
+    C: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
 
     // Lines 1–3: the first join and the projection of its B points.
-    let ab_pairs = knn_join_with_metrics(a, b, query.k_ab, &mut metrics);
+    let ab_pairs = knn_join_rows_with_mode(a, b, query.k_ab, mode, &mut metrics);
 
     // Lines 4–8: mark Candidate blocks of B (blocks containing matched b's).
     let mut candidate_blocks: HashSet<BlockId> = HashSet::new();
@@ -125,11 +166,11 @@ where
     // Group the AB pairs by their B point for the final ∩_B.
     let ab_by_b = group_pairs_by_right(&ab_pairs);
 
-    // Lines 9–22: classify the blocks of C.
-    let mut rows = Vec::new();
-    for c_block in c.blocks() {
+    // Lines 9–34: classify the blocks of C and join the Contributing ones,
+    // partitioned across workers.
+    let rows = run_over_blocks(c.blocks(), mode, &mut metrics, |c_block, rows, metrics| {
         if c_block.count == 0 {
-            continue;
+            return;
         }
         metrics.blocks_scanned += 1;
         // The "process only the Safe blocks" shortcut: a C block whose own
@@ -142,7 +183,7 @@ where
             true
         } else {
             // Lines 15–20: center neighborhood over B and threshold test.
-            let nbr_center = get_knn(b, &center, query.k_cb, &mut metrics);
+            let nbr_center = get_knn(b, &center, query.k_cb, metrics);
             let search_threshold = nbr_center.radius() + c_block.diagonal();
             candidate_metas
                 .iter()
@@ -151,13 +192,13 @@ where
 
         if !contributing {
             metrics.blocks_pruned += 1;
-            continue;
+            return;
         }
 
         // Lines 25–34: join the points of the Contributing block and
         // intersect on B.
         for c_point in c.block_points(c_block.id) {
-            let nbr_c = get_knn(b, c_point, query.k_cb, &mut metrics);
+            let nbr_c = get_knn(b, c_point, query.k_cb, metrics);
             for n in nbr_c.members() {
                 if let Some(ab) = ab_by_b.get(&n.point.id) {
                     for a_point in ab {
@@ -166,7 +207,7 @@ where
                 }
             }
         }
-    }
+    });
     metrics.tuples_emitted = rows.len() as u64;
     QueryOutput::new(rows, metrics)
 }
@@ -249,7 +290,8 @@ mod tests {
     fn scattered(n: usize, seed: u64, scale: f64) -> Vec<Point> {
         (0..n)
             .map(|i| {
-                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xBF58476D1CE4E5B9);
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                    ^ seed.wrapping_mul(0xBF58476D1CE4E5B9);
                 Point::new(
                     i as u64,
                     (h % 911) as f64 * scale,
@@ -329,12 +371,9 @@ mod tests {
 
     #[test]
     fn empty_relations_produce_empty_results() {
-        let empty = GridIndex::build_with_bounds(
-            vec![],
-            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
-            2,
-        )
-        .unwrap();
+        let empty =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
         let b = grid(scattered(50, 12, 0.2));
         let c = grid(scattered(50, 13, 0.2));
         let q = UnchainedJoinQuery::new(2, 2);

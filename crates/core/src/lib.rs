@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod exec;
 pub mod join;
 pub mod joins2;
 pub mod output;
@@ -68,4 +69,5 @@ pub mod select_join;
 pub mod selects2;
 
 pub use error::QueryError;
+pub use exec::ExecutionMode;
 pub use output::{Pair, QueryOutput, Triplet};

@@ -1,9 +1,13 @@
-//! A tiny catalog and executor for the supported two-predicate query shapes.
+//! The catalog and the thin execution driver.
 //!
 //! [`Database`] holds named, indexed relations; [`QuerySpec`] names the
-//! relations a query touches plus its parameters; [`Database::execute`] runs
-//! the query either with an explicitly chosen [`Strategy`] or with the
-//! strategy the [`Optimizer`] picks from the relations' statistics.
+//! relations a query touches plus its parameters. Execution is a pipeline:
+//! the [`Optimizer`] picks a [`Strategy`] from the relations' statistics,
+//! [`crate::plan::physical::compile`] lowers `(spec, strategy)` into a
+//! [`PhysicalPlan`] operator, and the operator runs under an
+//! [`ExecutionMode`] (serial, or block-partitioned over worker threads).
+//! [`Database::execute`] is nothing but that chain; independent queries can
+//! run concurrently through [`Database::execute_batch`].
 
 use std::collections::HashMap;
 
@@ -11,22 +15,15 @@ use twoknn_geometry::Point;
 use twoknn_index::{Metrics, SpatialIndex};
 
 use crate::error::QueryError;
-use crate::joins2::{
-    chained_join_intersection, chained_nested, chained_nested_cached, chained_right_deep,
-    unchained_block_marking, unchained_conceptual, ChainedJoinQuery, UnchainedJoinQuery,
-};
+use crate::exec::ExecutionMode;
+use crate::joins2::{ChainedJoinQuery, UnchainedJoinQuery};
 use crate::output::{Pair, QueryOutput, Triplet};
 use crate::plan::optimizer::Optimizer;
+use crate::plan::physical::{compile, PhysicalPlan, Row};
 use crate::plan::stats::RelationProfile;
-use crate::plan::strategy::{
-    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,
-    UnchainedStrategy,
-};
-use crate::select_join::{
-    block_marking, conceptual, counting, select_on_outer_after_join, select_on_outer_pushdown,
-    SelectInnerJoinQuery, SelectOuterJoinQuery,
-};
-use crate::selects2::{two_knn_select, two_selects_conceptual, TwoSelectsQuery};
+use crate::plan::strategy::Strategy;
+use crate::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
+use crate::selects2::TwoSelectsQuery;
 
 /// A named catalog of indexed relations.
 #[derive(Default)]
@@ -141,6 +138,22 @@ impl QueryResult {
             | QueryResult::Points { strategy, .. } => *strategy,
         }
     }
+
+    /// The result rows, flattened into the typed [`Row`] form so generic
+    /// drivers can consume every query shape through one type.
+    pub fn rows(&self) -> Vec<Row> {
+        match self {
+            QueryResult::Pairs { output, .. } => {
+                output.rows.iter().copied().map(Row::Pair).collect()
+            }
+            QueryResult::Triplets { output, .. } => {
+                output.rows.iter().copied().map(Row::Triplet).collect()
+            }
+            QueryResult::Points { output, .. } => {
+                output.rows.iter().copied().map(Row::Point).collect()
+            }
+        }
+    }
 }
 
 impl Database {
@@ -185,10 +198,67 @@ impl Database {
         Ok(RelationProfile::compute(self.relation(name)?))
     }
 
-    /// Executes a query, letting the optimizer pick the strategy.
+    /// Executes a query, letting the optimizer pick the strategy and using
+    /// the default execution mode (parallel over all cores when the
+    /// `parallel` feature is enabled, serial otherwise).
     pub fn execute(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
         let strategy = self.plan(spec)?;
         self.execute_with(spec, strategy)
+    }
+
+    /// Executes a query with an optimizer-chosen strategy under an explicit
+    /// [`ExecutionMode`].
+    pub fn execute_with_mode(
+        &self,
+        spec: &QuerySpec,
+        mode: ExecutionMode,
+    ) -> Result<QueryResult, QueryError> {
+        let strategy = self.plan(spec)?;
+        Ok(self.compile(spec, strategy)?.execute(mode))
+    }
+
+    /// Executes a batch of independent queries, each with the
+    /// optimizer-chosen strategy.
+    ///
+    /// With the `parallel` feature enabled the queries run concurrently, one
+    /// per worker thread (each query itself executing serially — for a batch,
+    /// inter-query parallelism beats intra-query parallelism because it needs
+    /// no merge step and keeps every core busy on imbalanced batches).
+    /// Results come back in input order. Without the feature this is a plain
+    /// sequential loop with identical results.
+    pub fn execute_batch(&self, specs: &[QuerySpec]) -> Vec<Result<QueryResult, QueryError>> {
+        let mut scratch = Metrics::default();
+        crate::exec::run_partitioned(
+            specs,
+            ExecutionMode::default_mode(),
+            &mut scratch,
+            |spec, out, _| {
+                out.push(
+                    self.compile_planned(spec)
+                        .map(|plan| plan.execute(ExecutionMode::Serial)),
+                );
+            },
+        )
+    }
+
+    /// Compiles a query with the optimizer-chosen strategy into an
+    /// executable [`PhysicalPlan`] without running it.
+    pub fn compile_planned(
+        &self,
+        spec: &QuerySpec,
+    ) -> Result<Box<dyn PhysicalPlan + '_>, QueryError> {
+        let strategy = self.plan(spec)?;
+        self.compile(spec, strategy)
+    }
+
+    /// Compiles a query with an explicit strategy into an executable
+    /// [`PhysicalPlan`] without running it.
+    pub fn compile(
+        &self,
+        spec: &QuerySpec,
+        strategy: Strategy,
+    ) -> Result<Box<dyn PhysicalPlan + '_>, QueryError> {
+        compile(self, spec, strategy)
     }
 
     /// The strategy the optimizer would choose for a query.
@@ -213,7 +283,9 @@ impl Database {
         })
     }
 
-    /// Executes a query with an explicitly chosen strategy.
+    /// Executes a query with an explicitly chosen strategy under the default
+    /// execution mode: the plan is compiled into its physical operator and
+    /// run.
     ///
     /// # Errors
     ///
@@ -225,91 +297,18 @@ impl Database {
         spec: &QuerySpec,
         strategy: Strategy,
     ) -> Result<QueryResult, QueryError> {
-        match (spec, strategy) {
-            (
-                QuerySpec::SelectInnerOfJoin {
-                    outer,
-                    inner,
-                    query,
-                },
-                Strategy::SelectInner(s),
-            ) => {
-                let outer = self.relation(outer)?;
-                let inner = self.relation(inner)?;
-                let output = match s {
-                    SelectInnerStrategy::Conceptual => conceptual(outer, inner, query),
-                    SelectInnerStrategy::Counting => counting(outer, inner, query),
-                    SelectInnerStrategy::BlockMarking => block_marking(outer, inner, query),
-                };
-                Ok(QueryResult::Pairs { output, strategy })
-            }
-            (
-                QuerySpec::SelectOuterOfJoin {
-                    outer,
-                    inner,
-                    query,
-                },
-                Strategy::SelectOuter(s),
-            ) => {
-                let outer = self.relation(outer)?;
-                let inner = self.relation(inner)?;
-                let output = match s {
-                    SelectOuterStrategy::SelectAfterJoin => {
-                        select_on_outer_after_join(outer, inner, query)
-                    }
-                    SelectOuterStrategy::Pushdown => select_on_outer_pushdown(outer, inner, query),
-                };
-                Ok(QueryResult::Pairs { output, strategy })
-            }
-            (QuerySpec::UnchainedJoins { a, b, c, query }, Strategy::Unchained(s)) => {
-                let a = self.relation(a)?;
-                let b = self.relation(b)?;
-                let c = self.relation(c)?;
-                let output = match s {
-                    UnchainedStrategy::Conceptual => unchained_conceptual(a, b, c, query),
-                    UnchainedStrategy::BlockMarkingStartWithA => {
-                        unchained_block_marking(a, b, c, query)
-                    }
-                    UnchainedStrategy::BlockMarkingStartWithC => {
-                        // Start with (C ⋈ B): swap the roles of A and C, then
-                        // swap the components back in the emitted triplets.
-                        let swapped = UnchainedJoinQuery::new(query.k_cb, query.k_ab);
-                        let out = unchained_block_marking(c, b, a, &swapped);
-                        QueryOutput::new(
-                            out.rows
-                                .into_iter()
-                                .map(|t| Triplet::new(t.c, t.b, t.a))
-                                .collect(),
-                            out.metrics,
-                        )
-                    }
-                };
-                Ok(QueryResult::Triplets { output, strategy })
-            }
-            (QuerySpec::ChainedJoins { a, b, c, query }, Strategy::Chained(s)) => {
-                let a = self.relation(a)?;
-                let b = self.relation(b)?;
-                let c = self.relation(c)?;
-                let output = match s {
-                    ChainedStrategy::RightDeep => chained_right_deep(a, b, c, query),
-                    ChainedStrategy::JoinIntersection => chained_join_intersection(a, b, c, query),
-                    ChainedStrategy::NestedJoin => chained_nested(a, b, c, query),
-                    ChainedStrategy::NestedJoinCached => chained_nested_cached(a, b, c, query),
-                };
-                Ok(QueryResult::Triplets { output, strategy })
-            }
-            (QuerySpec::TwoSelects { relation, query }, Strategy::TwoSelects(s)) => {
-                let relation = self.relation(relation)?;
-                let output = match s {
-                    TwoSelectsStrategy::Conceptual => two_selects_conceptual(relation, query),
-                    TwoSelectsStrategy::TwoKnnSelect => two_knn_select(relation, query),
-                };
-                Ok(QueryResult::Points { output, strategy })
-            }
-            (spec, strategy) => Err(QueryError::UnsupportedPlanShape {
-                description: format!("strategy {strategy} does not match query {spec:?}"),
-            }),
-        }
+        self.execute_with_strategy_and_mode(spec, strategy, ExecutionMode::default_mode())
+    }
+
+    /// Executes a query with an explicit strategy **and** execution mode —
+    /// the fully-specified entry point the others delegate to.
+    pub fn execute_with_strategy_and_mode(
+        &self,
+        spec: &QuerySpec,
+        strategy: Strategy,
+        mode: ExecutionMode,
+    ) -> Result<QueryResult, QueryError> {
+        Ok(self.compile(spec, strategy)?.execute(mode))
     }
 }
 
@@ -317,13 +316,21 @@ impl Database {
 mod tests {
     use super::*;
     use crate::output::{pair_id_set, point_id_set, triplet_id_set};
+    use crate::plan::strategy::{
+        ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, TwoSelectsStrategy,
+        UnchainedStrategy,
+    };
     use twoknn_index::GridIndex;
 
     fn scattered(n: usize, seed: u64) -> Vec<Point> {
         (0..n)
             .map(|i| {
                 let h = (i as u64).wrapping_mul(0x2545F4914F6CDD1D) ^ seed;
-                Point::new(i as u64, (h % 499) as f64 * 0.2, ((h / 499) % 499) as f64 * 0.2)
+                Point::new(
+                    i as u64,
+                    (h % 499) as f64 * 0.2,
+                    ((h / 499) % 499) as f64 * 0.2,
+                )
             })
             .collect()
     }
@@ -341,7 +348,12 @@ mod tests {
         let db = db();
         let spec = QuerySpec::TwoSelects {
             relation: "Nope".into(),
-            query: TwoSelectsQuery::new(1, Point::anonymous(0.0, 0.0), 1, Point::anonymous(1.0, 1.0)),
+            query: TwoSelectsQuery::new(
+                1,
+                Point::anonymous(0.0, 0.0),
+                1,
+                Point::anonymous(1.0, 1.0),
+            ),
         };
         assert!(matches!(
             db.execute(&spec),
@@ -354,7 +366,12 @@ mod tests {
         let db = db();
         let spec = QuerySpec::TwoSelects {
             relation: "A".into(),
-            query: TwoSelectsQuery::new(2, Point::anonymous(0.0, 0.0), 2, Point::anonymous(1.0, 1.0)),
+            query: TwoSelectsQuery::new(
+                2,
+                Point::anonymous(0.0, 0.0),
+                2,
+                Point::anonymous(1.0, 1.0),
+            ),
         };
         let err = db
             .execute_with(&spec, Strategy::Chained(ChainedStrategy::RightDeep))
@@ -407,12 +424,12 @@ mod tests {
             UnchainedStrategy::BlockMarkingStartWithC,
         ]
         .into_iter()
-        .map(|s| {
-            match db.execute_with(&spec, Strategy::Unchained(s)).unwrap() {
+        .map(
+            |s| match db.execute_with(&spec, Strategy::Unchained(s)).unwrap() {
                 QueryResult::Triplets { output, .. } => triplet_id_set(&output.rows),
                 _ => panic!("expected triplets"),
-            }
-        })
+            },
+        )
         .collect();
         assert_eq!(sets[0], sets[1]);
         assert_eq!(sets[0], sets[2]);
@@ -443,7 +460,10 @@ mod tests {
         };
         let fast = db.execute(&selects).unwrap();
         let slow = db
-            .execute_with(&selects, Strategy::TwoSelects(TwoSelectsStrategy::Conceptual))
+            .execute_with(
+                &selects,
+                Strategy::TwoSelects(TwoSelectsStrategy::Conceptual),
+            )
             .unwrap();
         match (&fast, &slow) {
             (QueryResult::Points { output: f, .. }, QueryResult::Points { output: s, .. }) => {
@@ -466,7 +486,10 @@ mod tests {
             Strategy::SelectOuter(SelectOuterStrategy::Pushdown)
         );
         let r = db.execute(&spec).unwrap();
-        assert_eq!(r.strategy(), Strategy::SelectOuter(SelectOuterStrategy::Pushdown));
+        assert_eq!(
+            r.strategy(),
+            Strategy::SelectOuter(SelectOuterStrategy::Pushdown)
+        );
     }
 
     #[test]

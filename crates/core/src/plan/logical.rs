@@ -122,9 +122,9 @@ impl LogicalExpr {
     /// The kind of collection the expression produces.
     pub fn kind(&self) -> ExprKind {
         match self {
-            LogicalExpr::Relation { .. } | LogicalExpr::KnnSelect { .. } | LogicalExpr::Intersect { .. } => {
-                ExprKind::Points
-            }
+            LogicalExpr::Relation { .. }
+            | LogicalExpr::KnnSelect { .. }
+            | LogicalExpr::Intersect { .. } => ExprKind::Points,
             LogicalExpr::KnnJoin { .. } | LogicalExpr::IntersectOnInner { .. } => ExprKind::Pairs,
         }
     }
@@ -137,7 +137,8 @@ impl LogicalExpr {
             LogicalExpr::KnnJoin { outer, inner, .. } => {
                 1 + outer.num_knn_predicates() + inner.num_knn_predicates()
             }
-            LogicalExpr::IntersectOnInner { left, right } | LogicalExpr::Intersect { left, right } => {
+            LogicalExpr::IntersectOnInner { left, right }
+            | LogicalExpr::Intersect { left, right } => {
                 left.num_knn_predicates() + right.num_knn_predicates()
             }
         }
@@ -351,10 +352,8 @@ mod tests {
 
     #[test]
     fn inner_select_pushdown_is_rejected() {
-        let expr = LogicalExpr::relation("Mechanics").knn_join(
-            LogicalExpr::relation("Hotels").knn_select(2, focal()),
-            2,
-        );
+        let expr = LogicalExpr::relation("Mechanics")
+            .knn_join(LogicalExpr::relation("Hotels").knn_select(2, focal()), 2);
         let err = expr.validate().unwrap_err();
         assert!(matches!(err, QueryError::InvalidTransformation { .. }));
     }

@@ -14,18 +14,23 @@
 //! * [`strategy`] — the physical strategies available for each query shape;
 //! * [`optimizer`] — the paper's heuristics (Sections 3.3 and 4.1.2) mapping
 //!   statistics to a strategy;
-//! * [`executor`] — a tiny catalog (`Database`) plus an executor that runs a
-//!   query spec with a chosen (or optimizer-chosen) strategy.
+//! * [`physical`] — the physical-operator layer: [`compile`] lowers a
+//!   `(QuerySpec, Strategy)` pair into a [`PhysicalPlan`] operator that runs
+//!   serially or partitioned over worker threads;
+//! * [`executor`] — the catalog (`Database`) plus the thin driver chaining
+//!   optimizer → compile → execute, with a concurrent batch entry point.
 
 pub mod executor;
 pub mod logical;
 pub mod optimizer;
+pub mod physical;
 pub mod stats;
 pub mod strategy;
 
 pub use executor::{Database, QueryResult, QuerySpec};
 pub use logical::{LogicalExpr, Rewrite};
 pub use optimizer::Optimizer;
+pub use physical::{compile, PhysicalPlan, Relation, Row, RowSchema};
 pub use stats::RelationProfile;
 pub use strategy::{
     ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,

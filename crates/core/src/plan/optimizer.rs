@@ -76,11 +76,7 @@ impl Optimizer {
 
     /// Chooses the unchained-join strategy given the profiles of the two
     /// outer relations `A` and `C` (Section 4.1.2).
-    pub fn choose_unchained(
-        &self,
-        a: &RelationProfile,
-        c: &RelationProfile,
-    ) -> UnchainedStrategy {
+    pub fn choose_unchained(&self, a: &RelationProfile, c: &RelationProfile) -> UnchainedStrategy {
         let a_uniform = a.looks_uniform(self.uniform_coverage_threshold);
         let c_uniform = c.looks_uniform(self.uniform_coverage_threshold);
         match (a_uniform, c_uniform) {
@@ -149,7 +145,10 @@ mod tests {
     fn small_or_sparse_outer_prefers_counting() {
         let opt = Optimizer::new();
         let small = profile(uniform(500));
-        assert_eq!(opt.choose_select_inner(&small), SelectInnerStrategy::Counting);
+        assert_eq!(
+            opt.choose_select_inner(&small),
+            SelectInnerStrategy::Counting
+        );
     }
 
     #[test]
@@ -198,7 +197,12 @@ mod tests {
         let opt = Optimizer::new();
         let p = profile(uniform(100));
         assert_eq!(opt.choose_chained(&p), ChainedStrategy::NestedJoinCached);
-        let q = TwoSelectsQuery::new(5, Point::anonymous(0.0, 0.0), 50, Point::anonymous(1.0, 1.0));
+        let q = TwoSelectsQuery::new(
+            5,
+            Point::anonymous(0.0, 0.0),
+            50,
+            Point::anonymous(1.0, 1.0),
+        );
         assert_eq!(opt.choose_two_selects(&q), TwoSelectsStrategy::TwoKnnSelect);
         assert_eq!(opt.choose_select_outer(&p), SelectOuterStrategy::Pushdown);
     }

@@ -1,0 +1,636 @@
+//! The physical-operator layer: compiled, executable plans.
+//!
+//! The planning pipeline is
+//!
+//! ```text
+//! QuerySpec ──(Optimizer)──► Strategy ──(compile)──► Box<dyn PhysicalPlan> ──(execute)──► QueryResult
+//! ```
+//!
+//! [`compile`] resolves a [`QuerySpec`]'s relation names against a
+//! [`Database`] catalog and pairs them with a [`Strategy`] into one of the
+//! operator structs of this module — one per algorithm family of the paper:
+//!
+//! | Operator | Algorithm family | Paper |
+//! |---|---|---|
+//! | [`CountingOp`] | Counting | Procedure 1 |
+//! | [`BlockMarkingOp`] | Block-Marking | Procedures 2–3 |
+//! | [`SelectInnerConceptualOp`] | conceptual join-then-intersect QEP | Figure 1 |
+//! | [`OuterPushdownOp`] | select-on-outer (pushdown or select-after-join) | Figure 3 |
+//! | [`UnchainedJoinsOp`] | two unchained joins | Section 4.1 |
+//! | [`ChainedJoinsOp`] | two chained joins | Section 4.2 |
+//! | [`TwoSelectsOp`] | two kNN-selects | Section 5 |
+//!
+//! Every operator implements [`PhysicalPlan`]: it knows its [`Strategy`], its
+//! output [`RowSchema`], and how to [`PhysicalPlan::execute`] under a given
+//! [`ExecutionMode`] — serially or partitioned over worker threads. Adding a
+//! new algorithm means adding an operator struct and a `compile` arm; the
+//! driver ([`Database::execute`]) never changes.
+
+use twoknn_geometry::Point;
+use twoknn_index::SpatialIndex;
+
+use crate::error::QueryError;
+use crate::exec::ExecutionMode;
+use crate::joins2::{
+    chained_join_intersection_with_mode, chained_nested_cached_with_mode, chained_nested_with_mode,
+    chained_right_deep_with_mode, unchained_block_marking_with_mode,
+    unchained_conceptual_with_mode, ChainedJoinQuery, UnchainedJoinQuery,
+};
+use crate::output::{Pair, QueryOutput, Triplet};
+use crate::plan::executor::{Database, QueryResult, QuerySpec};
+use crate::plan::strategy::{
+    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,
+    UnchainedStrategy,
+};
+use crate::select_join::{
+    block_marking_with_mode, conceptual_with_mode, counting_with_mode,
+    select_on_outer_after_join_with_mode, select_on_outer_pushdown, BlockMarkingConfig,
+    SelectInnerJoinQuery, SelectOuterJoinQuery,
+};
+use crate::selects2::{two_knn_select, two_selects_conceptual, TwoSelectsQuery};
+
+/// A reference to an indexed relation as stored in the catalog.
+pub type Relation<'a> = &'a (dyn SpatialIndex + Send + Sync);
+
+/// The row type a physical plan produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSchema {
+    /// `(outer, inner)` pairs — select + join queries.
+    Pairs,
+    /// `(a, b, c)` triplets — two-join queries.
+    Triplets,
+    /// Single points — two-select queries.
+    Points,
+}
+
+/// One output row of a physical plan, tagged by its type.
+///
+/// [`QueryResult::rows`] flattens any result into this shape so generic
+/// drivers (servers, REPLs, test harnesses) can consume every query shape
+/// through one type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Row {
+    /// A pair row.
+    Pair(Pair),
+    /// A triplet row.
+    Triplet(Triplet),
+    /// A point row.
+    Point(Point),
+}
+
+impl Row {
+    /// The schema this row belongs to.
+    pub fn schema(&self) -> RowSchema {
+        match self {
+            Row::Pair(_) => RowSchema::Pairs,
+            Row::Triplet(_) => RowSchema::Triplets,
+            Row::Point(_) => RowSchema::Points,
+        }
+    }
+
+    /// The ids of the row's components, in relation order.
+    pub fn ids(&self) -> Vec<u64> {
+        match self {
+            Row::Pair(p) => vec![p.left.id, p.right.id],
+            Row::Triplet(t) => vec![t.a.id, t.b.id, t.c.id],
+            Row::Point(p) => vec![p.id],
+        }
+    }
+}
+
+/// An executable physical plan: a specific algorithm bound to specific
+/// relations, ready to run under any [`ExecutionMode`].
+pub trait PhysicalPlan: Send + Sync {
+    /// Short operator name, e.g. `"block-marking"`.
+    fn name(&self) -> &'static str;
+
+    /// The strategy this operator implements.
+    fn strategy(&self) -> Strategy;
+
+    /// The row type the operator produces.
+    fn schema(&self) -> RowSchema;
+
+    /// Runs the operator.
+    fn execute(&self, mode: ExecutionMode) -> QueryResult;
+
+    /// A one-line, EXPLAIN-style description of the plan.
+    fn explain(&self) -> String {
+        format!(
+            "{} [{}] -> {:?}",
+            self.name(),
+            self.strategy(),
+            self.schema()
+        )
+    }
+}
+
+/// Compiles a `(spec, strategy)` pair into an executable operator, resolving
+/// relation names against the catalog.
+///
+/// # Errors
+///
+/// [`QueryError::UnknownRelation`] for unresolved names, and
+/// [`QueryError::UnsupportedPlanShape`] when the strategy family does not
+/// match the query shape.
+pub fn compile<'a>(
+    db: &'a Database,
+    spec: &QuerySpec,
+    strategy: Strategy,
+) -> Result<Box<dyn PhysicalPlan + 'a>, QueryError> {
+    match (spec, strategy) {
+        (
+            QuerySpec::SelectInnerOfJoin {
+                outer,
+                inner,
+                query,
+            },
+            Strategy::SelectInner(s),
+        ) => {
+            let outer = db.relation(outer)?;
+            let inner = db.relation(inner)?;
+            Ok(match s {
+                SelectInnerStrategy::Counting => Box::new(CountingOp {
+                    outer,
+                    inner,
+                    query: *query,
+                }),
+                SelectInnerStrategy::BlockMarking => Box::new(BlockMarkingOp {
+                    outer,
+                    inner,
+                    query: *query,
+                    config: BlockMarkingConfig::default(),
+                }),
+                SelectInnerStrategy::Conceptual => Box::new(SelectInnerConceptualOp {
+                    outer,
+                    inner,
+                    query: *query,
+                }),
+            })
+        }
+        (
+            QuerySpec::SelectOuterOfJoin {
+                outer,
+                inner,
+                query,
+            },
+            Strategy::SelectOuter(s),
+        ) => Ok(Box::new(OuterPushdownOp {
+            outer: db.relation(outer)?,
+            inner: db.relation(inner)?,
+            query: *query,
+            strategy: s,
+        })),
+        (QuerySpec::UnchainedJoins { a, b, c, query }, Strategy::Unchained(s)) => {
+            Ok(Box::new(UnchainedJoinsOp {
+                a: db.relation(a)?,
+                b: db.relation(b)?,
+                c: db.relation(c)?,
+                query: *query,
+                strategy: s,
+            }))
+        }
+        (QuerySpec::ChainedJoins { a, b, c, query }, Strategy::Chained(s)) => {
+            Ok(Box::new(ChainedJoinsOp {
+                a: db.relation(a)?,
+                b: db.relation(b)?,
+                c: db.relation(c)?,
+                query: *query,
+                strategy: s,
+            }))
+        }
+        (QuerySpec::TwoSelects { relation, query }, Strategy::TwoSelects(s)) => {
+            Ok(Box::new(TwoSelectsOp {
+                relation: db.relation(relation)?,
+                query: *query,
+                strategy: s,
+            }))
+        }
+        (spec, strategy) => Err(QueryError::UnsupportedPlanShape {
+            description: format!("strategy {strategy} does not match query {spec:?}"),
+        }),
+    }
+}
+
+/// The Counting algorithm (Procedure 1) bound to its relations.
+pub struct CountingOp<'a> {
+    /// The outer relation `E1`.
+    pub outer: Relation<'a>,
+    /// The inner relation `E2`.
+    pub inner: Relation<'a>,
+    /// Query parameters.
+    pub query: SelectInnerJoinQuery,
+}
+
+impl PhysicalPlan for CountingOp<'_> {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::SelectInner(SelectInnerStrategy::Counting)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Pairs
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        QueryResult::Pairs {
+            output: counting_with_mode(self.outer, self.inner, &self.query, mode),
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// The Block-Marking algorithm (Procedures 2–3) bound to its relations.
+pub struct BlockMarkingOp<'a> {
+    /// The outer relation `E1`.
+    pub outer: Relation<'a>,
+    /// The inner relation `E2`.
+    pub inner: Relation<'a>,
+    /// Query parameters.
+    pub query: SelectInnerJoinQuery,
+    /// Tuning knobs (contour pruning on/off).
+    pub config: BlockMarkingConfig,
+}
+
+impl PhysicalPlan for BlockMarkingOp<'_> {
+    fn name(&self) -> &'static str {
+        "block-marking"
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::SelectInner(SelectInnerStrategy::BlockMarking)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Pairs
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        QueryResult::Pairs {
+            output: block_marking_with_mode(
+                self.outer,
+                self.inner,
+                &self.query,
+                &self.config,
+                mode,
+            ),
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// The conceptually correct join-then-intersect QEP (Figure 1).
+pub struct SelectInnerConceptualOp<'a> {
+    /// The outer relation `E1`.
+    pub outer: Relation<'a>,
+    /// The inner relation `E2`.
+    pub inner: Relation<'a>,
+    /// Query parameters.
+    pub query: SelectInnerJoinQuery,
+}
+
+impl PhysicalPlan for SelectInnerConceptualOp<'_> {
+    fn name(&self) -> &'static str {
+        "select-inner-conceptual"
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::SelectInner(SelectInnerStrategy::Conceptual)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Pairs
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        QueryResult::Pairs {
+            output: conceptual_with_mode(self.outer, self.inner, &self.query, mode),
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// The select-on-outer operator (Figure 3): the valid pushdown, or the
+/// reference select-after-join plan.
+pub struct OuterPushdownOp<'a> {
+    /// The outer relation `E1`.
+    pub outer: Relation<'a>,
+    /// The inner relation `E2`.
+    pub inner: Relation<'a>,
+    /// Query parameters.
+    pub query: SelectOuterJoinQuery,
+    /// Which of the two equivalent QEPs to run.
+    pub strategy: SelectOuterStrategy,
+}
+
+impl PhysicalPlan for OuterPushdownOp<'_> {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            SelectOuterStrategy::Pushdown => "outer-pushdown",
+            SelectOuterStrategy::SelectAfterJoin => "outer-select-after-join",
+        }
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::SelectOuter(self.strategy)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Pairs
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        let output = match self.strategy {
+            // The pushdown only ever joins the kσ selected points; it is
+            // already the cheap plan and runs serially.
+            SelectOuterStrategy::Pushdown => {
+                select_on_outer_pushdown(self.outer, self.inner, &self.query)
+            }
+            SelectOuterStrategy::SelectAfterJoin => {
+                select_on_outer_after_join_with_mode(self.outer, self.inner, &self.query, mode)
+            }
+        };
+        QueryResult::Pairs {
+            output,
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// Two unchained kNN-joins `(A ⋈ B) ∩_B (C ⋈ B)` (Section 4.1).
+pub struct UnchainedJoinsOp<'a> {
+    /// Relation `A`.
+    pub a: Relation<'a>,
+    /// The shared inner relation `B`.
+    pub b: Relation<'a>,
+    /// Relation `C`.
+    pub c: Relation<'a>,
+    /// Query parameters.
+    pub query: UnchainedJoinQuery,
+    /// Which evaluation order / algorithm to run.
+    pub strategy: UnchainedStrategy,
+}
+
+impl PhysicalPlan for UnchainedJoinsOp<'_> {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            UnchainedStrategy::Conceptual => "unchained-conceptual",
+            UnchainedStrategy::BlockMarkingStartWithA => "unchained-block-marking(A⋈B first)",
+            UnchainedStrategy::BlockMarkingStartWithC => "unchained-block-marking(C⋈B first)",
+        }
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::Unchained(self.strategy)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Triplets
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        let output = match self.strategy {
+            UnchainedStrategy::Conceptual => {
+                unchained_conceptual_with_mode(self.a, self.b, self.c, &self.query, mode)
+            }
+            UnchainedStrategy::BlockMarkingStartWithA => {
+                unchained_block_marking_with_mode(self.a, self.b, self.c, &self.query, mode)
+            }
+            UnchainedStrategy::BlockMarkingStartWithC => {
+                // Start with (C ⋈ B): swap the roles of A and C, then swap the
+                // components back in the emitted triplets.
+                let swapped = UnchainedJoinQuery::new(self.query.k_cb, self.query.k_ab);
+                let out = unchained_block_marking_with_mode(self.c, self.b, self.a, &swapped, mode);
+                QueryOutput::new(
+                    out.rows
+                        .into_iter()
+                        .map(|t| Triplet::new(t.c, t.b, t.a))
+                        .collect(),
+                    out.metrics,
+                )
+            }
+        };
+        QueryResult::Triplets {
+            output,
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// Two chained kNN-joins `A → B → C` (Section 4.2).
+pub struct ChainedJoinsOp<'a> {
+    /// Relation `A`.
+    pub a: Relation<'a>,
+    /// The middle relation `B`.
+    pub b: Relation<'a>,
+    /// Relation `C`.
+    pub c: Relation<'a>,
+    /// Query parameters.
+    pub query: ChainedJoinQuery,
+    /// Which of the equivalent QEPs to run.
+    pub strategy: ChainedStrategy,
+}
+
+impl PhysicalPlan for ChainedJoinsOp<'_> {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            ChainedStrategy::RightDeep => "chained-right-deep",
+            ChainedStrategy::JoinIntersection => "chained-join-intersection",
+            ChainedStrategy::NestedJoin => "chained-nested",
+            ChainedStrategy::NestedJoinCached => "chained-nested-cached",
+        }
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::Chained(self.strategy)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Triplets
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        let output = match self.strategy {
+            ChainedStrategy::RightDeep => {
+                chained_right_deep_with_mode(self.a, self.b, self.c, &self.query, mode)
+            }
+            ChainedStrategy::JoinIntersection => {
+                chained_join_intersection_with_mode(self.a, self.b, self.c, &self.query, mode)
+            }
+            ChainedStrategy::NestedJoin => {
+                chained_nested_with_mode(self.a, self.b, self.c, &self.query, mode)
+            }
+            ChainedStrategy::NestedJoinCached => {
+                chained_nested_cached_with_mode(self.a, self.b, self.c, &self.query, mode)
+            }
+        };
+        QueryResult::Triplets {
+            output,
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// Two kNN-selects over one relation (Section 5).
+pub struct TwoSelectsOp<'a> {
+    /// The relation both selects run against.
+    pub relation: Relation<'a>,
+    /// Query parameters.
+    pub query: TwoSelectsQuery,
+    /// Which of the two equivalent QEPs to run.
+    pub strategy: TwoSelectsStrategy,
+}
+
+impl PhysicalPlan for TwoSelectsOp<'_> {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            TwoSelectsStrategy::Conceptual => "two-selects-conceptual",
+            TwoSelectsStrategy::TwoKnnSelect => "2-knn-select",
+        }
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::TwoSelects(self.strategy)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Points
+    }
+
+    fn execute(&self, _mode: ExecutionMode) -> QueryResult {
+        // A two-select query touches O(k1 + k2) points around two focal
+        // points — far below the threshold where threading pays; batch-level
+        // parallelism (`Database::execute_batch`) covers the many-query case.
+        let output = match self.strategy {
+            TwoSelectsStrategy::Conceptual => two_selects_conceptual(self.relation, &self.query),
+            TwoSelectsStrategy::TwoKnnSelect => two_knn_select(self.relation, &self.query),
+        };
+        QueryResult::Points {
+            output,
+            strategy: self.strategy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoknn_index::GridIndex;
+
+    fn scattered(n: usize, seed: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x2545F4914F6CDD1D) ^ seed;
+                Point::new(
+                    i as u64,
+                    (h % 499) as f64 * 0.2,
+                    ((h / 499) % 499) as f64 * 0.2,
+                )
+            })
+            .collect()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register("A", GridIndex::build(scattered(120, 1), 8).unwrap());
+        db.register("B", GridIndex::build(scattered(250, 2), 8).unwrap());
+        db.register("C", GridIndex::build(scattered(140, 3), 8).unwrap());
+        db
+    }
+
+    #[test]
+    fn compile_produces_the_matching_operator() {
+        let db = db();
+        let spec = QuerySpec::SelectInnerOfJoin {
+            outer: "A".into(),
+            inner: "B".into(),
+            query: SelectInnerJoinQuery::new(2, 3, Point::anonymous(30.0, 40.0)),
+        };
+        for (s, name) in [
+            (SelectInnerStrategy::Counting, "counting"),
+            (SelectInnerStrategy::BlockMarking, "block-marking"),
+            (SelectInnerStrategy::Conceptual, "select-inner-conceptual"),
+        ] {
+            let plan = compile(&db, &spec, Strategy::SelectInner(s)).unwrap();
+            assert_eq!(plan.name(), name);
+            assert_eq!(plan.schema(), RowSchema::Pairs);
+            assert_eq!(plan.strategy(), Strategy::SelectInner(s));
+            assert!(plan.explain().contains(name));
+        }
+    }
+
+    #[test]
+    fn compile_rejects_mismatched_strategy_and_unknown_relation() {
+        let db = db();
+        let spec = QuerySpec::TwoSelects {
+            relation: "A".into(),
+            query: TwoSelectsQuery::new(
+                2,
+                Point::anonymous(0.0, 0.0),
+                2,
+                Point::anonymous(1.0, 1.0),
+            ),
+        };
+        assert!(matches!(
+            compile(&db, &spec, Strategy::Chained(ChainedStrategy::RightDeep)),
+            Err(QueryError::UnsupportedPlanShape { .. })
+        ));
+        let missing = QuerySpec::TwoSelects {
+            relation: "Nope".into(),
+            query: TwoSelectsQuery::new(
+                2,
+                Point::anonymous(0.0, 0.0),
+                2,
+                Point::anonymous(1.0, 1.0),
+            ),
+        };
+        assert!(matches!(
+            compile(
+                &db,
+                &missing,
+                Strategy::TwoSelects(TwoSelectsStrategy::TwoKnnSelect)
+            ),
+            Err(QueryError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn executing_a_compiled_plan_matches_database_execute() {
+        let db = db();
+        let spec = QuerySpec::UnchainedJoins {
+            a: "A".into(),
+            b: "B".into(),
+            c: "C".into(),
+            query: UnchainedJoinQuery::new(2, 2),
+        };
+        let strategy = Strategy::Unchained(UnchainedStrategy::BlockMarkingStartWithC);
+        let plan = compile(&db, &spec, strategy).unwrap();
+        let direct = plan.execute(ExecutionMode::Serial);
+        let via_db = db.execute_with(&spec, strategy).unwrap();
+        assert_eq!(direct.num_rows(), via_db.num_rows());
+        assert_eq!(direct.strategy(), strategy);
+    }
+
+    #[test]
+    fn rows_are_typed_and_tagged() {
+        let db = db();
+        let spec = QuerySpec::TwoSelects {
+            relation: "B".into(),
+            query: TwoSelectsQuery::new(
+                5,
+                Point::anonymous(30.0, 30.0),
+                50,
+                Point::anonymous(35.0, 35.0),
+            ),
+        };
+        let result = db.execute(&spec).unwrap();
+        let rows = result.rows();
+        assert_eq!(rows.len(), result.num_rows());
+        for row in &rows {
+            assert_eq!(row.schema(), RowSchema::Points);
+            assert_eq!(row.ids().len(), 1);
+        }
+    }
+}

@@ -129,7 +129,13 @@ mod tests {
 
     fn clustered(n: usize) -> GridIndex {
         let pts: Vec<Point> = (0..n)
-            .map(|i| Point::new(i as u64, 5.0 + (i % 30) as f64 * 0.05, 5.0 + (i as u64 / 30) as f64 * 0.05))
+            .map(|i| {
+                Point::new(
+                    i as u64,
+                    5.0 + (i % 30) as f64 * 0.05,
+                    5.0 + (i as u64 / 30) as f64 * 0.05,
+                )
+            })
             .collect();
         GridIndex::build_with_bounds(pts, Rect::new(0.0, 0.0, 100.0, 100.0), 10).unwrap()
     }

@@ -94,10 +94,22 @@ mod tests {
 
     #[test]
     fn defaults_match_paper_recommendations() {
-        assert_eq!(SelectInnerStrategy::default(), SelectInnerStrategy::BlockMarking);
-        assert_eq!(SelectOuterStrategy::default(), SelectOuterStrategy::Pushdown);
-        assert_eq!(ChainedStrategy::default(), ChainedStrategy::NestedJoinCached);
-        assert_eq!(TwoSelectsStrategy::default(), TwoSelectsStrategy::TwoKnnSelect);
+        assert_eq!(
+            SelectInnerStrategy::default(),
+            SelectInnerStrategy::BlockMarking
+        );
+        assert_eq!(
+            SelectOuterStrategy::default(),
+            SelectOuterStrategy::Pushdown
+        );
+        assert_eq!(
+            ChainedStrategy::default(),
+            ChainedStrategy::NestedJoinCached
+        );
+        assert_eq!(
+            TwoSelectsStrategy::default(),
+            TwoSelectsStrategy::TwoKnnSelect
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use twoknn_index::{get_knn, BlockMeta, Metrics, SpatialIndex};
 
+use crate::exec::{run_partitioned, ExecutionMode};
 use crate::output::{Pair, QueryOutput};
 use crate::select::knn_select_neighborhood;
 
@@ -53,14 +54,10 @@ impl Default for BlockMarkingConfig {
 /// Evaluates `(E1 ⋈kNN E2) ∩ (E1 × σ_{kσ,f}(E2))` with the Block-Marking
 /// algorithm using the default configuration (contour pruning enabled, as in
 /// the paper).
-pub fn block_marking<O, I>(
-    outer: &O,
-    inner: &I,
-    query: &SelectInnerJoinQuery,
-) -> QueryOutput<Pair>
+pub fn block_marking<O, I>(outer: &O, inner: &I, query: &SelectInnerJoinQuery) -> QueryOutput<Pair>
 where
-    O: SpatialIndex + ?Sized,
-    I: SpatialIndex + ?Sized,
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
 {
     block_marking_with_config(outer, inner, query, &BlockMarkingConfig::default())
 }
@@ -74,30 +71,52 @@ pub fn block_marking_with_config<O, I>(
     config: &BlockMarkingConfig,
 ) -> QueryOutput<Pair>
 where
-    O: SpatialIndex + ?Sized,
-    I: SpatialIndex + ?Sized,
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    block_marking_with_mode(outer, inner, query, config, ExecutionMode::Serial)
+}
+
+/// The Block-Marking algorithm under an explicit [`ExecutionMode`].
+///
+/// The preprocessing scan (Procedure 3) is inherently sequential — the
+/// contour-based early stop depends on the order blocks are visited — so it
+/// always runs on one thread. The join phase over the Contributing blocks,
+/// which dominates the cost, is partitioned across worker threads in
+/// parallel mode. Rows (in order) and merged work counters are identical to
+/// the serial run.
+pub fn block_marking_with_mode<O, I>(
+    outer: &O,
+    inner: &I,
+    query: &SelectInnerJoinQuery,
+    config: &BlockMarkingConfig,
+    mode: ExecutionMode,
+) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
 
     // Procedure 2, line 1: the neighborhood of f.
     let nbr_f = knn_select_neighborhood(inner, &query.focal, query.k_select, &mut metrics);
-    let mut rows = Vec::new();
     if nbr_f.is_empty() {
-        return QueryOutput::new(rows, metrics);
+        return QueryOutput::new(Vec::new(), metrics);
     }
 
     // Procedure 2, line 2 / Procedure 3: preprocessing.
     let contributing = preprocess_blocks(outer, inner, query, nbr_f.radius(), config, &mut metrics);
 
-    // Procedure 2, lines 4–12: join only the points of Contributing blocks.
-    for block in &contributing {
+    // Procedure 2, lines 4–12: join only the points of Contributing blocks,
+    // partitioned across workers.
+    let rows = run_partitioned(&contributing, mode, &mut metrics, |block, rows, metrics| {
         for e1 in outer.block_points(block.id) {
-            let nbr_e1 = get_knn(inner, e1, query.k_join, &mut metrics);
+            let nbr_e1 = get_knn(inner, e1, query.k_join, metrics);
             for i in nbr_e1.intersect(&nbr_f) {
                 rows.push(Pair::new(*e1, i));
             }
         }
-    }
+    });
     metrics.tuples_emitted = rows.len() as u64;
     QueryOutput::new(rows, metrics)
 }
@@ -205,8 +224,7 @@ mod tests {
         let outer = grid(scattered(250, 21));
         let inner = grid(scattered(500, 22));
         for (k_join, k_select) in [(1, 1), (2, 2), (3, 6), (6, 2)] {
-            let query =
-                SelectInnerJoinQuery::new(k_join, k_select, Point::anonymous(20.0, 70.0));
+            let query = SelectInnerJoinQuery::new(k_join, k_select, Point::anonymous(20.0, 70.0));
             let bm = block_marking(&outer, &inner, &query);
             let cn = counting(&outer, &inner, &query);
             let cc = conceptual(&outer, &inner, &query);
@@ -279,12 +297,9 @@ mod tests {
     #[test]
     fn empty_focal_neighborhood_short_circuits() {
         let outer = grid(scattered(50, 41));
-        let inner = GridIndex::build_with_bounds(
-            vec![],
-            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
-            2,
-        )
-        .unwrap();
+        let inner =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
         let query = SelectInnerJoinQuery::new(2, 2, Point::anonymous(0.5, 0.5));
         let out = block_marking(&outer, &inner, &query);
         assert!(out.is_empty());

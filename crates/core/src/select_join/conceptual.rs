@@ -3,7 +3,8 @@
 
 use twoknn_index::{Metrics, SpatialIndex};
 
-use crate::join::knn_join_with_metrics;
+use crate::exec::ExecutionMode;
+use crate::join::knn_join_rows_with_mode;
 use crate::output::{Pair, QueryOutput};
 use crate::select::knn_select_neighborhood;
 
@@ -17,12 +18,27 @@ use super::SelectInnerJoinQuery;
 /// outer point — the cost the Counting and Block-Marking algorithms avoid.
 pub fn conceptual<O, I>(outer: &O, inner: &I, query: &SelectInnerJoinQuery) -> QueryOutput<Pair>
 where
-    O: SpatialIndex + ?Sized,
-    I: SpatialIndex + ?Sized,
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    conceptual_with_mode(outer, inner, query, ExecutionMode::Serial)
+}
+
+/// The conceptual QEP under an explicit [`ExecutionMode`]: the full kNN-join
+/// is block-partitioned across worker threads in parallel mode.
+pub fn conceptual_with_mode<O, I>(
+    outer: &O,
+    inner: &I,
+    query: &SelectInnerJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
     let nbr_f = knn_select_neighborhood(inner, &query.focal, query.k_select, &mut metrics);
-    let join_pairs = knn_join_with_metrics(outer, inner, query.k_join, &mut metrics);
+    let join_pairs = knn_join_rows_with_mode(outer, inner, query.k_join, mode, &mut metrics);
     let rows: Vec<Pair> = join_pairs
         .into_iter()
         .filter(|pair| nbr_f.contains_id(pair.right.id))
@@ -144,12 +160,9 @@ mod tests {
     #[test]
     fn conceptual_with_empty_inner_is_empty() {
         let (mechanics, _, query) = setup();
-        let empty = GridIndex::build_with_bounds(
-            vec![],
-            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
-            2,
-        )
-        .unwrap();
+        let empty =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
         assert!(conceptual(&mechanics, &empty, &query).is_empty());
     }
 }

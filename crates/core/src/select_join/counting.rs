@@ -15,8 +15,10 @@
 //!
 //! Only the surviving outer points pay for a neighborhood computation.
 
-use twoknn_index::{get_knn, Metrics, SpatialIndex};
+use twoknn_geometry::Point;
+use twoknn_index::{get_knn, Metrics, Neighborhood, SpatialIndex};
 
+use crate::exec::{run_over_blocks, ExecutionMode};
 use crate::output::{Pair, QueryOutput};
 use crate::select::knn_select_neighborhood;
 
@@ -26,62 +28,99 @@ use super::SelectInnerJoinQuery;
 /// algorithm (Procedure 1).
 pub fn counting<O, I>(outer: &O, inner: &I, query: &SelectInnerJoinQuery) -> QueryOutput<Pair>
 where
-    O: SpatialIndex + ?Sized,
-    I: SpatialIndex + ?Sized,
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    counting_with_mode(outer, inner, query, ExecutionMode::Serial)
+}
+
+/// The Counting algorithm under an explicit [`ExecutionMode`].
+///
+/// The per-outer-point test is independent of every other point, so in
+/// parallel mode the outer relation's blocks are partitioned across worker
+/// threads. The result rows (in order) and the merged work counters are
+/// identical to the serial run.
+pub fn counting_with_mode<O, I>(
+    outer: &O,
+    inner: &I,
+    query: &SelectInnerJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
 
     // Line 1: the neighborhood of f (the kNN-select side).
     let nbr_f = knn_select_neighborhood(inner, &query.focal, query.k_select, &mut metrics);
-    let mut rows = Vec::new();
     if nbr_f.is_empty() {
         // An empty select result can never intersect any join neighborhood.
-        return QueryOutput::new(rows, metrics);
+        return QueryOutput::new(Vec::new(), metrics);
     }
 
-    // Lines 3–22: per outer tuple.
-    for block in outer.blocks() {
-        for e1 in outer.block_points(block.id) {
-            // Line 5: distance from e1 to the nearest member of nbr_f.
-            let search_threshold = nbr_f
-                .nearest_distance_from(e1)
-                .expect("nbr_f is non-empty here");
-            metrics.distance_computations += nbr_f.len() as u64;
-
-            // Lines 6–14: count inner points in blocks completely included
-            // within the search threshold, scanning in MAXDIST order from e1.
-            let mut count = 0usize;
-            let mut max_order = inner.maxdist_order(e1);
-            while count <= query.k_join {
-                let Some(ob) = max_order.next() else {
-                    break;
-                };
-                metrics.blocks_scanned += 1;
-                if ob.distance >= search_threshold {
-                    // This block (and all following ones) is not *strictly*
-                    // included within the search threshold. Using `>=` keeps
-                    // the pruning sound even when an inner point lies at
-                    // exactly the threshold distance (a tie the paper's
-                    // pseudocode ignores).
-                    break;
-                }
-                count += ob.block.count;
+    // Lines 3–22: per outer tuple, partitioned by outer block.
+    let rows = run_over_blocks(
+        outer.blocks(),
+        mode,
+        &mut metrics,
+        |block, rows, metrics| {
+            for e1 in outer.block_points(block.id) {
+                counting_test_point(e1, inner, &nbr_f, query, rows, metrics);
             }
-
-            // Lines 15–21: only compute e1's neighborhood if the count did not
-            // prove the intersection impossible.
-            if count <= query.k_join {
-                let nbr_e1 = get_knn(inner, e1, query.k_join, &mut metrics);
-                for i in nbr_e1.intersect(&nbr_f) {
-                    rows.push(Pair::new(*e1, i));
-                }
-            } else {
-                metrics.points_pruned += 1;
-            }
-        }
-    }
+        },
+    );
     metrics.tuples_emitted = rows.len() as u64;
     QueryOutput::new(rows, metrics)
+}
+
+/// Procedure 1, lines 5–21, for a single outer point.
+fn counting_test_point<I>(
+    e1: &Point,
+    inner: &I,
+    nbr_f: &Neighborhood,
+    query: &SelectInnerJoinQuery,
+    rows: &mut Vec<Pair>,
+    metrics: &mut Metrics,
+) where
+    I: SpatialIndex + ?Sized,
+{
+    // Line 5: distance from e1 to the nearest member of nbr_f.
+    let search_threshold = nbr_f
+        .nearest_distance_from(e1)
+        .expect("nbr_f is non-empty here");
+    metrics.distance_computations += nbr_f.len() as u64;
+
+    // Lines 6–14: count inner points in blocks completely included
+    // within the search threshold, scanning in MAXDIST order from e1.
+    let mut count = 0usize;
+    let mut max_order = inner.maxdist_order(e1);
+    while count <= query.k_join {
+        let Some(ob) = max_order.next() else {
+            break;
+        };
+        metrics.blocks_scanned += 1;
+        if ob.distance >= search_threshold {
+            // This block (and all following ones) is not *strictly*
+            // included within the search threshold. Using `>=` keeps
+            // the pruning sound even when an inner point lies at
+            // exactly the threshold distance (a tie the paper's
+            // pseudocode ignores).
+            break;
+        }
+        count += ob.block.count;
+    }
+
+    // Lines 15–21: only compute e1's neighborhood if the count did not
+    // prove the intersection impossible.
+    if count <= query.k_join {
+        let nbr_e1 = get_knn(inner, e1, query.k_join, metrics);
+        for i in nbr_e1.intersect(nbr_f) {
+            rows.push(Pair::new(*e1, i));
+        }
+    } else {
+        metrics.points_pruned += 1;
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +138,7 @@ mod tests {
     fn scattered(n: usize, seed: u64) -> Vec<Point> {
         (0..n)
             .map(|i| {
-                let h = i as u64 * 2654435761 ^ seed.wrapping_mul(0x9E3779B97F4A7C15);
+                let h = (i as u64 * 2654435761) ^ seed.wrapping_mul(0x9E3779B97F4A7C15);
                 Point::new(
                     i as u64,
                     (h % 1000) as f64 * 0.1,
@@ -114,8 +153,7 @@ mod tests {
         let outer = grid(scattered(150, 1));
         let inner = grid(scattered(400, 2));
         for (k_join, k_select) in [(1, 1), (2, 2), (4, 8), (8, 3)] {
-            let query =
-                SelectInnerJoinQuery::new(k_join, k_select, Point::anonymous(30.0, 40.0));
+            let query = SelectInnerJoinQuery::new(k_join, k_select, Point::anonymous(30.0, 40.0));
             let fast = counting(&outer, &inner, &query);
             let slow = conceptual(&outer, &inner, &query);
             assert_eq!(
@@ -172,12 +210,9 @@ mod tests {
     #[test]
     fn empty_inner_relation_yields_empty_result() {
         let outer = grid(scattered(10, 1));
-        let inner = GridIndex::build_with_bounds(
-            vec![],
-            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
-            2,
-        )
-        .unwrap();
+        let inner =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
         let query = SelectInnerJoinQuery::new(2, 2, Point::anonymous(0.0, 0.0));
         assert!(counting(&outer, &inner, &query).is_empty());
     }

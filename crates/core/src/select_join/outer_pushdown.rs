@@ -14,7 +14,8 @@
 
 use twoknn_index::{Metrics, SpatialIndex};
 
-use crate::join::{knn_join_points, knn_join_with_metrics};
+use crate::exec::ExecutionMode;
+use crate::join::{knn_join_points, knn_join_rows_with_mode};
 use crate::output::{Pair, QueryOutput};
 use crate::select::knn_select_neighborhood;
 
@@ -49,12 +50,29 @@ pub fn select_on_outer_after_join<O, I>(
     query: &SelectOuterJoinQuery,
 ) -> QueryOutput<Pair>
 where
-    O: SpatialIndex + ?Sized,
-    I: SpatialIndex + ?Sized,
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    select_on_outer_after_join_with_mode(outer, inner, query, ExecutionMode::Serial)
+}
+
+/// QEP2 of Figure 3 under an explicit [`ExecutionMode`]: the full join is
+/// block-partitioned across worker threads in parallel mode. (The pushdown
+/// QEP1 only ever joins the `kσ` selected points, so it has no parallel
+/// variant — it is already the cheap plan.)
+pub fn select_on_outer_after_join_with_mode<O, I>(
+    outer: &O,
+    inner: &I,
+    query: &SelectOuterJoinQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
     let selected = knn_select_neighborhood(outer, &query.focal, query.k_select, &mut metrics);
-    let join_pairs = knn_join_with_metrics(outer, inner, query.k_join, &mut metrics);
+    let join_pairs = knn_join_rows_with_mode(outer, inner, query.k_join, mode, &mut metrics);
     let rows: Vec<Pair> = join_pairs
         .into_iter()
         .filter(|pair| selected.contains_id(pair.left.id))
@@ -88,8 +106,7 @@ mod tests {
         let outer = GridIndex::build(scattered(200, 5), 8).unwrap();
         let inner = GridIndex::build(scattered(300, 6), 8).unwrap();
         for (k_join, k_select) in [(1, 1), (2, 2), (3, 10), (8, 4)] {
-            let query =
-                SelectOuterJoinQuery::new(k_join, k_select, Point::anonymous(40.0, 40.0));
+            let query = SelectOuterJoinQuery::new(k_join, k_select, Point::anonymous(40.0, 40.0));
             let a = select_on_outer_pushdown(&outer, &inner, &query);
             let b = select_on_outer_after_join(&outer, &inner, &query);
             assert_eq!(

@@ -191,8 +191,7 @@ where
             false
         } else {
             let nbr_center = get_knn(inner, &center, query.k_join, &mut metrics);
-            nbr_center.len() >= query.k_join
-                && nbr_center.radius() + block.diagonal() < range_dist
+            nbr_center.len() >= query.k_join && nbr_center.radius() + block.diagonal() < range_dist
         };
         if non_contributing {
             metrics.blocks_pruned += 1;
@@ -221,7 +220,8 @@ mod tests {
     fn scattered(n: usize, seed: u64) -> Vec<Point> {
         (0..n)
             .map(|i| {
-                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed.wrapping_mul(0xC2B2AE3D27D4EB4F);
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                    ^ seed.wrapping_mul(0xC2B2AE3D27D4EB4F);
                 Point::new(
                     i as u64,
                     (h % 1009) as f64 * 0.1,
@@ -288,9 +288,7 @@ mod tests {
         assert_eq!(pair_id_set(&marking.rows), pair_id_set(&reference.rows));
         assert!(counting.metrics.points_pruned > 200, "{}", counting.metrics);
         assert!(marking.metrics.blocks_pruned > 0, "{}", marking.metrics);
-        assert!(
-            marking.metrics.neighborhoods_computed < reference.metrics.neighborhoods_computed
-        );
+        assert!(marking.metrics.neighborhoods_computed < reference.metrics.neighborhoods_computed);
     }
 
     #[test]

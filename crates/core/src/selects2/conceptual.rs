@@ -97,7 +97,12 @@ mod tests {
     fn sequential_evaluation_differs_from_conceptual() {
         let e = houses();
         // Work at the left end, school at the right end.
-        let q = TwoSelectsQuery::new(5, Point::anonymous(0.0, 0.0), 5, Point::anonymous(29.0, 0.0));
+        let q = TwoSelectsQuery::new(
+            5,
+            Point::anonymous(0.0, 0.0),
+            5,
+            Point::anonymous(29.0, 0.0),
+        );
         let correct = point_id_set(&two_selects_conceptual(&e, &q).rows);
         let wrong_a = point_id_set(&two_selects_wrong_sequential(&e, &q, true).rows);
         let wrong_b = point_id_set(&two_selects_wrong_sequential(&e, &q, false).rows);
@@ -113,8 +118,18 @@ mod tests {
     #[test]
     fn conceptual_intersection_is_symmetric_in_the_predicates() {
         let e = houses();
-        let q = TwoSelectsQuery::new(8, Point::anonymous(10.0, 1.0), 12, Point::anonymous(14.0, 2.0));
-        let swapped = TwoSelectsQuery::new(12, Point::anonymous(14.0, 2.0), 8, Point::anonymous(10.0, 1.0));
+        let q = TwoSelectsQuery::new(
+            8,
+            Point::anonymous(10.0, 1.0),
+            12,
+            Point::anonymous(14.0, 2.0),
+        );
+        let swapped = TwoSelectsQuery::new(
+            12,
+            Point::anonymous(14.0, 2.0),
+            8,
+            Point::anonymous(10.0, 1.0),
+        );
         assert_eq!(
             point_id_set(&two_selects_conceptual(&e, &q).rows),
             point_id_set(&two_selects_conceptual(&e, &swapped).rows)
@@ -124,7 +139,12 @@ mod tests {
     #[test]
     fn overlapping_predicates_return_the_overlap() {
         let e = houses();
-        let q = TwoSelectsQuery::new(4, Point::anonymous(5.0, 0.0), 20, Point::anonymous(6.0, 0.0));
+        let q = TwoSelectsQuery::new(
+            4,
+            Point::anonymous(5.0, 0.0),
+            20,
+            Point::anonymous(6.0, 0.0),
+        );
         let out = two_selects_conceptual(&e, &q);
         // Every member of the smaller-k neighborhood near (5,0) is also among
         // the 20 nearest of (6,0), so the intersection equals the k1 set.

@@ -47,7 +47,12 @@ mod tests {
 
     #[test]
     fn descriptor_holds_parameters() {
-        let q = TwoSelectsQuery::new(5, Point::anonymous(0.0, 0.0), 100, Point::anonymous(1.0, 1.0));
+        let q = TwoSelectsQuery::new(
+            5,
+            Point::anonymous(0.0, 0.0),
+            100,
+            Point::anonymous(1.0, 1.0),
+        );
         assert_eq!(q.k1, 5);
         assert_eq!(q.k2, 100);
     }

@@ -45,9 +45,7 @@ where
 
     // Line 6: search threshold = distance from f2 to the farthest member of
     // nbr1 (so that the bounded locality of f2 is guaranteed to cover nbr1).
-    let search_threshold = nbr1
-        .farthest_distance_from(&f2)
-        .expect("nbr1 is non-empty");
+    let search_threshold = nbr1.farthest_distance_from(&f2).expect("nbr1 is non-empty");
     metrics.distance_computations += nbr1.len() as u64;
 
     // Lines 7–32: bounded locality of f2 and its neighborhood.
@@ -149,12 +147,9 @@ mod tests {
 
     #[test]
     fn empty_relation_returns_empty() {
-        let empty = GridIndex::build_with_bounds(
-            vec![],
-            twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0),
-            2,
-        )
-        .unwrap();
+        let empty =
+            GridIndex::build_with_bounds(vec![], twoknn_geometry::Rect::new(0.0, 0.0, 1.0, 1.0), 2)
+                .unwrap();
         let q = TwoSelectsQuery::new(3, Point::anonymous(0.0, 0.0), 5, Point::anonymous(1.0, 1.0));
         assert!(two_knn_select(&empty, &q).is_empty());
     }

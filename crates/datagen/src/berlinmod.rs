@@ -18,9 +18,9 @@
 //! of points — the property that drives the pruning behaviour of the paper's
 //! algorithms. The substitution is documented in `DESIGN.md`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use twoknn_geometry::{Point, Rect};
+
+use crate::rng::StdRng;
 
 /// Configuration of the synthetic BerlinMOD-like generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,12 +110,18 @@ pub fn berlinmod(config: &BerlinModConfig) -> Vec<Point> {
                 if travelled <= leg_x {
                     (home.0 + (work.0 - home.0).signum() * travelled, home.1)
                 } else {
-                    (work.0, home.1 + (work.1 - home.1).signum() * (travelled - leg_x))
+                    (
+                        work.0,
+                        home.1 + (work.1 - home.1).signum() * (travelled - leg_x),
+                    )
                 }
             } else if travelled <= leg_y {
                 (home.0, home.1 + (work.1 - home.1).signum() * travelled)
             } else {
-                (home.0 + (work.0 - home.0).signum() * (travelled - leg_y), work.1)
+                (
+                    home.0 + (work.0 - home.0).signum() * (travelled - leg_y),
+                    work.1,
+                )
             }
         };
         // GPS-like jitter around the street.

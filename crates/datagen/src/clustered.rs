@@ -5,9 +5,9 @@
 //! of points (4000), have the same area, and are non-overlapping. We vary the
 //! number of clusters."
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use twoknn_geometry::{Point, Rect};
+
+use crate::rng::StdRng;
 
 /// Configuration for the clustered generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +93,11 @@ pub fn clustered(config: &ClusterConfig) -> Vec<Point> {
             // Uniform inside the circle of radius r.
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
             let rho = r * rng.gen_range(0.0f64..1.0).sqrt();
-            points.push(Point::new(id, cx + rho * theta.cos(), cy + rho * theta.sin()));
+            points.push(Point::new(
+                id,
+                cx + rho * theta.cos(),
+                cy + rho * theta.sin(),
+            ));
             id += 1;
         }
     }
@@ -123,8 +127,7 @@ mod tests {
         let pts = clustered(&cfg);
         // Group by cluster index (ids are assigned cluster by cluster).
         for c in 0..3 {
-            let chunk =
-                &pts[c * cfg.points_per_cluster..(c + 1) * cfg.points_per_cluster];
+            let chunk = &pts[c * cfg.points_per_cluster..(c + 1) * cfg.points_per_cluster];
             let bbox = Rect::bounding(chunk).unwrap();
             assert!(bbox.width() <= 2.0 * cfg.cluster_radius + 1e-6);
             assert!(bbox.height() <= 2.0 * cfg.cluster_radius + 1e-6);

@@ -26,6 +26,7 @@
 
 mod berlinmod;
 mod clustered;
+pub mod rng;
 mod spec;
 mod uniform;
 

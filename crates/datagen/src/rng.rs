@@ -1,0 +1,167 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The workspace builds without external dependencies, so instead of the
+//! `rand` crate the generators use this xoshiro256++ implementation (Blackman
+//! & Vigna), seeded through SplitMix64 exactly as the reference code
+//! recommends. The API mirrors the subset of `rand::rngs::StdRng` the
+//! generators need (`seed_from_u64`, `gen_range`, `gen_bool`), so the
+//! call sites read the same as the idiomatic `rand` code they replace.
+//!
+//! Determinism is part of the public contract: for a given seed the sequence
+//! is stable across platforms and releases, because benchmark workloads and
+//! test fixtures are derived from it.
+
+/// A deterministic xoshiro256++ generator with a `StdRng`-like API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 state expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples uniformly from a range. Supports `a..b` and `a..=b` over `f64`
+    /// and `a..b` over `usize`, matching the call sites in this crate.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// A range that [`StdRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        debug_assert!(lo <= hi, "empty inclusive f64 range");
+        // Stretch the [0, 1) sample by one ulp so values at the top of the
+        // unit interval round up to (and are clamped at) `hi`, making the
+        // inclusive endpoint actually reachable.
+        (lo + rng.next_f64() * (1.0 + f64::EPSILON) * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        debug_assert!(self.start < self.end, "empty usize range");
+        let span = (self.end - self.start) as u64;
+        // Multiply-shift bounded sampling (Lemire); the slight modulo bias of
+        // naive `% span` would be fine for workload generation, but this is
+        // just as cheap and exactly uniform for spans far below 2^64.
+        let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            let w = rng.gen_range(-5.0..=5.0);
+            assert!((-5.0..=5.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn usize_samples_cover_the_range_uniformly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c} too skewed");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_returns_endpoint() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(2.5..=2.5), 2.5);
+    }
+}

@@ -96,7 +96,9 @@ mod tests {
     #[test]
     fn labels_are_descriptive() {
         assert_eq!(DatasetSpec::uniform(10, 0).label(), "uniform(10)");
-        assert!(DatasetSpec::clustered(3, 0).label().starts_with("clustered(3x"));
+        assert!(DatasetSpec::clustered(3, 0)
+            .label()
+            .starts_with("clustered(3x"));
         assert_eq!(DatasetSpec::berlinmod(99, 0).label(), "berlinmod(99)");
     }
 

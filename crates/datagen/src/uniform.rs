@@ -1,8 +1,8 @@
 //! Uniformly distributed point sets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use twoknn_geometry::{Point, Rect};
+
+use crate::rng::StdRng;
 
 /// Generates `n` points uniformly distributed over `extent`.
 ///

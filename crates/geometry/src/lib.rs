@@ -21,9 +21,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod distance;
 mod point;
 mod rect;
-mod distance;
 
 pub use distance::{euclidean, euclidean_sq, maxdist, maxdist_sq, mindist, mindist_sq};
 pub use point::{Point, PointId};

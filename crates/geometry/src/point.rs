@@ -14,7 +14,6 @@ pub type PointId = u64;
 /// Coordinates are `f64`; the paper's algorithms use plain Euclidean distance
 /// (Section 1: "For simplicity, we use the Euclidean distance").
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Identifier, unique within the relation this point belongs to.
     pub id: PointId,

@@ -9,7 +9,6 @@ use crate::{GeomResult, GeometryError, Point};
 /// per-block quantities used by the algorithms — center, diagonal length,
 /// MINDIST/MAXDIST from a query point — are derived from this type.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     /// Smallest x coordinate.
     pub min_x: f64,

@@ -223,7 +223,12 @@ mod tests {
     fn locality_knn_matches_brute_force_on_grid() {
         let g = GridIndex::build(pts(1500), 14).unwrap();
         let mut m = Metrics::default();
-        for (x, y, k) in [(10.0, 20.0, 1), (55.0, 64.0, 7), (0.0, 0.0, 25), (111.0, 1.0, 64)] {
+        for (x, y, k) in [
+            (10.0, 20.0, 1),
+            (55.0, 64.0, 7),
+            (0.0, 0.0, 25),
+            (111.0, 1.0, 64),
+        ] {
             let q = Point::anonymous(x, y);
             let got = get_knn(&g, &q, k, &mut m);
             let want = brute_force_knn(&g, &q, k);

@@ -63,3 +63,18 @@ pub use ordering::{BlockOrder, OrderMetric, OrderedBlock, OrderedF64};
 pub use quadtree::QuadtreeIndex;
 pub use rtree::StrRTree;
 pub use traits::{check_index_invariants, SpatialIndex};
+
+// The parallel executors in `twoknn-core` share index references across
+// worker threads, so every index implementation must be `Send + Sync`. The
+// structures are plain owned data without interior mutability, so the auto
+// traits apply; these assertions turn an accidental regression (e.g. adding
+// an `Rc` or `Cell` field) into a compile error instead of a downstream one.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GridIndex>();
+    assert_send_sync::<QuadtreeIndex>();
+    assert_send_sync::<StrRTree>();
+    assert_send_sync::<Metrics>();
+    assert_send_sync::<Neighborhood>();
+    assert_send_sync::<BlockMeta>();
+};

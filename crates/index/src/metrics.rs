@@ -50,6 +50,16 @@ impl Metrics {
     pub fn work(&self) -> u64 {
         self.neighborhoods_computed + self.blocks_scanned
     }
+
+    /// Folds another record into this one, field by field.
+    ///
+    /// This is the merge step of parallel execution: every worker thread
+    /// accumulates into its own `Metrics` and the driver merges them, so a
+    /// parallel run reports the same totals as the equivalent serial run
+    /// (the counters are sums of schedule-independent per-item work).
+    pub fn merge(&mut self, other: &Metrics) {
+        *self += *other;
+    }
 }
 
 impl std::ops::AddAssign for Metrics {
@@ -116,6 +126,23 @@ mod tests {
         assert_eq!(a.neighborhoods_computed, 2);
         assert_eq!(a.points_pruned, 20);
         assert_eq!(a.work(), 2 + 4);
+    }
+
+    #[test]
+    fn merge_matches_add_assign() {
+        let a = Metrics {
+            neighborhoods_computed: 2,
+            cache_hits: 5,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            neighborhoods_computed: 3,
+            blocks_pruned: 7,
+            ..Metrics::default()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, a + b);
     }
 
     #[test]

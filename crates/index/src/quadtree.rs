@@ -184,13 +184,11 @@ impl SpatialIndex for QuadtreeIndex {
         if !self.bounds.expanded(1e-9).contains(p) {
             return None;
         }
-        // Leaves tile the space; a linear scan would be correct but slow, so
-        // descend geometrically: find the leaf whose footprint contains p,
-        // preferring the one that tiles the containing region.
-        self.blocks
-            .iter()
-            .find(|b| b.mbr.contains(p))
-            .map(|b| b.id)
+        // Leaves tile the space, so the first leaf whose footprint contains p
+        // is the answer. This is a linear scan over the leaves — O(num_blocks)
+        // per lookup; fine at current scales, but a tree descent would make it
+        // O(depth) if locate() ever shows up in profiles.
+        self.blocks.iter().find(|b| b.mbr.contains(p)).map(|b| b.id)
     }
 }
 

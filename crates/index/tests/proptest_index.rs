@@ -1,97 +1,120 @@
-//! Property-based tests of the index layer: block orderings, neighborhood
-//! semantics, and the locality algorithm, on randomly generated point sets.
+//! Property-style tests of the index layer: block orderings, neighborhood
+//! semantics, and the locality algorithm, on deterministic random point sets.
+//! (`proptest` is not available offline; each property loops over seeded
+//! cases drawn from the workspace's own RNG — same invariants, reproducible
+//! failures.)
 
-use proptest::prelude::*;
+use twoknn_datagen::rng::StdRng;
 use twoknn_geometry::Point;
 use twoknn_index::{
     brute_force_knn, check_index_invariants, get_knn, BlockOrder, GridIndex, Locality, Metrics,
     OrderMetric, QuadtreeIndex, SpatialIndex,
 };
 
-fn points(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0f64..200.0, 0.0f64..200.0), 1..=max_n).prop_map(|coords| {
-        coords
-            .into_iter()
-            .enumerate()
-            .map(|(i, (x, y))| Point::new(i as u64, x, y))
+const CASES: u64 = 64;
+
+/// Thin adapter keeping the property bodies terse.
+struct TestRng(StdRng);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.0.gen_range(lo..hi)
+    }
+
+    fn points(&mut self, max_n: usize) -> Vec<Point> {
+        let n = self.usize(1, max_n + 1);
+        (0..n)
+            .map(|i| Point::new(i as u64, self.f64(0.0, 200.0), self.f64(0.0, 200.0)))
             .collect()
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Block orderings yield every block exactly once, in non-decreasing
-    /// distance order, for both metrics.
-    #[test]
-    fn block_orderings_are_complete_and_sorted(
-        pts in points(200),
-        qx in -50.0f64..250.0,
-        qy in -50.0f64..250.0,
-        cells in 2usize..10,
-    ) {
+/// Block orderings yield every block exactly once, in non-decreasing distance
+/// order, for both metrics.
+#[test]
+fn block_orderings_are_complete_and_sorted() {
+    for case in 0..CASES {
+        let mut rng = TestRng::new(case);
+        let pts = rng.points(200);
+        let cells = rng.usize(2, 10);
         let grid = GridIndex::build(pts, cells).unwrap();
-        let q = Point::anonymous(qx, qy);
+        let q = Point::anonymous(rng.f64(-50.0, 250.0), rng.f64(-50.0, 250.0));
         for metric in [OrderMetric::MinDist, OrderMetric::MaxDist] {
             let mut seen = std::collections::HashSet::new();
             let mut prev = f64::NEG_INFINITY;
             for ob in BlockOrder::new(grid.blocks(), &q, metric) {
-                prop_assert!(ob.distance + 1e-9 >= prev);
+                assert!(ob.distance + 1e-9 >= prev, "case {case}");
                 prev = ob.distance;
-                prop_assert!(seen.insert(ob.block.id));
+                assert!(seen.insert(ob.block.id), "case {case}");
             }
-            prop_assert_eq!(seen.len(), grid.num_blocks());
+            assert_eq!(seen.len(), grid.num_blocks(), "case {case}");
         }
     }
+}
 
-    /// The neighborhood returned by getkNN has the documented shape: at most
-    /// k members, sorted by distance, all within the brute-force radius.
-    #[test]
-    fn neighborhood_shape_and_radius(
-        pts in points(250),
-        qx in 0.0f64..200.0,
-        qy in 0.0f64..200.0,
-        k in 1usize..25,
-        cells in 2usize..12,
-    ) {
+/// The neighborhood returned by getkNN has the documented shape: at most k
+/// members, sorted by distance, all within the brute-force radius.
+#[test]
+fn neighborhood_shape_and_radius() {
+    for case in 0..CASES {
+        let mut rng = TestRng::new(1_000 + case);
+        let pts = rng.points(250);
+        let cells = rng.usize(2, 12);
+        let k = rng.usize(1, 25);
         let grid = GridIndex::build(pts, cells).unwrap();
-        let q = Point::anonymous(qx, qy);
+        let q = Point::anonymous(rng.f64(0.0, 200.0), rng.f64(0.0, 200.0));
         let mut m = Metrics::default();
         let nbr = get_knn(&grid, &q, k, &mut m);
-        prop_assert!(nbr.len() <= k);
-        prop_assert_eq!(nbr.len(), k.min(grid.num_points()));
+        assert!(nbr.len() <= k, "case {case}");
+        assert_eq!(nbr.len(), k.min(grid.num_points()), "case {case}");
         let dists: Vec<f64> = nbr.members().iter().map(|n| n.distance).collect();
-        prop_assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "case {case}"
+        );
         let oracle = brute_force_knn(&grid, &q, k);
-        prop_assert!((nbr.radius() - oracle.radius()).abs() < 1e-9);
+        assert!((nbr.radius() - oracle.radius()).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// The locality's point count is at least min(k, n) and its blocks all
-    /// hold at least one point.
-    #[test]
-    fn locality_is_sufficient_and_nonempty(
-        pts in points(250),
-        qx in 0.0f64..200.0,
-        qy in 0.0f64..200.0,
-        k in 1usize..30,
-    ) {
+/// The locality's point count is at least min(k, n) and its blocks all hold
+/// at least one point.
+#[test]
+fn locality_is_sufficient_and_nonempty() {
+    for case in 0..CASES {
+        let mut rng = TestRng::new(2_000 + case);
+        let pts = rng.points(250);
         let n = pts.len();
+        let k = rng.usize(1, 30);
         let grid = GridIndex::build(pts, 8).unwrap();
-        let q = Point::anonymous(qx, qy);
+        let q = Point::anonymous(rng.f64(0.0, 200.0), rng.f64(0.0, 200.0));
         let mut m = Metrics::default();
         let loc = Locality::build(&grid, &q, k, &mut m);
-        prop_assert!(loc.point_count() >= k.min(n));
-        prop_assert!(loc.blocks().iter().all(|b| b.count > 0));
+        assert!(loc.point_count() >= k.min(n), "case {case}");
+        assert!(loc.blocks().iter().all(|b| b.count > 0), "case {case}");
     }
+}
 
-    /// Quadtree leaves partition the point set (every point is in exactly one
-    /// leaf) and the index invariants hold for random capacities.
-    #[test]
-    fn quadtree_partitions_points(pts in points(300), capacity in 1usize..40) {
+/// Quadtree leaves partition the point set (every point is in exactly one
+/// leaf) and the index invariants hold for random capacities.
+#[test]
+fn quadtree_partitions_points() {
+    for case in 0..CASES {
+        let mut rng = TestRng::new(3_000 + case);
+        let pts = rng.points(300);
+        let capacity = rng.usize(1, 40);
         let n = pts.len();
         let quad = QuadtreeIndex::build(pts, capacity).unwrap();
-        check_index_invariants(&quad).map_err(|e| TestCaseError::fail(e))?;
+        check_index_invariants(&quad).unwrap_or_else(|e| panic!("case {case}: {e}"));
         let total: usize = quad.blocks().iter().map(|b| b.count).sum();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n, "case {case}");
     }
 }

@@ -64,7 +64,10 @@ fn main() {
 
     // Unequal k: where the 2-kNN-select algorithm shines.
     println!("\nk_work = 10 fixed, increasing k_school (the paper's Figure 26 setup):");
-    println!("{:>10} {:>22} {:>22}", "k_school", "conceptual pts scanned", "2-kNN-select pts scanned");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "k_school", "conceptual pts scanned", "2-kNN-select pts scanned"
+    );
     for exp in 0..=8 {
         let k_school = 10usize << exp;
         let q = TwoSelectsQuery::new(10, work, k_school, school);

@@ -19,7 +19,10 @@ fn main() {
     let correct = LogicalExpr::relation("Mechanics")
         .knn_join(LogicalExpr::relation("Hotels"), 2)
         .intersect_on_inner(LogicalExpr::relation("Hotels").knn_select(2, shopping_center));
-    println!("correct composite validates: {:?}", correct.validate().is_ok());
+    println!(
+        "correct composite validates: {:?}",
+        correct.validate().is_ok()
+    );
 
     // The classical pushdown: select below the join's inner relation.
     let pushed = LogicalExpr::relation("Mechanics").knn_join(
@@ -37,7 +40,9 @@ fn main() {
         .knn_join(LogicalExpr::relation("Hotels"), 2);
     println!(
         "outer-select pushdown allowed: {:?}",
-        outer_pushed.apply(Rewrite::PushSelectBelowJoinOuter).is_ok()
+        outer_pushed
+            .apply(Rewrite::PushSelectBelowJoinOuter)
+            .is_ok()
     );
     println!(
         "sequentializing two selects allowed: {:?}\n",

@@ -89,10 +89,22 @@ fn main() {
     assert_eq!(triplet_id_set(&p2.rows), triplet_id_set(&p3.rows));
     assert_eq!(triplet_id_set(&p3.rows), triplet_id_set(&p3c.rows));
 
-    println!("chained: {} triplets; neighborhoods computed per plan:", p3c.len());
-    println!("  QEP1 right-deep          : {:>8}", p1.metrics.neighborhoods_computed);
-    println!("  QEP2 join-intersection   : {:>8}", p2.metrics.neighborhoods_computed);
-    println!("  QEP3 nested (no cache)   : {:>8}", p3.metrics.neighborhoods_computed);
+    println!(
+        "chained: {} triplets; neighborhoods computed per plan:",
+        p3c.len()
+    );
+    println!(
+        "  QEP1 right-deep          : {:>8}",
+        p1.metrics.neighborhoods_computed
+    );
+    println!(
+        "  QEP2 join-intersection   : {:>8}",
+        p2.metrics.neighborhoods_computed
+    );
+    println!(
+        "  QEP3 nested (no cache)   : {:>8}",
+        p3.metrics.neighborhoods_computed
+    );
     println!(
         "  QEP3 nested + cache      : {:>8}   ({} cache hits)",
         p3c.metrics.neighborhoods_computed, p3c.metrics.cache_hits

@@ -2,6 +2,7 @@
 //! (BerlinMOD-like and clustered) workloads, plus the parallel join operator.
 
 use two_knn::core::join::{knn_join, knn_join_parallel};
+use two_knn::core::joins2::ChainedJoinQuery;
 use two_knn::core::joins2::UnchainedJoinQuery;
 use two_knn::core::output::pair_id_set;
 use two_knn::core::plan::{
@@ -10,7 +11,6 @@ use two_knn::core::plan::{
 };
 use two_knn::core::select_join::SelectInnerJoinQuery;
 use two_knn::core::selects2::TwoSelectsQuery;
-use two_knn::core::joins2::ChainedJoinQuery;
 use two_knn::datagen::{berlinmod, clustered, BerlinModConfig, ClusterConfig};
 use two_knn::{GridIndex, Point};
 
@@ -135,7 +135,10 @@ fn every_query_shape_executes_and_strategies_agree_on_results() {
     };
     let auto = db.execute(&spec).unwrap();
     let reference = db
-        .execute_with(&spec, Strategy::SelectInner(SelectInnerStrategy::Conceptual))
+        .execute_with(
+            &spec,
+            Strategy::SelectInner(SelectInnerStrategy::Conceptual),
+        )
         .unwrap();
     assert_eq!(auto.num_rows(), reference.num_rows());
 
@@ -160,12 +163,7 @@ fn every_query_shape_executes_and_strategies_agree_on_results() {
     // Two selects: the auto strategy is the 2-kNN-select algorithm.
     let selects = QuerySpec::TwoSelects {
         relation: "Hotels".into(),
-        query: TwoSelectsQuery::new(
-            8,
-            center(),
-            512,
-            Point::anonymous(52_000.0, 51_000.0),
-        ),
+        query: TwoSelectsQuery::new(8, center(), 512, Point::anonymous(52_000.0, 51_000.0)),
     };
     let fast = db.execute(&selects).unwrap();
     assert_eq!(
@@ -173,7 +171,10 @@ fn every_query_shape_executes_and_strategies_agree_on_results() {
         Strategy::TwoSelects(TwoSelectsStrategy::TwoKnnSelect)
     );
     let slow = db
-        .execute_with(&selects, Strategy::TwoSelects(TwoSelectsStrategy::Conceptual))
+        .execute_with(
+            &selects,
+            Strategy::TwoSelects(TwoSelectsStrategy::Conceptual),
+        )
         .unwrap();
     match (fast, slow) {
         (QueryResult::Points { output: f, .. }, QueryResult::Points { output: s, .. }) => {

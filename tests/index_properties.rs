@@ -1,23 +1,28 @@
-//! Property-based tests of the index substrate: structural invariants of the
+//! Property-style tests of the index substrate: structural invariants of the
 //! three index types, MINDIST/MAXDIST bounds, and correctness of the
 //! locality-based kNN against a brute-force oracle (DESIGN.md §5, 6–9).
+//! Inputs come from the workspace's deterministic RNG instead of `proptest`.
 
-use proptest::prelude::*;
-
+use two_knn::datagen::rng::StdRng;
 use two_knn::geometry::{euclidean, maxdist, mindist};
 use two_knn::index::{
     brute_force_knn, check_index_invariants, get_knn, get_knn_best_first, Locality, Metrics,
 };
 use two_knn::{GridIndex, Point, QuadtreeIndex, Rect, SpatialIndex, StrRTree};
 
-fn points(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..=max_n).prop_map(|coords| {
-        coords
-            .into_iter()
-            .enumerate()
-            .map(|(i, (x, y))| Point::new(i as u64, x, y))
-            .collect()
-    })
+const CASES: u64 = 64;
+
+fn points(rng: &mut StdRng, max_n: usize) -> Vec<Point> {
+    let n = rng.gen_range(1..max_n + 1);
+    (0..n)
+        .map(|i| {
+            Point::new(
+                i as u64,
+                rng.gen_range(0.0f64..1000.0),
+                rng.gen_range(0.0f64..1000.0),
+            )
+        })
+        .collect()
 }
 
 fn sorted_ids(n: &two_knn::Neighborhood) -> Vec<u64> {
@@ -32,90 +37,109 @@ fn radii_equal(a: &two_knn::Neighborhood, b: &two_knn::Neighborhood) -> bool {
     (a.radius() - b.radius()).abs() < 1e-9 && a.len() == b.len()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// MINDIST ≤ d(p, q) ≤ MAXDIST for every q inside the rectangle.
-    #[test]
-    fn mindist_and_maxdist_bound_point_distances(
-        px in -100.0f64..1100.0,
-        py in -100.0f64..1100.0,
-        x0 in 0.0f64..500.0,
-        y0 in 0.0f64..500.0,
-        w in 0.1f64..400.0,
-        h in 0.1f64..400.0,
-        fx in 0.0f64..1.0,
-        fy in 0.0f64..1.0,
-    ) {
+/// MINDIST ≤ d(p, q) ≤ MAXDIST for every q inside the rectangle.
+#[test]
+fn mindist_and_maxdist_bound_point_distances() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let p = Point::anonymous(
+            rng.gen_range(-100.0f64..1100.0),
+            rng.gen_range(-100.0f64..1100.0),
+        );
+        let x0 = rng.gen_range(0.0f64..500.0);
+        let y0 = rng.gen_range(0.0f64..500.0);
+        let w = rng.gen_range(0.1f64..400.0);
+        let h = rng.gen_range(0.1f64..400.0);
         let r = Rect::new(x0, y0, x0 + w, y0 + h);
-        let p = Point::anonymous(px, py);
-        let q = Point::anonymous(x0 + fx * w, y0 + fy * h);
+        let q = Point::anonymous(
+            x0 + rng.gen_range(0.0f64..1.0) * w,
+            y0 + rng.gen_range(0.0f64..1.0) * h,
+        );
         let d = euclidean(&p, &q);
-        prop_assert!(mindist(&p, &r) <= d + 1e-9);
-        prop_assert!(d <= maxdist(&p, &r) + 1e-9);
-        prop_assert!(mindist(&p, &r) <= maxdist(&p, &r) + 1e-9);
+        assert!(mindist(&p, &r) <= d + 1e-9, "case {case}");
+        assert!(d <= maxdist(&p, &r) + 1e-9, "case {case}");
+        assert!(mindist(&p, &r) <= maxdist(&p, &r) + 1e-9, "case {case}");
     }
+}
 
-    /// All three index structures satisfy the structural invariants and
-    /// preserve every input point.
-    #[test]
-    fn indexes_preserve_points_and_invariants(pts in points(300)) {
+/// All three index structures satisfy the structural invariants and preserve
+/// every input point.
+#[test]
+fn indexes_preserve_points_and_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000 + case);
+        let pts = points(&mut rng, 300);
         let n = pts.len();
         let grid = GridIndex::build(pts.clone(), 6).unwrap();
         let quad = QuadtreeIndex::build(pts.clone(), 16).unwrap();
         let rtree = StrRTree::build(pts, 16).unwrap();
-        for index in [&grid as &dyn SpatialIndex, &quad as &dyn SpatialIndex, &rtree as &dyn SpatialIndex] {
-            prop_assert_eq!(index.num_points(), n);
-            prop_assert!(check_index_invariants(index).is_ok());
+        for index in [
+            &grid as &dyn SpatialIndex,
+            &quad as &dyn SpatialIndex,
+            &rtree as &dyn SpatialIndex,
+        ] {
+            assert_eq!(index.num_points(), n, "case {case}");
+            assert!(check_index_invariants(index).is_ok(), "case {case}");
         }
     }
+}
 
-    /// The locality-based getkNN and the best-first getkNN both agree with a
-    /// brute-force oracle (up to distance ties), on every index type.
-    #[test]
-    fn knn_matches_brute_force_on_all_indexes(
-        pts in points(250),
-        qx in -50.0f64..1050.0,
-        qy in -50.0f64..1050.0,
-        k in 1usize..20,
-    ) {
-        let q = Point::anonymous(qx, qy);
+/// The locality-based getkNN and the best-first getkNN both agree with a
+/// brute-force oracle (up to distance ties), on every index type.
+#[test]
+fn knn_matches_brute_force_on_all_indexes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2_000 + case);
+        let pts = points(&mut rng, 250);
+        let q = Point::anonymous(
+            rng.gen_range(-50.0f64..1050.0),
+            rng.gen_range(-50.0f64..1050.0),
+        );
+        let k = rng.gen_range(1..20usize);
         let grid = GridIndex::build(pts.clone(), 5).unwrap();
         let quad = QuadtreeIndex::build(pts.clone(), 12).unwrap();
         let rtree = StrRTree::build(pts, 12).unwrap();
         let mut m = Metrics::default();
-        for index in [&grid as &dyn SpatialIndex, &quad as &dyn SpatialIndex, &rtree as &dyn SpatialIndex] {
+        for index in [
+            &grid as &dyn SpatialIndex,
+            &quad as &dyn SpatialIndex,
+            &rtree as &dyn SpatialIndex,
+        ] {
             let oracle = brute_force_knn(index, &q, k);
             let locality_based = get_knn(index, &q, k, &mut m);
             let best_first = get_knn_best_first(index, &q, k, &mut m);
             // Ties at the k-th distance can legitimately produce different id
             // choices, so compare ids when radii match strictly, and radii
             // always.
-            prop_assert!(radii_equal(&oracle, &locality_based));
-            prop_assert!(radii_equal(&oracle, &best_first));
+            assert!(radii_equal(&oracle, &locality_based), "case {case}");
+            assert!(radii_equal(&oracle, &best_first), "case {case}");
             if oracle.len() == oracle.k() {
                 // Every returned member must be at distance <= oracle radius.
                 for nb in locality_based.members() {
-                    prop_assert!(nb.distance <= oracle.radius() + 1e-9);
+                    assert!(nb.distance <= oracle.radius() + 1e-9, "case {case}");
                 }
             } else {
                 // Fewer than k points in the relation: all ids must match.
-                prop_assert_eq!(sorted_ids(&locality_based), sorted_ids(&oracle));
+                assert_eq!(
+                    sorted_ids(&locality_based),
+                    sorted_ids(&oracle),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    /// The locality always covers the true k nearest neighbors, and the
-    /// bounded locality never contains a block farther than the threshold.
-    #[test]
-    fn locality_covers_knn_and_respects_threshold(
-        pts in points(300),
-        qx in 0.0f64..1000.0,
-        qy in 0.0f64..1000.0,
-        k in 1usize..15,
-        threshold in 10.0f64..500.0,
-    ) {
-        let q = Point::anonymous(qx, qy);
+/// The locality always covers the true k nearest neighbors, and the bounded
+/// locality never contains a block farther than the threshold.
+#[test]
+fn locality_covers_knn_and_respects_threshold() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3_000 + case);
+        let pts = points(&mut rng, 300);
+        let q = Point::anonymous(rng.gen_range(0.0f64..1000.0), rng.gen_range(0.0f64..1000.0));
+        let k = rng.gen_range(1..15usize);
+        let threshold = rng.gen_range(10.0f64..500.0);
         let grid = GridIndex::build(pts, 8).unwrap();
         let mut m = Metrics::default();
 
@@ -127,12 +151,12 @@ proptest! {
             .map(|p| p.id)
             .collect();
         for nb in brute_force_knn(&grid, &q, k).members() {
-            prop_assert!(covered.contains(&nb.point.id));
+            assert!(covered.contains(&nb.point.id), "case {case}");
         }
 
         let bounded = Locality::build_bounded(&grid, &q, k, threshold, &mut m);
         for b in bounded.blocks() {
-            prop_assert!(b.mindist(&q) <= threshold + 1e-9);
+            assert!(b.mindist(&q) <= threshold + 1e-9, "case {case}");
         }
     }
 }

@@ -39,15 +39,16 @@ fn figures_1_and_2_select_inner_of_join() {
         Point::new(3, 10.0, 5.0), // h3 (far from the shopping center)
     ]);
     let mechanics = grid(vec![
-        Point::new(1, 6.0, 1.0),  // m1: 2-NN hotels = {h1, h3}
-        Point::new(2, 0.5, 0.5),  // m2: 2-NN hotels = {h1, h2}
-        Point::new(3, 4.0, 7.0),  // m3: 2-NN hotels = {h2, h3}
-        Point::new(4, 7.0, 0.0),  // m4: 2-NN hotels = {h1, h3}
+        Point::new(1, 6.0, 1.0), // m1: 2-NN hotels = {h1, h3}
+        Point::new(2, 0.5, 0.5), // m2: 2-NN hotels = {h1, h2}
+        Point::new(3, 4.0, 7.0), // m3: 2-NN hotels = {h2, h3}
+        Point::new(4, 7.0, 0.0), // m4: 2-NN hotels = {h1, h3}
     ]);
     let query = SelectInnerJoinQuery::new(2, 2, shopping_center);
 
-    let expected_correct: BTreeSet<(u64, u64)> =
-        [(1, 1), (2, 1), (2, 2), (3, 2), (4, 1)].into_iter().collect();
+    let expected_correct: BTreeSet<(u64, u64)> = [(1, 1), (2, 1), (2, 2), (3, 2), (4, 1)]
+        .into_iter()
+        .collect();
     let expected_wrong: BTreeSet<(u64, u64)> = [
         (1, 1),
         (1, 2),
@@ -209,15 +210,15 @@ fn figures_14_15_16_two_selects() {
     let work = Point::anonymous(0.0, 0.0);
     let school = Point::anonymous(10.0, 0.0);
     let houses = grid(vec![
-        Point::new(1, 5.0, 0.5),   // x: near both
-        Point::new(2, 5.0, -0.5),  // y: near both
-        Point::new(3, 1.0, 0.0),   // l: near work
-        Point::new(4, 0.0, 1.0),   // m: near work
-        Point::new(5, 1.0, 1.0),   // z: near work
-        Point::new(6, 9.0, 0.0),   // n: near school
-        Point::new(7, 10.0, 1.0),  // p: near school
-        Point::new(8, 9.0, 1.0),   // o: near school
-        Point::new(9, 20.0, 20.0), // distant filler
+        Point::new(1, 5.0, 0.5),    // x: near both
+        Point::new(2, 5.0, -0.5),   // y: near both
+        Point::new(3, 1.0, 0.0),    // l: near work
+        Point::new(4, 0.0, 1.0),    // m: near work
+        Point::new(5, 1.0, 1.0),    // z: near work
+        Point::new(6, 9.0, 0.0),    // n: near school
+        Point::new(7, 10.0, 1.0),   // p: near school
+        Point::new(8, 9.0, 1.0),    // o: near school
+        Point::new(9, 20.0, 20.0),  // distant filler
         Point::new(10, -15.0, 8.0), // distant filler
     ]);
     let query = TwoSelectsQuery::new(5, work, 5, school);

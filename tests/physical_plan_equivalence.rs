@@ -1,0 +1,262 @@
+//! Executor-level equivalence suite: every [`QuerySpec`] shape under every
+//! [`Strategy`], on all three index types (grid, PR-quadtree, STR R-tree),
+//! executed serially and in parallel — all combinations must return the
+//! identical result set. This is the contract the physical-operator layer
+//! must keep: the strategy choice, the index structure and the execution
+//! mode are performance knobs, never semantics knobs.
+//!
+//! With the `parallel` cargo feature enabled the parallel runs really fan
+//! out over worker threads; without it they fall back to serial, so the
+//! suite passes in both configurations (trivially so in the second).
+
+use std::collections::BTreeSet;
+
+use two_knn::core::joins2::{ChainedJoinQuery, UnchainedJoinQuery};
+use two_knn::core::plan::{
+    ChainedStrategy, Database, QueryResult, QuerySpec, RowSchema, SelectInnerStrategy,
+    SelectOuterStrategy, Strategy, TwoSelectsStrategy, UnchainedStrategy,
+};
+use two_knn::core::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
+use two_knn::core::selects2::TwoSelectsQuery;
+use two_knn::core::ExecutionMode;
+use two_knn::datagen::{berlinmod, BerlinModConfig};
+use two_knn::{GridIndex, Point, QuadtreeIndex, StrRTree};
+
+/// The strategies available for each query shape.
+fn strategies_for(spec: &QuerySpec) -> Vec<Strategy> {
+    match spec {
+        QuerySpec::SelectInnerOfJoin { .. } => vec![
+            Strategy::SelectInner(SelectInnerStrategy::Conceptual),
+            Strategy::SelectInner(SelectInnerStrategy::Counting),
+            Strategy::SelectInner(SelectInnerStrategy::BlockMarking),
+        ],
+        QuerySpec::SelectOuterOfJoin { .. } => vec![
+            Strategy::SelectOuter(SelectOuterStrategy::SelectAfterJoin),
+            Strategy::SelectOuter(SelectOuterStrategy::Pushdown),
+        ],
+        QuerySpec::UnchainedJoins { .. } => vec![
+            Strategy::Unchained(UnchainedStrategy::Conceptual),
+            Strategy::Unchained(UnchainedStrategy::BlockMarkingStartWithA),
+            Strategy::Unchained(UnchainedStrategy::BlockMarkingStartWithC),
+        ],
+        QuerySpec::ChainedJoins { .. } => vec![
+            Strategy::Chained(ChainedStrategy::RightDeep),
+            Strategy::Chained(ChainedStrategy::JoinIntersection),
+            Strategy::Chained(ChainedStrategy::NestedJoin),
+            Strategy::Chained(ChainedStrategy::NestedJoinCached),
+        ],
+        QuerySpec::TwoSelects { .. } => vec![
+            Strategy::TwoSelects(TwoSelectsStrategy::Conceptual),
+            Strategy::TwoSelects(TwoSelectsStrategy::TwoKnnSelect),
+        ],
+    }
+}
+
+/// Order-independent canonical form of a result.
+fn id_set(result: &QueryResult) -> BTreeSet<Vec<u64>> {
+    result.rows().iter().map(|r| r.ids()).collect()
+}
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    berlinmod(&BerlinModConfig::with_points(n, seed))
+}
+
+/// One catalog per index type, over the same three point sets.
+fn databases() -> Vec<(&'static str, Database)> {
+    let a = points(700, 41);
+    let b = points(1_100, 42);
+    let c = points(900, 43);
+
+    let mut grid = Database::new();
+    grid.register(
+        "A",
+        GridIndex::build_with_target_occupancy(a.clone(), 64).unwrap(),
+    );
+    grid.register(
+        "B",
+        GridIndex::build_with_target_occupancy(b.clone(), 64).unwrap(),
+    );
+    grid.register(
+        "C",
+        GridIndex::build_with_target_occupancy(c.clone(), 64).unwrap(),
+    );
+
+    let mut quad = Database::new();
+    quad.register("A", QuadtreeIndex::build(a.clone(), 64).unwrap());
+    quad.register("B", QuadtreeIndex::build(b.clone(), 64).unwrap());
+    quad.register("C", QuadtreeIndex::build(c.clone(), 64).unwrap());
+
+    let mut rtree = Database::new();
+    rtree.register("A", StrRTree::build(a, 64).unwrap());
+    rtree.register("B", StrRTree::build(b, 64).unwrap());
+    rtree.register("C", StrRTree::build(c, 64).unwrap());
+
+    vec![("grid", grid), ("quadtree", quad), ("str-rtree", rtree)]
+}
+
+fn specs() -> Vec<(QuerySpec, RowSchema)> {
+    let focal = Point::anonymous(52_000.0, 49_000.0);
+    vec![
+        (
+            QuerySpec::SelectInnerOfJoin {
+                outer: "A".into(),
+                inner: "B".into(),
+                query: SelectInnerJoinQuery::new(3, 6, focal),
+            },
+            RowSchema::Pairs,
+        ),
+        (
+            QuerySpec::SelectOuterOfJoin {
+                outer: "A".into(),
+                inner: "B".into(),
+                query: SelectOuterJoinQuery::new(3, 5, focal),
+            },
+            RowSchema::Pairs,
+        ),
+        (
+            QuerySpec::UnchainedJoins {
+                a: "A".into(),
+                b: "B".into(),
+                c: "C".into(),
+                query: UnchainedJoinQuery::new(2, 3),
+            },
+            RowSchema::Triplets,
+        ),
+        (
+            QuerySpec::ChainedJoins {
+                a: "A".into(),
+                b: "B".into(),
+                c: "C".into(),
+                query: ChainedJoinQuery::new(2, 2),
+            },
+            RowSchema::Triplets,
+        ),
+        (
+            QuerySpec::TwoSelects {
+                relation: "B".into(),
+                query: TwoSelectsQuery::new(8, focal, 64, Point::anonymous(48_500.0, 51_500.0)),
+            },
+            RowSchema::Points,
+        ),
+    ]
+}
+
+/// The heart of the suite: for every index type, every query shape, every
+/// strategy, serial and parallel execution must all agree on the result set.
+#[test]
+fn every_strategy_and_mode_agrees_on_every_index() {
+    let parallel = ExecutionMode::Parallel { threads: 4 };
+    for (index_name, db) in databases() {
+        for (spec, schema) in specs() {
+            let mut reference: Option<BTreeSet<Vec<u64>>> = None;
+            for strategy in strategies_for(&spec) {
+                let serial = db
+                    .execute_with_strategy_and_mode(&spec, strategy, ExecutionMode::Serial)
+                    .unwrap_or_else(|e| panic!("{index_name}/{strategy}: {e}"));
+                let par = db
+                    .execute_with_strategy_and_mode(&spec, strategy, parallel)
+                    .unwrap_or_else(|e| panic!("{index_name}/{strategy} (parallel): {e}"));
+
+                // Serial and parallel agree exactly — rows and row order.
+                assert_eq!(
+                    serial.rows(),
+                    par.rows(),
+                    "serial vs parallel rows differ: {index_name}/{strategy}"
+                );
+                for row in serial.rows() {
+                    assert_eq!(row.schema(), schema);
+                }
+
+                // Every strategy agrees with every other (order-independent).
+                let ids = id_set(&serial);
+                match &reference {
+                    None => reference = Some(ids),
+                    Some(expected) => assert_eq!(
+                        &ids, expected,
+                        "strategy disagreement: {index_name}/{strategy}"
+                    ),
+                }
+            }
+            assert!(
+                reference.map(|r| !r.is_empty()).unwrap_or(false),
+                "workload produced an empty result — the equivalence check would be vacuous \
+                 ({index_name}/{spec:?})"
+            );
+        }
+    }
+}
+
+/// Serial and parallel execution must also report identical work counters
+/// for the schedule-independent operators (all but the cached chained join,
+/// whose per-worker caches legitimately change the hit pattern).
+#[test]
+fn parallel_metrics_merge_to_serial_totals() {
+    let parallel = ExecutionMode::Parallel { threads: 4 };
+    let (_, db) = databases().remove(0);
+    for (spec, _) in specs() {
+        for strategy in strategies_for(&spec) {
+            if strategy == Strategy::Chained(ChainedStrategy::NestedJoinCached) {
+                continue;
+            }
+            let serial = db
+                .execute_with_strategy_and_mode(&spec, strategy, ExecutionMode::Serial)
+                .unwrap();
+            let par = db
+                .execute_with_strategy_and_mode(&spec, strategy, parallel)
+                .unwrap();
+            assert_eq!(
+                serial.metrics(),
+                par.metrics(),
+                "metrics diverge under parallel execution: {strategy}"
+            );
+        }
+    }
+}
+
+/// `execute_batch` returns, in input order, exactly what per-query `execute`
+/// returns.
+#[test]
+fn execute_batch_matches_individual_execution() {
+    let (_, db) = databases().remove(0);
+    let batch: Vec<QuerySpec> = specs().into_iter().map(|(s, _)| s).collect();
+    let results = db.execute_batch(&batch);
+    assert_eq!(results.len(), batch.len());
+    for (spec, result) in batch.iter().zip(results) {
+        let individual = db.execute(spec).unwrap();
+        let batched = result.unwrap();
+        assert_eq!(id_set(&batched), id_set(&individual), "{spec:?}");
+        assert_eq!(batched.strategy(), individual.strategy());
+    }
+    // Errors surface per entry without failing the batch.
+    let mixed = vec![
+        batch[0].clone(),
+        QuerySpec::TwoSelects {
+            relation: "Missing".into(),
+            query: TwoSelectsQuery::new(
+                1,
+                Point::anonymous(0.0, 0.0),
+                1,
+                Point::anonymous(1.0, 1.0),
+            ),
+        },
+    ];
+    let results = db.execute_batch(&mixed);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+}
+
+/// The compile step exposes the plan without running it, and the explain
+/// string names the operator.
+#[test]
+fn compiled_plans_expose_operator_metadata() {
+    let (_, db) = databases().remove(0);
+    for (spec, schema) in specs() {
+        for strategy in strategies_for(&spec) {
+            let plan = db.compile(&spec, strategy).unwrap();
+            assert_eq!(plan.strategy(), strategy);
+            assert_eq!(plan.schema(), schema);
+            assert!(!plan.name().is_empty());
+            assert!(plan.explain().contains(plan.name()));
+        }
+    }
+}
