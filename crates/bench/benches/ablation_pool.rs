@@ -1,0 +1,140 @@
+//! Ablation A4: spawn-per-phase scoped threads vs the persistent worker pool.
+//!
+//! Two measurements:
+//!
+//! 1. **Multi-phase plan** — the chained join-intersection QEP evaluates two
+//!    independent kNN-joins (two partitioned phases) per call.
+//!    `ExecutionMode::Parallel` spawns a fresh scoped-thread team for every
+//!    phase of every call; `ExecutionMode::Pooled` reuses the persistent
+//!    pool, paying thread creation once per process.
+//! 2. **Query batch** — a smoke batch of small queries through
+//!    `Database::execute_batch`. The legacy schedule (reconstructed inline)
+//!    spawns a scoped team per batch and runs every query serially inside
+//!    it; the pooled schedule runs batch tasks and their nested operator
+//!    tasks through one shared queue.
+//!
+//! Results are identical by construction (the equivalence suite enforces
+//! it); this bench reports the wall-clock ratio. Build with `--features
+//! parallel` — without it both modes degrade to serial and the ratio is ~1×.
+//!
+//! Usage: `cargo bench -p twoknn-bench --features parallel --bench
+//! ablation_pool -- [--points N] [--queries N] [--threads N]`
+
+use twoknn_bench::micro::BenchGroup;
+use twoknn_bench::workloads;
+use twoknn_core::exec::{available_threads, run_partitioned, ExecutionMode};
+use twoknn_core::joins2::{chained_join_intersection_with_mode, ChainedJoinQuery};
+use twoknn_core::plan::{Database, QuerySpec};
+use twoknn_core::selects2::TwoSelectsQuery;
+use twoknn_index::Metrics;
+
+fn main() {
+    let mut points = 60_000usize;
+    let mut queries = 1_000usize;
+    let mut threads = available_threads();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--points" => {
+                i += 1;
+                points = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(points);
+            }
+            "--queries" => {
+                i += 1;
+                queries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(queries);
+            }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(threads);
+            }
+            // Ignore harness flags cargo bench forwards (e.g. --bench).
+            _ => {}
+        }
+        i += 1;
+    }
+    println!(
+        "ablation_pool: {points} points, {queries} batch queries, {threads} worker threads \
+         (parallel feature {})",
+        if cfg!(feature = "parallel") {
+            "ON"
+        } else {
+            "OFF — both modes degrade to serial"
+        },
+    );
+
+    // 1. Multi-phase chained plan: two partitioned join phases per call.
+    {
+        let a = workloads::berlin_relation(points / 4, 211);
+        let b = workloads::berlin_relation(points / 2, 212);
+        let c = workloads::berlin_relation(points, 213);
+        let query = ChainedJoinQuery::new(2, 2);
+        let mut group = BenchGroup::new("pool_chained_multiphase").sample_size(5);
+        let spawned = group.bench(&format!("spawn_per_phase_{threads}_threads"), || {
+            chained_join_intersection_with_mode(
+                &a,
+                &b,
+                &c,
+                &query,
+                ExecutionMode::Parallel { threads },
+            )
+        });
+        let pooled = group.bench("pooled", || {
+            chained_join_intersection_with_mode(&a, &b, &c, &query, ExecutionMode::Pooled)
+        });
+        println!(
+            "chained multi-phase: pooled is {:.2}x vs spawn-per-phase \
+             (spawn {:.1} ms -> pooled {:.1} ms)",
+            spawned.median_ms / pooled.median_ms,
+            spawned.median_ms,
+            pooled.median_ms
+        );
+    }
+
+    // 2. Batch of small queries: legacy spawn-per-batch + serial queries vs
+    //    the pooled nested schedule.
+    {
+        let mut db = Database::new();
+        db.register("B", workloads::berlin_relation(points / 2, 214));
+        let focal = workloads::focal_point();
+        let specs: Vec<QuerySpec> = (0..queries)
+            .map(|q| {
+                let offset = (q % 97) as f64 * 37.0;
+                QuerySpec::TwoSelects {
+                    relation: "B".into(),
+                    query: TwoSelectsQuery::new(
+                        4,
+                        twoknn_geometry::Point::anonymous(focal.x + offset, focal.y - offset),
+                        16,
+                        twoknn_geometry::Point::anonymous(focal.x - offset, focal.y + offset),
+                    ),
+                }
+            })
+            .collect();
+        let mut group = BenchGroup::new("pool_execute_batch").sample_size(5);
+        let legacy = group.bench(&format!("spawn_batch_{threads}_threads"), || {
+            // The pre-pool schedule: one scoped team per batch call, every
+            // query serial inside it.
+            let mut scratch = Metrics::default();
+            run_partitioned(
+                &specs,
+                ExecutionMode::Parallel { threads },
+                &mut scratch,
+                |spec, out, _| {
+                    out.push(
+                        db.compile_planned(spec)
+                            .map(|plan| plan.execute(ExecutionMode::Serial)),
+                    );
+                },
+            )
+        });
+        let pooled = group.bench("pooled_execute_batch", || db.execute_batch(&specs));
+        println!(
+            "{queries}-query batch: pooled execute_batch is {:.2}x vs spawn-per-batch \
+             (spawn {:.1} ms -> pooled {:.1} ms)",
+            legacy.median_ms / pooled.median_ms,
+            legacy.median_ms,
+            pooled.median_ms
+        );
+    }
+}

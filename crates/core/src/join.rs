@@ -103,11 +103,29 @@ where
     pairs
 }
 
-/// Thread-parallel kNN-join: outer blocks are distributed over
-/// `num_threads` worker threads with dynamic scheduling (each worker pulls
-/// the next block), and the rows are reassembled in block order. The result
-/// set is identical to [`knn_join`] (including row order); metrics are the
-/// merged per-thread work.
+/// Multi-core kNN-join on the shared persistent worker pool: outer blocks
+/// are distributed over the pool's workers with dynamic scheduling (each
+/// team member pulls the next block), and the rows are reassembled in block
+/// order. The result set is identical to [`knn_join`] (including row
+/// order); metrics are the merged per-worker work.
+///
+/// Real threading requires the `parallel` cargo feature; without it this
+/// runs serially (same results, one thread) — see
+/// [`crate::exec::ExecutionMode`].
+pub fn knn_join_pooled<O, I>(outer: &O, inner: &I, k: usize) -> QueryOutput<Pair>
+where
+    O: SpatialIndex + Sync + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    let mut metrics = Metrics::default();
+    let rows = knn_join_rows_with_mode(outer, inner, k, ExecutionMode::Pooled, &mut metrics);
+    QueryOutput::new(rows, metrics)
+}
+
+/// Thread-parallel kNN-join over a **freshly spawned** scoped team of
+/// `num_threads` workers (the spawn-per-phase baseline; prefer
+/// [`knn_join_pooled`], which amortizes thread creation across queries).
+/// Scheduling, row order and metrics semantics match [`knn_join_pooled`].
 ///
 /// Real threading requires the `parallel` cargo feature; without it this
 /// runs serially (same results, one thread) — see
@@ -205,6 +223,18 @@ mod tests {
             seq.metrics.neighborhoods_computed,
             par.metrics.neighborhoods_computed
         );
+    }
+
+    #[test]
+    fn pooled_join_matches_sequential_exactly() {
+        let outer = relation(80, 1.1, 0.0);
+        let inner = relation(120, 0.8, 0.5);
+        let seq = knn_join(&outer, &inner, 5);
+        let pooled = knn_join_pooled(&outer, &inner, 5);
+        // Not just the same set: the same rows in the same order, with the
+        // same merged work counters.
+        assert_eq!(seq.rows, pooled.rows);
+        assert_eq!(seq.metrics, pooled.metrics);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   a `B` point only when it is produced as a neighbor of some `a ∈ A`.
 //!   [`chained_nested_cached`] adds the hash-table cache of Section 4.2.1 so
 //!   that a `b` appearing in several `A` neighborhoods is expanded only once.
+//!
+//! Every `*_with_mode` variant partitions its block loops through
+//! [`crate::exec::run_partitioned`]; under the default `Pooled` mode a
+//! multi-phase plan (e.g. QEP2's two joins) reuses the shared persistent
+//! worker pool for each phase instead of spawning a fresh thread team per
+//! phase.
 
 use std::collections::HashMap;
 

@@ -1,4 +1,9 @@
 //! Unchained kNN-joins: `(A ⋈kNN B) ∩_B (C ⋈kNN B)` (Section 4.1).
+//!
+//! The `*_with_mode` variants partition their block loops through
+//! [`crate::exec::run_over_blocks`]; under the default `Pooled` mode both
+//! join phases run on the shared persistent worker pool, so a batch of
+//! unchained queries never spawns threads per phase.
 
 use std::collections::{HashMap, HashSet};
 

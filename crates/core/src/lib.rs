@@ -56,7 +56,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the crate is unsafe-free except for one
+// audited lifetime-erasure in `exec::pool` (the scoped worker-pool pattern —
+// the same obligation rayon/crossbeam discharge), which opts in locally with
+// `#[allow(unsafe_code)]` next to its safety proof.
+#![deny(unsafe_code)]
 
 pub mod error;
 pub mod exec;
@@ -69,5 +73,5 @@ pub mod select_join;
 pub mod selects2;
 
 pub use error::QueryError;
-pub use exec::ExecutionMode;
+pub use exec::{ExecutionMode, WorkerPool};
 pub use output::{Pair, QueryOutput, Triplet};

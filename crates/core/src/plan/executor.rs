@@ -5,17 +5,22 @@
 //! the [`Optimizer`] picks a [`Strategy`] from the relations' statistics,
 //! [`crate::plan::physical::compile`] lowers `(spec, strategy)` into a
 //! [`PhysicalPlan`] operator, and the operator runs under an
-//! [`ExecutionMode`] (serial, or block-partitioned over worker threads).
-//! [`Database::execute`] is nothing but that chain; independent queries can
-//! run concurrently through [`Database::execute_batch`].
+//! [`ExecutionMode`] (serial, or block-partitioned over the persistent
+//! worker pool). [`Database::execute`] is nothing but that chain;
+//! independent queries run concurrently through
+//! [`Database::execute_batch`], which schedules *inter-query* tasks on the
+//! same [`WorkerPool`] the operators use for *intra-operator* tasks — one
+//! shared queue, one global thread budget, regardless of how the two layers
+//! nest.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use twoknn_geometry::Point;
 use twoknn_index::{Metrics, SpatialIndex};
 
 use crate::error::QueryError;
-use crate::exec::ExecutionMode;
+use crate::exec::{ExecutionMode, WorkerPool};
 use crate::joins2::{ChainedJoinQuery, UnchainedJoinQuery};
 use crate::output::{Pair, QueryOutput, Triplet};
 use crate::plan::optimizer::Optimizer;
@@ -26,10 +31,24 @@ use crate::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
 use crate::selects2::TwoSelectsQuery;
 
 /// A named catalog of indexed relations.
-#[derive(Default)]
 pub struct Database {
     relations: HashMap<String, Box<dyn SpatialIndex + Send + Sync>>,
     optimizer: Optimizer,
+    /// The worker pool batch execution schedules on. Defaults to the
+    /// process-wide shared pool, so batch-level query tasks and the
+    /// operator-level block tasks they spawn share one queue and one thread
+    /// budget.
+    pool: Arc<WorkerPool>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self {
+            relations: HashMap::new(),
+            optimizer: Optimizer::default(),
+            pool: Arc::clone(WorkerPool::global()),
+        }
+    }
 }
 
 /// A query over named relations in a [`Database`].
@@ -165,9 +184,28 @@ impl Database {
     /// Creates an empty catalog with a custom optimizer configuration.
     pub fn with_optimizer(optimizer: Optimizer) -> Self {
         Self {
-            relations: HashMap::new(),
             optimizer,
+            ..Self::default()
         }
+    }
+
+    /// Creates an empty catalog whose batch execution runs on an explicit
+    /// [`WorkerPool`] instead of the process-wide shared pool.
+    ///
+    /// Mostly useful for tests and benchmarks that need a pinned thread
+    /// budget. Note that `Pooled`-mode *operator* execution resolves its
+    /// pool dynamically: on this pool while running inside one of its batch
+    /// tasks, on the global pool otherwise.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self {
+            pool,
+            ..Self::default()
+        }
+    }
+
+    /// The worker pool handle batch execution schedules on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Registers (or replaces) a relation under a name.
@@ -199,7 +237,7 @@ impl Database {
     }
 
     /// Executes a query, letting the optimizer pick the strategy and using
-    /// the default execution mode (parallel over all cores when the
+    /// the default execution mode (the shared worker pool when the
     /// `parallel` feature is enabled, serial otherwise).
     pub fn execute(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
         let strategy = self.plan(spec)?;
@@ -220,25 +258,33 @@ impl Database {
     /// Executes a batch of independent queries, each with the
     /// optimizer-chosen strategy.
     ///
-    /// With the `parallel` feature enabled the queries run concurrently, one
-    /// per worker thread (each query itself executing serially — for a batch,
-    /// inter-query parallelism beats intra-query parallelism because it needs
-    /// no merge step and keeps every core busy on imbalanced batches).
-    /// Results come back in input order. Without the feature this is a plain
-    /// sequential loop with identical results.
+    /// With the `parallel` feature enabled the queries are scheduled as
+    /// tasks on this database's [`WorkerPool`] and each query in turn runs
+    /// its operators in `Pooled` mode — batch-level and block-level tasks
+    /// share **one queue**, so large batches saturate the pool with whole
+    /// queries (inter-query parallelism, no merge overhead) while small or
+    /// skewed batches let an expensive straggler query fan its blocks out
+    /// over the workers that have gone idle. Either way the thread budget is
+    /// the pool's parallelism — the two layers can never oversubscribe the
+    /// machine. Results come back in input order. Without the feature this
+    /// is a plain sequential loop with identical results.
     pub fn execute_batch(&self, specs: &[QuerySpec]) -> Vec<Result<QueryResult, QueryError>> {
-        let mut scratch = Metrics::default();
-        crate::exec::run_partitioned(
-            specs,
-            ExecutionMode::default_mode(),
-            &mut scratch,
-            |spec, out, _| {
-                out.push(
+        if !cfg!(feature = "parallel") {
+            return specs
+                .iter()
+                .map(|spec| {
                     self.compile_planned(spec)
-                        .map(|plan| plan.execute(ExecutionMode::Serial)),
-                );
-            },
-        )
+                        .map(|plan| plan.execute(ExecutionMode::Serial))
+                })
+                .collect();
+        }
+        let mut scratch = Metrics::default();
+        crate::exec::run_partitioned_on(specs, &self.pool, &mut scratch, |spec, out, _| {
+            out.push(
+                self.compile_planned(spec)
+                    .map(|plan| plan.execute(ExecutionMode::Pooled)),
+            );
+        })
     }
 
     /// Compiles a query with the optimizer-chosen strategy into an

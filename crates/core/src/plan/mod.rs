@@ -16,9 +16,11 @@
 //!   statistics to a strategy;
 //! * [`physical`] — the physical-operator layer: [`compile`] lowers a
 //!   `(QuerySpec, Strategy)` pair into a [`PhysicalPlan`] operator that runs
-//!   serially or partitioned over worker threads;
-//! * [`executor`] — the catalog (`Database`) plus the thin driver chaining
-//!   optimizer → compile → execute, with a concurrent batch entry point.
+//!   serially or partitioned over the persistent worker pool;
+//! * [`executor`] — the catalog (`Database`, which owns a handle to the
+//!   shared [`crate::exec::WorkerPool`]) plus the thin driver chaining
+//!   optimizer → compile → execute, with a concurrent batch entry point
+//!   that schedules whole queries on the same pool the operators use.
 
 pub mod executor;
 pub mod logical;

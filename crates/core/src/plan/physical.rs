@@ -22,9 +22,10 @@
 //!
 //! Every operator implements [`PhysicalPlan`]: it knows its [`Strategy`], its
 //! output [`RowSchema`], and how to [`PhysicalPlan::execute`] under a given
-//! [`ExecutionMode`] — serially or partitioned over worker threads. Adding a
-//! new algorithm means adding an operator struct and a `compile` arm; the
-//! driver ([`Database::execute`]) never changes.
+//! [`ExecutionMode`] — serially, partitioned over the shared persistent
+//! worker pool (`Pooled`, the default), or over a freshly spawned scoped
+//! team (`Parallel`). Adding a new algorithm means adding an operator struct
+//! and a `compile` arm; the driver ([`Database::execute`]) never changes.
 
 use twoknn_geometry::Point;
 use twoknn_index::SpatialIndex;
@@ -47,7 +48,7 @@ use crate::select_join::{
     select_on_outer_after_join_with_mode, select_on_outer_pushdown, BlockMarkingConfig,
     SelectInnerJoinQuery, SelectOuterJoinQuery,
 };
-use crate::selects2::{two_knn_select, two_selects_conceptual, TwoSelectsQuery};
+use crate::selects2::{two_knn_select, two_selects_conceptual_with_mode, TwoSelectsQuery};
 
 /// A reference to an indexed relation as stored in the catalog.
 pub type Relation<'a> = &'a (dyn SpatialIndex + Send + Sync);
@@ -499,12 +500,16 @@ impl PhysicalPlan for TwoSelectsOp<'_> {
         RowSchema::Points
     }
 
-    fn execute(&self, _mode: ExecutionMode) -> QueryResult {
-        // A two-select query touches O(k1 + k2) points around two focal
-        // points — far below the threshold where threading pays; batch-level
-        // parallelism (`Database::execute_batch`) covers the many-query case.
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
         let output = match self.strategy {
-            TwoSelectsStrategy::Conceptual => two_selects_conceptual(self.relation, &self.query),
+            // The conceptual QEP's two selects are independent: under a
+            // parallel mode each runs as its own (pool) task.
+            TwoSelectsStrategy::Conceptual => {
+                two_selects_conceptual_with_mode(self.relation, &self.query, mode)
+            }
+            // The 2-kNN-select algorithm is inherently sequential (the
+            // second locality is bounded by the first select's result);
+            // batch-level parallelism covers the many-query case.
             TwoSelectsStrategy::TwoKnnSelect => two_knn_select(self.relation, &self.query),
         };
         QueryResult::Points {

@@ -82,9 +82,10 @@ where
 /// The preprocessing scan (Procedure 3) is inherently sequential — the
 /// contour-based early stop depends on the order blocks are visited — so it
 /// always runs on one thread. The join phase over the Contributing blocks,
-/// which dominates the cost, is partitioned across worker threads in
-/// parallel mode. Rows (in order) and merged work counters are identical to
-/// the serial run.
+/// which dominates the cost, is partitioned across the mode's workers (the
+/// shared persistent pool under `Pooled`, the default) in a parallel mode.
+/// Rows (in order) and merged work counters are identical to the serial
+/// run.
 pub fn block_marking_with_mode<O, I>(
     outer: &O,
     inner: &I,

@@ -3,6 +3,7 @@
 use twoknn_geometry::Point;
 use twoknn_index::{Metrics, Neighborhood, SpatialIndex};
 
+use crate::exec::{run_partitioned, ExecutionMode};
 use crate::output::QueryOutput;
 use crate::select::knn_select_neighborhood;
 
@@ -12,14 +13,37 @@ use super::TwoSelectsQuery;
 /// independently over the full relation and intersect the two results.
 pub fn two_selects_conceptual<I>(relation: &I, query: &TwoSelectsQuery) -> QueryOutput<Point>
 where
-    I: SpatialIndex + ?Sized,
+    I: SpatialIndex + Sync + ?Sized,
+{
+    two_selects_conceptual_with_mode(relation, query, ExecutionMode::Serial)
+}
+
+/// The conceptual QEP under an explicit [`ExecutionMode`]: the two selects
+/// are independent by construction, so they are the two work items of a
+/// partitioned run — in a parallel mode each select evaluates on its own
+/// worker (e.g. one pool task each) before the intersection. Rows and merged
+/// work counters are identical to the serial run.
+pub fn two_selects_conceptual_with_mode<I>(
+    relation: &I,
+    query: &TwoSelectsQuery,
+    mode: ExecutionMode,
+) -> QueryOutput<Point>
+where
+    I: SpatialIndex + Sync + ?Sized,
 {
     let mut metrics = Metrics::default();
-    let nbr1 = knn_select_neighborhood(relation, &query.f1, query.k1, &mut metrics);
-    let nbr2 = knn_select_neighborhood(relation, &query.f2, query.k2, &mut metrics);
-    let rows = nbr1.intersect(&nbr2);
-    metrics.tuples_emitted = rows.len() as u64;
-    QueryOutput::new(rows, metrics)
+    let predicates = [(query.k1, query.f1), (query.k2, query.f2)];
+    let mut neighborhoods = run_partitioned(
+        &predicates,
+        mode,
+        &mut metrics,
+        |(k, focal), out, metrics| {
+            out.push(knn_select_neighborhood(relation, focal, *k, metrics));
+        },
+    );
+    let nbr2 = neighborhoods.pop().expect("two predicates evaluated");
+    let nbr1 = neighborhoods.pop().expect("two predicates evaluated");
+    intersect_output(&nbr1, &nbr2, metrics)
 }
 
 /// The **wrong** sequential plan of Figures 14 / 15: evaluate one select and

@@ -25,7 +25,20 @@ pub struct QuadtreeIndex {
     max_depth: usize,
     blocks: Vec<BlockMeta>,
     leaf_points: Vec<Vec<Point>>,
+    /// Flattened tree used by [`SpatialIndex::locate`] for O(depth)
+    /// descent; node 0 is the root.
+    nodes: Vec<QuadNode>,
     num_points: usize,
+}
+
+/// A node of the flattened quadtree retained for point location.
+#[derive(Debug, Clone)]
+enum QuadNode {
+    /// A leaf and the block (= leaf) id it was assigned.
+    Leaf(BlockId),
+    /// An internal node with its four children's node indices, in quadrant
+    /// order (see [`quadrants`]).
+    Internal([u32; 4]),
 }
 
 /// Intermediate node used only during construction.
@@ -73,7 +86,8 @@ impl QuadtreeIndex {
 
         let mut blocks = Vec::new();
         let mut leaf_points = Vec::new();
-        collect_leaves(&root, &bounds, &mut blocks, &mut leaf_points);
+        let mut nodes = Vec::new();
+        flatten_tree(root, &bounds, &mut nodes, &mut blocks, &mut leaf_points);
 
         Ok(Self {
             bounds,
@@ -81,6 +95,7 @@ impl QuadtreeIndex {
             max_depth,
             blocks,
             leaf_points,
+            nodes,
             num_points,
         })
     }
@@ -142,23 +157,38 @@ fn build_node(
     ]))
 }
 
-fn collect_leaves(
-    node: &BuildNode,
+/// Lowers the build tree into the flattened [`QuadNode`] array (returning
+/// the node's index) while collecting leaves as blocks, depth-first in
+/// quadrant order so block ids match the previous traversal exactly.
+fn flatten_tree(
+    node: BuildNode,
     bounds: &Rect,
+    nodes: &mut Vec<QuadNode>,
     blocks: &mut Vec<BlockMeta>,
     leaf_points: &mut Vec<Vec<Point>>,
-) {
+) -> u32 {
     match node {
         BuildNode::Leaf(points) => {
             let id = blocks.len() as BlockId;
             blocks.push(BlockMeta::new(id, *bounds, points.len()));
-            leaf_points.push(points.clone());
+            leaf_points.push(points);
+            let at = nodes.len() as u32;
+            nodes.push(QuadNode::Leaf(id));
+            at
         }
         BuildNode::Internal(children) => {
             let quads = quadrants(bounds);
-            for (child, quad) in children.iter().zip(quads.iter()) {
-                collect_leaves(child, quad, blocks, leaf_points);
+            let at = nodes.len() as u32;
+            nodes.push(QuadNode::Internal([0; 4]));
+            let mut child_nodes = [0u32; 4];
+            for (slot, (child, quad)) in child_nodes
+                .iter_mut()
+                .zip(IntoIterator::into_iter(*children).zip(quads.iter()))
+            {
+                *slot = flatten_tree(child, quad, nodes, blocks, leaf_points);
             }
+            nodes[at as usize] = QuadNode::Internal(child_nodes);
+            at
         }
     }
 }
@@ -184,11 +214,26 @@ impl SpatialIndex for QuadtreeIndex {
         if !self.bounds.expanded(1e-9).contains(p) {
             return None;
         }
-        // Leaves tile the space, so the first leaf whose footprint contains p
-        // is the answer. This is a linear scan over the leaves — O(num_blocks)
-        // per lookup; fine at current scales, but a tree descent would make it
-        // O(depth) if locate() ever shows up in profiles.
-        self.blocks.iter().find(|b| b.mbr.contains(p)).map(|b| b.id)
+        // O(depth) descent: at every internal node, the quadrant test is the
+        // same `quadrant_of` used to place points at build time, so a point
+        // descends to exactly the leaf it was (or would have been) stored in.
+        let mut at = 0usize;
+        let mut rect = self.bounds;
+        loop {
+            match &self.nodes[at] {
+                QuadNode::Leaf(id) => {
+                    // Points in the epsilon ring just outside the root bounds
+                    // reach a boundary leaf that does not actually contain
+                    // them; report None for those, as the leaf scan did.
+                    return self.blocks[*id as usize].mbr.contains(p).then_some(*id);
+                }
+                QuadNode::Internal(children) => {
+                    let q = quadrant_of(&rect, p);
+                    at = children[q] as usize;
+                    rect = quadrants(&rect)[q];
+                }
+            }
+        }
     }
 }
 
@@ -234,6 +279,69 @@ mod tests {
     fn rejects_empty_and_zero_capacity() {
         assert!(QuadtreeIndex::build(vec![], 8).is_err());
         assert!(QuadtreeIndex::build(skewed_points(10), 0).is_err());
+    }
+
+    /// Deterministic clustered layout: dense clouds around a few centers plus
+    /// background noise — the worst case for the old linear leaf scan (many
+    /// leaves) and for descent (deep, unbalanced tree).
+    fn clustered_points(n: usize) -> Vec<Point> {
+        let centers = [(12.0, 80.0), (55.0, 20.0), (83.0, 67.0), (40.0, 45.0)];
+        (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(0x2545F4914F6CDD1D);
+                let (cx, cy) = centers[i % centers.len()];
+                if i % 11 == 0 {
+                    // Background noise spread over the whole domain.
+                    Point::new(
+                        i as u64,
+                        (h % 9_700) as f64 * 0.01,
+                        ((h >> 20) % 9_700) as f64 * 0.01,
+                    )
+                } else {
+                    // Tight cloud around the cluster center.
+                    Point::new(
+                        i as u64,
+                        cx + (h % 400) as f64 * 0.003,
+                        cy + ((h >> 24) % 400) as f64 * 0.003,
+                    )
+                }
+            })
+            .collect()
+    }
+
+    /// The O(depth) descent must agree with the old O(num_blocks) linear
+    /// scan — on every indexed point and on arbitrary probe locations.
+    #[test]
+    fn locate_descent_agrees_with_linear_scan_on_clustered_data() {
+        let q = QuadtreeIndex::build(clustered_points(4_000), 16).unwrap();
+        assert!(q.num_blocks() > 16, "layout must actually split");
+        let scan_locate = |p: &Point| -> Option<BlockId> {
+            if !q.bounds().expanded(1e-9).contains(p) {
+                return None;
+            }
+            q.blocks().iter().find(|b| b.mbr.contains(p)).map(|b| b.id)
+        };
+        for p in q.all_points() {
+            assert_eq!(q.locate(&p), scan_locate(&p), "indexed point {p:?}");
+        }
+        // Probe points off the data distribution, including out-of-bounds.
+        for i in 0..2_000u64 {
+            let probe = Point::anonymous((i % 120) as f64 - 10.0, (i / 17) as f64 - 10.0);
+            let by_descent = q.locate(&probe);
+            let by_scan = scan_locate(&probe);
+            // On split boundaries the closed leaf rectangles overlap and the
+            // scan reports the first overlapping leaf; descent follows the
+            // build-time placement rule. Both answers must contain the probe.
+            match (by_descent, by_scan) {
+                (Some(d), Some(s)) => {
+                    assert!(q.blocks()[d as usize].mbr.contains(&probe));
+                    assert!(q.blocks()[s as usize].mbr.contains(&probe));
+                }
+                (d, s) => assert_eq!(d, s, "probe {probe:?}"),
+            }
+        }
     }
 
     #[test]

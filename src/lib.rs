@@ -45,6 +45,6 @@ pub use twoknn_datagen as datagen;
 pub use twoknn_geometry as geometry;
 pub use twoknn_index as index;
 
-pub use twoknn_core::{ExecutionMode, Pair, QueryError, QueryOutput, Triplet};
+pub use twoknn_core::{ExecutionMode, Pair, QueryError, QueryOutput, Triplet, WorkerPool};
 pub use twoknn_geometry::{Point, Rect};
 pub use twoknn_index::{GridIndex, Metrics, Neighborhood, QuadtreeIndex, SpatialIndex, StrRTree};

@@ -1,13 +1,15 @@
 //! Executor-level equivalence suite: every [`QuerySpec`] shape under every
 //! [`Strategy`], on all three index types (grid, PR-quadtree, STR R-tree),
-//! executed serially and in parallel — all combinations must return the
-//! identical result set. This is the contract the physical-operator layer
-//! must keep: the strategy choice, the index structure and the execution
-//! mode are performance knobs, never semantics knobs.
+//! executed serially, over per-call scoped threads, and over the persistent
+//! worker pool — all combinations must return the identical result set.
+//! This is the contract the physical-operator layer must keep: the strategy
+//! choice, the index structure and the execution mode are performance
+//! knobs, never semantics knobs.
 //!
 //! With the `parallel` cargo feature enabled the parallel runs really fan
-//! out over worker threads; without it they fall back to serial, so the
-//! suite passes in both configurations (trivially so in the second).
+//! out over worker threads (the pooled runs over the shared lazily-spawned
+//! pool); without it they fall back to serial, so the suite passes in both
+//! configurations (trivially so in the second).
 
 use std::collections::BTreeSet;
 
@@ -142,10 +144,14 @@ fn specs() -> Vec<(QuerySpec, RowSchema)> {
 }
 
 /// The heart of the suite: for every index type, every query shape, every
-/// strategy, serial and parallel execution must all agree on the result set.
+/// strategy, serial, scoped-parallel and pooled execution must all agree on
+/// the result set.
 #[test]
 fn every_strategy_and_mode_agrees_on_every_index() {
-    let parallel = ExecutionMode::Parallel { threads: 4 };
+    let parallel_modes = [
+        ExecutionMode::Parallel { threads: 4 },
+        ExecutionMode::Pooled,
+    ];
     for (index_name, db) in databases() {
         for (spec, schema) in specs() {
             let mut reference: Option<BTreeSet<Vec<u64>>> = None;
@@ -153,16 +159,18 @@ fn every_strategy_and_mode_agrees_on_every_index() {
                 let serial = db
                     .execute_with_strategy_and_mode(&spec, strategy, ExecutionMode::Serial)
                     .unwrap_or_else(|e| panic!("{index_name}/{strategy}: {e}"));
-                let par = db
-                    .execute_with_strategy_and_mode(&spec, strategy, parallel)
-                    .unwrap_or_else(|e| panic!("{index_name}/{strategy} (parallel): {e}"));
+                for mode in parallel_modes {
+                    let par = db
+                        .execute_with_strategy_and_mode(&spec, strategy, mode)
+                        .unwrap_or_else(|e| panic!("{index_name}/{strategy} ({mode:?}): {e}"));
 
-                // Serial and parallel agree exactly — rows and row order.
-                assert_eq!(
-                    serial.rows(),
-                    par.rows(),
-                    "serial vs parallel rows differ: {index_name}/{strategy}"
-                );
+                    // Serial and parallel agree exactly — rows and row order.
+                    assert_eq!(
+                        serial.rows(),
+                        par.rows(),
+                        "serial vs {mode:?} rows differ: {index_name}/{strategy}"
+                    );
+                }
                 for row in serial.rows() {
                     assert_eq!(row.schema(), schema);
                 }
@@ -186,12 +194,16 @@ fn every_strategy_and_mode_agrees_on_every_index() {
     }
 }
 
-/// Serial and parallel execution must also report identical work counters
-/// for the schedule-independent operators (all but the cached chained join,
-/// whose per-worker caches legitimately change the hit pattern).
+/// Serial, scoped-parallel and pooled execution must also report identical
+/// work counters for the schedule-independent operators (all but the cached
+/// chained join, whose per-worker caches legitimately change the hit
+/// pattern).
 #[test]
 fn parallel_metrics_merge_to_serial_totals() {
-    let parallel = ExecutionMode::Parallel { threads: 4 };
+    let parallel_modes = [
+        ExecutionMode::Parallel { threads: 4 },
+        ExecutionMode::Pooled,
+    ];
     let (_, db) = databases().remove(0);
     for (spec, _) in specs() {
         for strategy in strategies_for(&spec) {
@@ -201,14 +213,16 @@ fn parallel_metrics_merge_to_serial_totals() {
             let serial = db
                 .execute_with_strategy_and_mode(&spec, strategy, ExecutionMode::Serial)
                 .unwrap();
-            let par = db
-                .execute_with_strategy_and_mode(&spec, strategy, parallel)
-                .unwrap();
-            assert_eq!(
-                serial.metrics(),
-                par.metrics(),
-                "metrics diverge under parallel execution: {strategy}"
-            );
+            for mode in parallel_modes {
+                let par = db
+                    .execute_with_strategy_and_mode(&spec, strategy, mode)
+                    .unwrap();
+                assert_eq!(
+                    serial.metrics(),
+                    par.metrics(),
+                    "metrics diverge under {mode:?} execution: {strategy}"
+                );
+            }
         }
     }
 }
@@ -243,6 +257,42 @@ fn execute_batch_matches_individual_execution() {
     let results = db.execute_batch(&mixed);
     assert!(results[0].is_ok());
     assert!(results[1].is_err());
+}
+
+/// Batch execution through an explicit tiny pool (parallelism 1 and 2) —
+/// the degenerate thread budgets where nested batch-task → block-task
+/// submission would deadlock or misbehave if pool scheduling were wrong —
+/// must agree with per-query execution.
+#[test]
+fn execute_batch_agrees_on_tiny_explicit_pools() {
+    use two_knn::WorkerPool;
+    let a = points(700, 41);
+    let b = points(1_100, 42);
+    let c = points(900, 43);
+    for parallelism in [1, 2] {
+        let mut db = Database::with_pool(WorkerPool::new(parallelism));
+        db.register(
+            "A",
+            GridIndex::build_with_target_occupancy(a.clone(), 64).unwrap(),
+        );
+        db.register(
+            "B",
+            GridIndex::build_with_target_occupancy(b.clone(), 64).unwrap(),
+        );
+        db.register(
+            "C",
+            GridIndex::build_with_target_occupancy(c.clone(), 64).unwrap(),
+        );
+        let batch: Vec<QuerySpec> = specs().into_iter().map(|(s, _)| s).collect();
+        for (spec, result) in batch.iter().zip(db.execute_batch(&batch)) {
+            let individual = db.execute(spec).unwrap();
+            assert_eq!(
+                id_set(&result.unwrap()),
+                id_set(&individual),
+                "pool parallelism {parallelism}: {spec:?}"
+            );
+        }
+    }
 }
 
 /// The compile step exposes the plan without running it, and the explain
