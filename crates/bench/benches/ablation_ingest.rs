@@ -1,0 +1,181 @@
+//! Ablation A5: the cost of versioned storage.
+//!
+//! Two measurements over a BerlinMOD-like moving-objects relation:
+//!
+//! 1. **Delta-overlay read overhead** — the same query batch against a
+//!    snapshot carrying a delta overlay (tombstoned blocks + one overlay
+//!    block) vs against the freshly compacted base. The overlay is the
+//!    price of never blocking readers on writers; compaction pays it down.
+//! 2. **Concurrent background rebuild** — query-batch latency while a
+//!    compaction of the whole base runs on the shared worker pool, compared
+//!    with the idle baseline (and with the ingest burst alone, so the
+//!    rebuild's interference can be read off the difference). On a 1-thread
+//!    pool the rebuild runs inline in `ingest`, so "during" collapses to
+//!    ingest + rebuild + batch — the degraded but deterministic mode CI pins.
+//!
+//! Usage: `cargo bench -p twoknn-bench --features parallel --bench
+//! ablation_ingest -- [--points N] [--queries N] [--threads N]`
+
+use std::sync::Arc;
+
+use twoknn_bench::micro::BenchGroup;
+use twoknn_bench::workloads;
+use twoknn_core::exec::available_threads;
+use twoknn_core::plan::{Database, QuerySpec};
+use twoknn_core::selects2::TwoSelectsQuery;
+use twoknn_core::store::{StoreConfig, WriteOp};
+use twoknn_core::WorkerPool;
+use twoknn_geometry::Point;
+
+/// A burst of upserts that move `count` existing objects to new positions.
+fn move_burst(count: u64, round: u64) -> Vec<WriteOp> {
+    let extent = workloads::extent();
+    (0..count)
+        .map(|i| {
+            let h = (i * 0x9E3779B9 + round * 0x85EBCA6B) % 1_000_000;
+            WriteOp::Upsert(Point::new(
+                i * 13 % 20_011, // existing ids: moves, not inserts
+                extent.min_x + (h % 1_000) as f64 * (extent.width() / 1_000.0),
+                extent.min_y + ((h / 1_000) % 1_000) as f64 * (extent.height() / 1_000.0),
+            ))
+        })
+        .collect()
+}
+
+fn query_batch(queries: usize) -> Vec<QuerySpec> {
+    let focal = workloads::focal_point();
+    (0..queries)
+        .map(|q| {
+            let offset = (q % 97) as f64 * 53.0;
+            QuerySpec::TwoSelects {
+                relation: "Objects".into(),
+                query: TwoSelectsQuery::new(
+                    4,
+                    Point::anonymous(focal.x + offset, focal.y - offset),
+                    16,
+                    Point::anonymous(focal.x - offset, focal.y + offset),
+                ),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut points = 120_000usize;
+    let mut queries = 256usize;
+    let mut threads = available_threads();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--points" => {
+                i += 1;
+                points = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(points);
+            }
+            "--queries" => {
+                i += 1;
+                queries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(queries);
+            }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(threads);
+            }
+            // Ignore harness flags cargo bench forwards (e.g. --bench).
+            _ => {}
+        }
+        i += 1;
+    }
+    let burst = 2_000u64.min(points as u64 / 4);
+    println!(
+        "ablation_ingest: {points} points, {queries} batch queries, {burst}-op ingest bursts, \
+         {threads}-thread pool (parallel feature {})",
+        if cfg!(feature = "parallel") {
+            "ON"
+        } else {
+            "OFF — batches run serially"
+        },
+    );
+    let specs = query_batch(queries);
+
+    // 1. Delta-overlay read overhead vs a freshly compacted snapshot.
+    {
+        let pool = WorkerPool::new(threads);
+        // Compaction only on demand: the delta must survive the measurement.
+        let mut db = Database::with_pool_and_store_config(
+            pool,
+            StoreConfig {
+                compaction_threshold: usize::MAX,
+            },
+        );
+        db.register("Objects", workloads::berlin_relation(points, 311));
+        db.ingest("Objects", &move_burst(burst, 1)).unwrap();
+        let delta_len = db.relation("Objects").unwrap().delta_len();
+
+        let mut group = BenchGroup::new("ingest_overlay_read_overhead").sample_size(5);
+        let overlay = group.bench(&format!("delta_overlay_{delta_len}_ops"), || {
+            db.execute_batch(&specs)
+        });
+        db.compact_now("Objects").unwrap();
+        assert_eq!(db.relation("Objects").unwrap().delta_len(), 0);
+        let compacted = group.bench("freshly_compacted", || db.execute_batch(&specs));
+        println!(
+            "overlay read overhead: {:.2}x vs compacted snapshot \
+             (overlay {:.1} ms -> compacted {:.1} ms, {delta_len} delta ops)",
+            overlay.median_ms / compacted.median_ms,
+            overlay.median_ms,
+            compacted.median_ms
+        );
+    }
+
+    // 2. Query latency with a concurrent background rebuild.
+    {
+        let pool = WorkerPool::new(threads);
+        // Every burst crosses the threshold, so each sample schedules a
+        // fresh rebuild of the whole base on the pool.
+        let db = {
+            let mut db = Database::with_pool_and_store_config(
+                Arc::clone(&pool),
+                StoreConfig {
+                    compaction_threshold: burst as usize,
+                },
+            );
+            db.register("Objects", workloads::berlin_relation(points, 312));
+            db
+        };
+        let quiesce = |db: &Database| {
+            while db.relation("Objects").unwrap().delta_len() > 0 {
+                db.compact_now("Objects").unwrap();
+                std::thread::yield_now();
+            }
+        };
+
+        let mut group = BenchGroup::new("ingest_concurrent_rebuild").sample_size(5);
+        quiesce(&db);
+        let idle = group.bench("batch_idle", || db.execute_batch(&specs));
+        let mut round = 0u64;
+        let ingest_only = group.bench("ingest_burst_alone", || {
+            round += 1;
+            db.ingest("Objects", &move_burst(burst, round)).unwrap();
+            quiesce(&db);
+        });
+        quiesce(&db);
+        let during = group.bench("ingest_then_batch_during_rebuild", || {
+            round += 1;
+            // Crossing the threshold schedules the rebuild; the batch runs
+            // while a worker rebuilds the base.
+            db.ingest("Objects", &move_burst(burst, round)).unwrap();
+            let out = db.execute_batch(&specs);
+            quiesce(&db);
+            out
+        });
+        println!(
+            "batch during rebuild: {:.1} ms vs idle {:.1} ms + ingest/rebuild {:.1} ms \
+             (interference ratio {:.2}x, compactions so far: {})",
+            during.median_ms,
+            idle.median_ms,
+            ingest_only.median_ms,
+            during.median_ms / (idle.median_ms + ingest_only.median_ms),
+            db.store_metrics().compactions
+        );
+    }
+}

@@ -309,6 +309,54 @@ impl WorkerPool {
         }
     }
 
+    /// Submits a detached, fire-and-forget job to the pool.
+    ///
+    /// Unlike [`WorkerPool::broadcast`] the caller does **not** wait for the
+    /// job — it is queued for whichever worker frees up first and runs
+    /// concurrently with everything else on the pool, sharing the same
+    /// thread budget. This is the entry point for background maintenance
+    /// work (e.g. the relation store's index rebuilds): the job typically
+    /// fans its own inner work out with
+    /// [`run_partitioned_on`](super::run_partitioned_on), which is safe to
+    /// nest from a worker thread.
+    ///
+    /// Two deliberate semantic differences from `broadcast`:
+    ///
+    /// * on a parallelism-1 pool there are no worker threads, so the job
+    ///   runs **inline on the caller** — "background" degrades to
+    ///   synchronous, which keeps behavior deterministic on pinned
+    ///   single-thread pools (`TWOKNN_THREADS=1`);
+    /// * a panic in a detached job is caught and **discarded** (the worker
+    ///   survives); jobs that must react to failure catch it themselves.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        if self.parallelism == 1 {
+            // No workers exist; bind so nested Pooled-mode work still
+            // budgets against this pool.
+            let _bind = CurrentPoolGuard::enter(self.self_ref.clone());
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            return;
+        }
+        self.ensure_workers();
+        // A detached scope: `pending` is decremented by `run_job` as usual,
+        // but nobody ever waits on `done` and any panic payload is dropped
+        // with the scope.
+        let scope = Arc::new(ScopeState {
+            sync: Mutex::new(ScopeSync {
+                pending: 1,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = lock_ignore_poison(&self.shared.queue);
+            queue.jobs.push_back(QueuedJob {
+                scope,
+                job: Box::new(job),
+            });
+        }
+        self.shared.job_ready.notify_one();
+    }
+
     /// Spawns the worker threads exactly once.
     fn ensure_workers(&self) {
         self.spawn.call_once(|| {
@@ -561,6 +609,69 @@ mod tests {
             }
         });
         assert_eq!(bound.load(Ordering::SeqCst), items.len());
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs_to_completion() {
+        let pool = WorkerPool::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Detached jobs share the queue with broadcasts; a broadcast round
+        // trip guarantees workers are awake, then we wait for the stragglers.
+        pool.broadcast(2, &|| {});
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) < 16 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "detached jobs did not complete"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn spawn_on_parallelism_one_runs_inline_and_contains_panics() {
+        let pool = WorkerPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&ran);
+        pool.spawn(move || {
+            observed.fetch_add(1, Ordering::SeqCst);
+        });
+        // Inline on a 1-pool: completion is immediate, no waiting needed.
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        // A panicking detached job must not propagate to the caller.
+        pool.spawn(|| panic!("intentional detached panic"));
+        let after = Arc::clone(&ran);
+        pool.spawn(move || {
+            after.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn spawned_job_is_bound_to_its_pool() {
+        let pool = WorkerPool::new(2);
+        let expected = Arc::as_ptr(&pool) as usize;
+        let matched = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&matched);
+        pool.spawn(move || {
+            if Arc::as_ptr(&WorkerPool::current()) as usize == expected {
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while matched.load(Ordering::SeqCst) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "spawned job did not resolve its pool in time"
+            );
+            std::thread::yield_now();
+        }
     }
 
     #[test]

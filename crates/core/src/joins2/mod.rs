@@ -19,7 +19,7 @@
 //!   neighborhoods of `B` points that never appear as neighbors of `A`, and a
 //!   per-`b` neighborhood cache removes its repeated computations.
 //!
-//! The [`join_order`] module implements the heuristics of Section 4.1.2 for
+//! The `join_order` submodule implements the heuristics of Section 4.1.2 for
 //! choosing which unchained join to evaluate first.
 
 mod chained;

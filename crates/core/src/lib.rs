@@ -31,6 +31,17 @@
 //! (grid, quadtree, or R-tree) and report machine-independent
 //! [`twoknn_index::Metrics`] describing the work they performed.
 //!
+//! Around the algorithms, the crate provides the infrastructure of a small
+//! spatial database:
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`plan`] | logical plans, statistics, optimizer, physical operators, and the [`plan::Database`] driver |
+//! | [`store`] | versioned relation store: snapshot reads, delta ingest, background index rebuilds on the worker pool |
+//! | [`exec`] | execution modes and the persistent [`WorkerPool`] shared by batches, operators, and compactions |
+//! | [`output`] | typed result rows ([`Pair`], [`Triplet`]) and the output container |
+//! | [`error`] | the [`QueryError`] taxonomy |
+//!
 //! ## Example: the paper's motivating query (Section 1)
 //!
 //! "From the list of mechanic shops and the two closest hotels to each
@@ -71,7 +82,9 @@ pub mod plan;
 pub mod select;
 pub mod select_join;
 pub mod selects2;
+pub mod store;
 
 pub use error::QueryError;
 pub use exec::{ExecutionMode, WorkerPool};
 pub use output::{Pair, QueryOutput, Triplet};
+pub use store::{DbSnapshot, IndexConfig, RelationStore, StoreConfig, WriteOp};

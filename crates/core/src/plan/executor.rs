@@ -1,23 +1,31 @@
 //! The catalog and the thin execution driver.
 //!
-//! [`Database`] holds named, indexed relations; [`QuerySpec`] names the
-//! relations a query touches plus its parameters. Execution is a pipeline:
-//! the [`Optimizer`] picks a [`Strategy`] from the relations' statistics,
-//! [`crate::plan::physical::compile`] lowers `(spec, strategy)` into a
-//! [`PhysicalPlan`] operator, and the operator runs under an
-//! [`ExecutionMode`] (serial, or block-partitioned over the persistent
-//! worker pool). [`Database::execute`] is nothing but that chain;
-//! independent queries run concurrently through
-//! [`Database::execute_batch`], which schedules *inter-query* tasks on the
-//! same [`WorkerPool`] the operators use for *intra-operator* tasks — one
-//! shared queue, one global thread budget, regardless of how the two layers
-//! nest.
+//! [`Database`] holds named, **versioned** relations in a
+//! [`RelationStore`]; [`QuerySpec`] names the relations a query touches
+//! plus its parameters. Execution is a pipeline: the driver pins a
+//! [`DbSnapshot`] (one immutable version of every relation), the
+//! [`Optimizer`] picks a [`Strategy`] from the pinned relations'
+//! statistics, [`crate::plan::physical::compile`] lowers `(spec, strategy)`
+//! into a [`PhysicalPlan`] operator holding snapshot handles, and the
+//! operator runs under an [`ExecutionMode`] (serial, or block-partitioned
+//! over the persistent worker pool). [`Database::execute`] is nothing but
+//! that chain; independent queries run concurrently through
+//! [`Database::execute_batch`], which pins **one** snapshot for the whole
+//! batch and schedules *inter-query* tasks on the same [`WorkerPool`] the
+//! operators use for *intra-operator* tasks — one shared queue, one global
+//! thread budget, regardless of how the two layers nest.
+//!
+//! Writes go through [`Database::insert`] / [`Database::remove`] /
+//! [`Database::update`] (or batched [`Database::ingest`]): each call
+//! publishes a new relation version atomically, and when a relation's delta
+//! overlay outgrows the store's compaction threshold a background index
+//! rebuild is scheduled on the same pool. Readers never block on either —
+//! they keep their pinned snapshots.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use twoknn_geometry::Point;
-use twoknn_index::{Metrics, SpatialIndex};
+use twoknn_geometry::{Point, PointId};
+use twoknn_index::Metrics;
 
 use crate::error::QueryError;
 use crate::exec::{ExecutionMode, WorkerPool};
@@ -29,22 +37,25 @@ use crate::plan::stats::RelationProfile;
 use crate::plan::strategy::Strategy;
 use crate::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
 use crate::selects2::TwoSelectsQuery;
+use crate::store::{
+    DbSnapshot, IndexConfig, RelationSnapshot, RelationStore, StoreConfig, StoredIndex, WriteOp,
+};
 
-/// A named catalog of indexed relations.
+/// A named catalog of versioned, indexed relations.
 pub struct Database {
-    relations: HashMap<String, Box<dyn SpatialIndex + Send + Sync>>,
+    store: RelationStore,
     optimizer: Optimizer,
-    /// The worker pool batch execution schedules on. Defaults to the
-    /// process-wide shared pool, so batch-level query tasks and the
-    /// operator-level block tasks they spawn share one queue and one thread
-    /// budget.
+    /// The worker pool batch execution **and** background compaction
+    /// schedule on. Defaults to the process-wide shared pool, so batch-level
+    /// query tasks, operator-level block tasks and store rebuild jobs share
+    /// one queue and one thread budget.
     pool: Arc<WorkerPool>,
 }
 
 impl Default for Database {
     fn default() -> Self {
         Self {
-            relations: HashMap::new(),
+            store: RelationStore::default(),
             optimizer: Optimizer::default(),
             pool: Arc::clone(WorkerPool::global()),
         }
@@ -203,45 +214,160 @@ impl Database {
         }
     }
 
-    /// The worker pool handle batch execution schedules on.
+    /// Creates an empty catalog with explicit store tuning (e.g. a small
+    /// compaction threshold for ingest-heavy tests).
+    pub fn with_store_config(config: StoreConfig) -> Self {
+        Self {
+            store: RelationStore::new(config),
+            ..Self::default()
+        }
+    }
+
+    /// Creates an empty catalog with both an explicit pool and explicit
+    /// store tuning.
+    pub fn with_pool_and_store_config(pool: Arc<WorkerPool>, config: StoreConfig) -> Self {
+        Self {
+            store: RelationStore::new(config),
+            pool,
+            ..Self::default()
+        }
+    }
+
+    /// The worker pool handle batch execution and background compaction
+    /// schedule on.
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
     }
 
-    /// Registers (or replaces) a relation under a name.
-    pub fn register<I>(&mut self, name: impl Into<String>, index: I)
+    /// The versioned relation store behind the catalog.
+    pub fn store(&self) -> &RelationStore {
+        &self.store
+    }
+
+    /// Registers (or replaces) a relation under a name, returning the
+    /// replaced relation's last published snapshot if the name was taken.
+    ///
+    /// The index's family and granularity are remembered
+    /// ([`StoredIndex::rebuild_config`]), so compactions rebuild the same
+    /// kind of index. Custom [`SpatialIndex`](twoknn_index::SpatialIndex)
+    /// implementations go through [`Database::register_with_config`].
+    pub fn register<I>(
+        &mut self,
+        name: impl Into<String>,
+        index: I,
+    ) -> Option<Arc<RelationSnapshot>>
     where
-        I: SpatialIndex + Send + Sync + 'static,
+        I: StoredIndex,
     {
-        self.relations.insert(name.into(), Box::new(index));
+        let config = index.rebuild_config();
+        self.store.register(name, Arc::new(index), config)
     }
 
-    /// Names of the registered relations (unordered).
-    pub fn relation_names(&self) -> Vec<&str> {
-        self.relations.keys().map(String::as_str).collect()
+    /// Registers (or replaces) a relation with an explicit compaction
+    /// rebuild config — the escape hatch for index types the store cannot
+    /// infer a config from. Note the *initial* index is used as-is; only
+    /// rebuilds use `config`.
+    pub fn register_with_config<I>(
+        &mut self,
+        name: impl Into<String>,
+        index: I,
+        config: IndexConfig,
+    ) -> Option<Arc<RelationSnapshot>>
+    where
+        I: twoknn_index::SpatialIndex + Send + Sync + 'static,
+    {
+        self.store.register(name, Arc::new(index), config)
     }
 
-    /// Looks a relation up by name.
-    pub fn relation(&self, name: &str) -> Result<&(dyn SpatialIndex + Send + Sync), QueryError> {
-        self.relations
-            .get(name)
-            .map(|b| b.as_ref())
-            .ok_or_else(|| QueryError::UnknownRelation {
-                name: name.to_string(),
-            })
+    /// Removes a relation from the catalog, returning its last published
+    /// snapshot if it existed. In-flight queries that already pinned a
+    /// snapshot are unaffected.
+    pub fn deregister(&mut self, name: &str) -> Option<Arc<RelationSnapshot>> {
+        self.store.deregister(name)
     }
 
-    /// Computes the statistics profile of a registered relation.
+    /// Names of the registered relations, **sorted** — deterministic across
+    /// runs and processes regardless of hash-map iteration order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.store.names()
+    }
+
+    /// Pins the current snapshot of a relation. The returned handle stays
+    /// valid and immutable regardless of concurrent ingest, compaction, or
+    /// catalog mutation.
+    pub fn relation(&self, name: &str) -> Result<Arc<RelationSnapshot>, QueryError> {
+        Ok(self.store.get(name)?.load())
+    }
+
+    /// Pins one consistent [`DbSnapshot`] of every registered relation —
+    /// what `execute` does per query and `execute_batch` does per batch.
+    pub fn snapshot(&self) -> DbSnapshot {
+        self.store.pin()
+    }
+
+    /// Computes the statistics profile of a registered relation (on its
+    /// current snapshot).
     pub fn profile(&self, name: &str) -> Result<RelationProfile, QueryError> {
-        Ok(RelationProfile::compute(self.relation(name)?))
+        Ok(RelationProfile::compute(&*self.relation(name)?))
+    }
+
+    /// Applies a batch of write operations to a relation as **one** atomic
+    /// visibility step: queries observe all of the batch or none of it.
+    /// Returns `(ops that changed the visible point set, new version)`.
+    ///
+    /// When the relation's delta overlay outgrows the store's compaction
+    /// threshold, a background rebuild is scheduled on this database's
+    /// [`WorkerPool`] (on a parallelism-1 pool the rebuild runs inline —
+    /// see [`WorkerPool::spawn`]).
+    pub fn ingest(&self, name: &str, ops: &[WriteOp]) -> Result<(usize, u64), QueryError> {
+        self.store.ingest(name, ops, &self.pool)
+    }
+
+    /// Inserts a point (replacing any existing point with the same id).
+    /// Returns the relation's new version.
+    pub fn insert(&self, name: &str, point: Point) -> Result<u64, QueryError> {
+        Ok(self.ingest(name, &[WriteOp::Upsert(point)])?.1)
+    }
+
+    /// Removes the point with `id`, returning whether it was present.
+    pub fn remove(&self, name: &str, id: PointId) -> Result<bool, QueryError> {
+        Ok(self.ingest(name, &[WriteOp::Remove(id)])?.0 > 0)
+    }
+
+    /// Moves a point to a new position (an upsert), returning whether the
+    /// id was previously visible — `false` means this update was really a
+    /// first insert. The answer is computed under the relation's writer
+    /// lock, so it is exact even with concurrent writers.
+    pub fn update(&self, name: &str, point: Point) -> Result<bool, QueryError> {
+        let (_, _, visible) =
+            self.store
+                .ingest_with_visibility(name, &[WriteOp::Upsert(point)], &self.pool)?;
+        Ok(visible[0])
+    }
+
+    /// Synchronously compacts a relation on the calling thread (the gather
+    /// phase still shards over the pool). Returns the published version, or
+    /// `None` when the delta is empty or a background rebuild already holds
+    /// the compaction slot.
+    pub fn compact_now(&self, name: &str) -> Result<Option<u64>, QueryError> {
+        self.store.compact_now(name, &self.pool)
+    }
+
+    /// The store's cumulative work counters: `ingest_ops`, `compactions`
+    /// (the epoch counter) and rebuild scan work.
+    pub fn store_metrics(&self) -> Metrics {
+        self.store.metrics()
     }
 
     /// Executes a query, letting the optimizer pick the strategy and using
     /// the default execution mode (the shared worker pool when the
     /// `parallel` feature is enabled, serial otherwise).
+    ///
+    /// The query runs against one pinned [`DbSnapshot`]: planning and
+    /// execution observe the same relation versions even while writers
+    /// publish new ones.
     pub fn execute(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
-        let strategy = self.plan(spec)?;
-        self.execute_with(spec, strategy)
+        self.execute_with_mode(spec, ExecutionMode::default_mode())
     }
 
     /// Executes a query with an optimizer-chosen strategy under an explicit
@@ -251,12 +377,17 @@ impl Database {
         spec: &QuerySpec,
         mode: ExecutionMode,
     ) -> Result<QueryResult, QueryError> {
-        let strategy = self.plan(spec)?;
-        Ok(self.compile(spec, strategy)?.execute(mode))
+        let snapshot = self.snapshot();
+        Ok(self.compile_planned_on(&snapshot, spec)?.execute(mode))
     }
 
     /// Executes a batch of independent queries, each with the
     /// optimizer-chosen strategy.
+    ///
+    /// The whole batch runs against **one** pinned [`DbSnapshot`]: every
+    /// query observes the same published version of every relation, even
+    /// while ingest publishes new versions and background compactions swap
+    /// rebuilt bases underneath.
     ///
     /// With the `parallel` feature enabled the queries are scheduled as
     /// tasks on this database's [`WorkerPool`] and each query in turn runs
@@ -269,11 +400,12 @@ impl Database {
     /// machine. Results come back in input order. Without the feature this
     /// is a plain sequential loop with identical results.
     pub fn execute_batch(&self, specs: &[QuerySpec]) -> Vec<Result<QueryResult, QueryError>> {
+        let snapshot = self.snapshot();
         if !cfg!(feature = "parallel") {
             return specs
                 .iter()
                 .map(|spec| {
-                    self.compile_planned(spec)
+                    self.compile_planned_on(&snapshot, spec)
                         .map(|plan| plan.execute(ExecutionMode::Serial))
                 })
                 .collect();
@@ -281,47 +413,66 @@ impl Database {
         let mut scratch = Metrics::default();
         crate::exec::run_partitioned_on(specs, &self.pool, &mut scratch, |spec, out, _| {
             out.push(
-                self.compile_planned(spec)
+                self.compile_planned_on(&snapshot, spec)
                     .map(|plan| plan.execute(ExecutionMode::Pooled)),
             );
         })
     }
 
     /// Compiles a query with the optimizer-chosen strategy into an
-    /// executable [`PhysicalPlan`] without running it.
-    pub fn compile_planned(
+    /// executable [`PhysicalPlan`] without running it. The plan pins the
+    /// relations' current snapshots, so it stays valid (and frozen) however
+    /// long the caller holds it.
+    pub fn compile_planned(&self, spec: &QuerySpec) -> Result<Box<dyn PhysicalPlan>, QueryError> {
+        self.compile_planned_on(&self.snapshot(), spec)
+    }
+
+    /// Plans and compiles against an explicit pinned snapshot — the shared
+    /// step behind every execution path, keeping strategy choice and
+    /// execution on the same relation versions.
+    fn compile_planned_on(
         &self,
+        snapshot: &DbSnapshot,
         spec: &QuerySpec,
-    ) -> Result<Box<dyn PhysicalPlan + '_>, QueryError> {
-        let strategy = self.plan(spec)?;
-        self.compile(spec, strategy)
+    ) -> Result<Box<dyn PhysicalPlan>, QueryError> {
+        let strategy = self.plan_on(snapshot, spec)?;
+        compile(snapshot, spec, strategy)
     }
 
     /// Compiles a query with an explicit strategy into an executable
-    /// [`PhysicalPlan`] without running it.
+    /// [`PhysicalPlan`] without running it (pinning the relations' current
+    /// snapshots).
     pub fn compile(
         &self,
         spec: &QuerySpec,
         strategy: Strategy,
-    ) -> Result<Box<dyn PhysicalPlan + '_>, QueryError> {
-        compile(self, spec, strategy)
+    ) -> Result<Box<dyn PhysicalPlan>, QueryError> {
+        compile(&self.snapshot(), spec, strategy)
     }
 
-    /// The strategy the optimizer would choose for a query.
+    /// The strategy the optimizer would choose for a query (on the current
+    /// snapshots).
     pub fn plan(&self, spec: &QuerySpec) -> Result<Strategy, QueryError> {
+        self.plan_on(&self.snapshot(), spec)
+    }
+
+    /// Strategy choice against an explicit pinned snapshot.
+    fn plan_on(&self, snapshot: &DbSnapshot, spec: &QuerySpec) -> Result<Strategy, QueryError> {
+        let profile = |name: &str| -> Result<RelationProfile, QueryError> {
+            Ok(RelationProfile::compute(snapshot.relation(name)?))
+        };
         Ok(match spec {
             QuerySpec::SelectInnerOfJoin { outer, .. } => {
-                Strategy::SelectInner(self.optimizer.choose_select_inner(&self.profile(outer)?))
+                Strategy::SelectInner(self.optimizer.choose_select_inner(&profile(outer)?))
             }
             QuerySpec::SelectOuterOfJoin { outer, .. } => {
-                Strategy::SelectOuter(self.optimizer.choose_select_outer(&self.profile(outer)?))
+                Strategy::SelectOuter(self.optimizer.choose_select_outer(&profile(outer)?))
             }
-            QuerySpec::UnchainedJoins { a, c, .. } => Strategy::Unchained(
-                self.optimizer
-                    .choose_unchained(&self.profile(a)?, &self.profile(c)?),
-            ),
+            QuerySpec::UnchainedJoins { a, c, .. } => {
+                Strategy::Unchained(self.optimizer.choose_unchained(&profile(a)?, &profile(c)?))
+            }
             QuerySpec::ChainedJoins { b, .. } => {
-                Strategy::Chained(self.optimizer.choose_chained(&self.profile(b)?))
+                Strategy::Chained(self.optimizer.choose_chained(&profile(b)?))
             }
             QuerySpec::TwoSelects { query, .. } => {
                 Strategy::TwoSelects(self.optimizer.choose_two_selects(query))
@@ -541,9 +692,8 @@ mod tests {
     #[test]
     fn relation_names_and_profiles() {
         let db = db();
-        let mut names = db.relation_names();
-        names.sort_unstable();
-        assert_eq!(names, vec!["A", "B", "C"]);
+        // `relation_names` is sorted by contract — no caller-side sort.
+        assert_eq!(db.relation_names(), vec!["A", "B", "C"]);
         let p = db.profile("A").unwrap();
         assert_eq!(p.num_points, 120);
         assert!(db.profile("missing").is_err());

@@ -14,13 +14,19 @@
 //! * [`strategy`] — the physical strategies available for each query shape;
 //! * [`optimizer`] — the paper's heuristics (Sections 3.3 and 4.1.2) mapping
 //!   statistics to a strategy;
-//! * [`physical`] — the physical-operator layer: [`compile`] lowers a
-//!   `(QuerySpec, Strategy)` pair into a [`PhysicalPlan`] operator that runs
-//!   serially or partitioned over the persistent worker pool;
-//! * [`executor`] — the catalog (`Database`, which owns a handle to the
-//!   shared [`crate::exec::WorkerPool`]) plus the thin driver chaining
-//!   optimizer → compile → execute, with a concurrent batch entry point
-//!   that schedules whole queries on the same pool the operators use.
+//! * [`physical`] — the physical-operator layer: [`compile`] resolves
+//!   relation names against a pinned [`crate::store::DbSnapshot`] and lowers
+//!   a `(QuerySpec, Strategy)` pair into a [`PhysicalPlan`] operator that
+//!   owns its snapshot handles and runs serially or partitioned over the
+//!   persistent worker pool;
+//! * [`executor`] — the catalog (`Database`, backed by the versioned
+//!   [`crate::store::RelationStore`] and owning a handle to the shared
+//!   [`crate::exec::WorkerPool`]) plus the thin driver chaining
+//!   snapshot-pin → optimizer → compile → execute, a concurrent batch entry
+//!   point that pins **one** snapshot per batch and schedules whole queries
+//!   on the same pool the operators use, and the ingest entry points
+//!   (`insert` / `remove` / `update` / `ingest`) that publish new relation
+//!   versions and trigger background compactions.
 
 pub mod executor;
 pub mod logical;

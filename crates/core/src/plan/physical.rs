@@ -6,9 +6,10 @@
 //! QuerySpec ──(Optimizer)──► Strategy ──(compile)──► Box<dyn PhysicalPlan> ──(execute)──► QueryResult
 //! ```
 //!
-//! [`compile`] resolves a [`QuerySpec`]'s relation names against a
-//! [`Database`] catalog and pairs them with a [`Strategy`] into one of the
-//! operator structs of this module — one per algorithm family of the paper:
+//! [`compile`] resolves a [`QuerySpec`]'s relation names against a pinned
+//! [`DbSnapshot`] of the catalog and pairs them with a [`Strategy`] into one
+//! of the operator structs of this module — one per algorithm family of the
+//! paper:
 //!
 //! | Operator | Algorithm family | Paper |
 //! |---|---|---|
@@ -24,8 +25,14 @@
 //! output [`RowSchema`], and how to [`PhysicalPlan::execute`] under a given
 //! [`ExecutionMode`] — serially, partitioned over the shared persistent
 //! worker pool (`Pooled`, the default), or over a freshly spawned scoped
-//! team (`Parallel`). Adding a new algorithm means adding an operator struct
-//! and a `compile` arm; the driver ([`Database::execute`]) never changes.
+//! team (`Parallel`). Operators hold their relations as [`Relation`]
+//! (shared-ownership snapshot handles), so a compiled plan stays valid — and
+//! keeps observing the exact version it was compiled against — no matter
+//! what ingest or compaction publish afterwards. Adding a new algorithm
+//! means adding an operator struct and a `compile` arm; the driver
+//! ([`Database::execute`](crate::plan::Database::execute)) never changes.
+
+use std::sync::Arc;
 
 use twoknn_geometry::Point;
 use twoknn_index::SpatialIndex;
@@ -38,7 +45,7 @@ use crate::joins2::{
     unchained_conceptual_with_mode, ChainedJoinQuery, UnchainedJoinQuery,
 };
 use crate::output::{Pair, QueryOutput, Triplet};
-use crate::plan::executor::{Database, QueryResult, QuerySpec};
+use crate::plan::executor::{QueryResult, QuerySpec};
 use crate::plan::strategy::{
     ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,
     UnchainedStrategy,
@@ -49,9 +56,15 @@ use crate::select_join::{
     SelectInnerJoinQuery, SelectOuterJoinQuery,
 };
 use crate::selects2::{two_knn_select, two_selects_conceptual_with_mode, TwoSelectsQuery};
+use crate::store::DbSnapshot;
 
-/// A reference to an indexed relation as stored in the catalog.
-pub type Relation<'a> = &'a (dyn SpatialIndex + Send + Sync);
+/// A shared handle to one pinned, immutable version of an indexed relation.
+///
+/// Operators hold `Relation`s rather than borrows so compiled plans own
+/// their inputs: the snapshot a plan was compiled against stays alive (and
+/// frozen) for as long as the plan does, independent of concurrent catalog
+/// mutation, ingest, or compaction.
+pub type Relation = Arc<dyn SpatialIndex + Send + Sync>;
 
 /// The row type a physical plan produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,18 +139,26 @@ pub trait PhysicalPlan: Send + Sync {
 }
 
 /// Compiles a `(spec, strategy)` pair into an executable operator, resolving
-/// relation names against the catalog.
+/// relation names against a pinned [`DbSnapshot`].
+///
+/// The returned plan holds shared handles to the snapshot's relation
+/// versions, so it is `'static`: it outlives the `DbSnapshot` it was
+/// resolved from and keeps observing exactly those versions even while
+/// ingest and compaction publish newer ones.
 ///
 /// # Errors
 ///
 /// [`QueryError::UnknownRelation`] for unresolved names, and
 /// [`QueryError::UnsupportedPlanShape`] when the strategy family does not
 /// match the query shape.
-pub fn compile<'a>(
-    db: &'a Database,
+pub fn compile(
+    snapshot: &DbSnapshot,
     spec: &QuerySpec,
     strategy: Strategy,
-) -> Result<Box<dyn PhysicalPlan + 'a>, QueryError> {
+) -> Result<Box<dyn PhysicalPlan>, QueryError> {
+    let pin = |name: &str| -> Result<Relation, QueryError> {
+        Ok(Arc::clone(snapshot.snapshot(name)?) as Relation)
+    };
     match (spec, strategy) {
         (
             QuerySpec::SelectInnerOfJoin {
@@ -147,8 +168,8 @@ pub fn compile<'a>(
             },
             Strategy::SelectInner(s),
         ) => {
-            let outer = db.relation(outer)?;
-            let inner = db.relation(inner)?;
+            let outer = pin(outer)?;
+            let inner = pin(inner)?;
             Ok(match s {
                 SelectInnerStrategy::Counting => Box::new(CountingOp {
                     outer,
@@ -176,32 +197,32 @@ pub fn compile<'a>(
             },
             Strategy::SelectOuter(s),
         ) => Ok(Box::new(OuterPushdownOp {
-            outer: db.relation(outer)?,
-            inner: db.relation(inner)?,
+            outer: pin(outer)?,
+            inner: pin(inner)?,
             query: *query,
             strategy: s,
         })),
         (QuerySpec::UnchainedJoins { a, b, c, query }, Strategy::Unchained(s)) => {
             Ok(Box::new(UnchainedJoinsOp {
-                a: db.relation(a)?,
-                b: db.relation(b)?,
-                c: db.relation(c)?,
+                a: pin(a)?,
+                b: pin(b)?,
+                c: pin(c)?,
                 query: *query,
                 strategy: s,
             }))
         }
         (QuerySpec::ChainedJoins { a, b, c, query }, Strategy::Chained(s)) => {
             Ok(Box::new(ChainedJoinsOp {
-                a: db.relation(a)?,
-                b: db.relation(b)?,
-                c: db.relation(c)?,
+                a: pin(a)?,
+                b: pin(b)?,
+                c: pin(c)?,
                 query: *query,
                 strategy: s,
             }))
         }
         (QuerySpec::TwoSelects { relation, query }, Strategy::TwoSelects(s)) => {
             Ok(Box::new(TwoSelectsOp {
-                relation: db.relation(relation)?,
+                relation: pin(relation)?,
                 query: *query,
                 strategy: s,
             }))
@@ -213,16 +234,16 @@ pub fn compile<'a>(
 }
 
 /// The Counting algorithm (Procedure 1) bound to its relations.
-pub struct CountingOp<'a> {
+pub struct CountingOp {
     /// The outer relation `E1`.
-    pub outer: Relation<'a>,
+    pub outer: Relation,
     /// The inner relation `E2`.
-    pub inner: Relation<'a>,
+    pub inner: Relation,
     /// Query parameters.
     pub query: SelectInnerJoinQuery,
 }
 
-impl PhysicalPlan for CountingOp<'_> {
+impl PhysicalPlan for CountingOp {
     fn name(&self) -> &'static str {
         "counting"
     }
@@ -237,25 +258,25 @@ impl PhysicalPlan for CountingOp<'_> {
 
     fn execute(&self, mode: ExecutionMode) -> QueryResult {
         QueryResult::Pairs {
-            output: counting_with_mode(self.outer, self.inner, &self.query, mode),
+            output: counting_with_mode(&*self.outer, &*self.inner, &self.query, mode),
             strategy: self.strategy(),
         }
     }
 }
 
 /// The Block-Marking algorithm (Procedures 2–3) bound to its relations.
-pub struct BlockMarkingOp<'a> {
+pub struct BlockMarkingOp {
     /// The outer relation `E1`.
-    pub outer: Relation<'a>,
+    pub outer: Relation,
     /// The inner relation `E2`.
-    pub inner: Relation<'a>,
+    pub inner: Relation,
     /// Query parameters.
     pub query: SelectInnerJoinQuery,
     /// Tuning knobs (contour pruning on/off).
     pub config: BlockMarkingConfig,
 }
 
-impl PhysicalPlan for BlockMarkingOp<'_> {
+impl PhysicalPlan for BlockMarkingOp {
     fn name(&self) -> &'static str {
         "block-marking"
     }
@@ -271,8 +292,8 @@ impl PhysicalPlan for BlockMarkingOp<'_> {
     fn execute(&self, mode: ExecutionMode) -> QueryResult {
         QueryResult::Pairs {
             output: block_marking_with_mode(
-                self.outer,
-                self.inner,
+                &*self.outer,
+                &*self.inner,
                 &self.query,
                 &self.config,
                 mode,
@@ -283,16 +304,16 @@ impl PhysicalPlan for BlockMarkingOp<'_> {
 }
 
 /// The conceptually correct join-then-intersect QEP (Figure 1).
-pub struct SelectInnerConceptualOp<'a> {
+pub struct SelectInnerConceptualOp {
     /// The outer relation `E1`.
-    pub outer: Relation<'a>,
+    pub outer: Relation,
     /// The inner relation `E2`.
-    pub inner: Relation<'a>,
+    pub inner: Relation,
     /// Query parameters.
     pub query: SelectInnerJoinQuery,
 }
 
-impl PhysicalPlan for SelectInnerConceptualOp<'_> {
+impl PhysicalPlan for SelectInnerConceptualOp {
     fn name(&self) -> &'static str {
         "select-inner-conceptual"
     }
@@ -307,7 +328,7 @@ impl PhysicalPlan for SelectInnerConceptualOp<'_> {
 
     fn execute(&self, mode: ExecutionMode) -> QueryResult {
         QueryResult::Pairs {
-            output: conceptual_with_mode(self.outer, self.inner, &self.query, mode),
+            output: conceptual_with_mode(&*self.outer, &*self.inner, &self.query, mode),
             strategy: self.strategy(),
         }
     }
@@ -315,18 +336,18 @@ impl PhysicalPlan for SelectInnerConceptualOp<'_> {
 
 /// The select-on-outer operator (Figure 3): the valid pushdown, or the
 /// reference select-after-join plan.
-pub struct OuterPushdownOp<'a> {
+pub struct OuterPushdownOp {
     /// The outer relation `E1`.
-    pub outer: Relation<'a>,
+    pub outer: Relation,
     /// The inner relation `E2`.
-    pub inner: Relation<'a>,
+    pub inner: Relation,
     /// Query parameters.
     pub query: SelectOuterJoinQuery,
     /// Which of the two equivalent QEPs to run.
     pub strategy: SelectOuterStrategy,
 }
 
-impl PhysicalPlan for OuterPushdownOp<'_> {
+impl PhysicalPlan for OuterPushdownOp {
     fn name(&self) -> &'static str {
         match self.strategy {
             SelectOuterStrategy::Pushdown => "outer-pushdown",
@@ -347,10 +368,10 @@ impl PhysicalPlan for OuterPushdownOp<'_> {
             // The pushdown only ever joins the kσ selected points; it is
             // already the cheap plan and runs serially.
             SelectOuterStrategy::Pushdown => {
-                select_on_outer_pushdown(self.outer, self.inner, &self.query)
+                select_on_outer_pushdown(&*self.outer, &*self.inner, &self.query)
             }
             SelectOuterStrategy::SelectAfterJoin => {
-                select_on_outer_after_join_with_mode(self.outer, self.inner, &self.query, mode)
+                select_on_outer_after_join_with_mode(&*self.outer, &*self.inner, &self.query, mode)
             }
         };
         QueryResult::Pairs {
@@ -361,20 +382,20 @@ impl PhysicalPlan for OuterPushdownOp<'_> {
 }
 
 /// Two unchained kNN-joins `(A ⋈ B) ∩_B (C ⋈ B)` (Section 4.1).
-pub struct UnchainedJoinsOp<'a> {
+pub struct UnchainedJoinsOp {
     /// Relation `A`.
-    pub a: Relation<'a>,
+    pub a: Relation,
     /// The shared inner relation `B`.
-    pub b: Relation<'a>,
+    pub b: Relation,
     /// Relation `C`.
-    pub c: Relation<'a>,
+    pub c: Relation,
     /// Query parameters.
     pub query: UnchainedJoinQuery,
     /// Which evaluation order / algorithm to run.
     pub strategy: UnchainedStrategy,
 }
 
-impl PhysicalPlan for UnchainedJoinsOp<'_> {
+impl PhysicalPlan for UnchainedJoinsOp {
     fn name(&self) -> &'static str {
         match self.strategy {
             UnchainedStrategy::Conceptual => "unchained-conceptual",
@@ -394,16 +415,17 @@ impl PhysicalPlan for UnchainedJoinsOp<'_> {
     fn execute(&self, mode: ExecutionMode) -> QueryResult {
         let output = match self.strategy {
             UnchainedStrategy::Conceptual => {
-                unchained_conceptual_with_mode(self.a, self.b, self.c, &self.query, mode)
+                unchained_conceptual_with_mode(&*self.a, &*self.b, &*self.c, &self.query, mode)
             }
             UnchainedStrategy::BlockMarkingStartWithA => {
-                unchained_block_marking_with_mode(self.a, self.b, self.c, &self.query, mode)
+                unchained_block_marking_with_mode(&*self.a, &*self.b, &*self.c, &self.query, mode)
             }
             UnchainedStrategy::BlockMarkingStartWithC => {
                 // Start with (C ⋈ B): swap the roles of A and C, then swap the
                 // components back in the emitted triplets.
                 let swapped = UnchainedJoinQuery::new(self.query.k_cb, self.query.k_ab);
-                let out = unchained_block_marking_with_mode(self.c, self.b, self.a, &swapped, mode);
+                let out =
+                    unchained_block_marking_with_mode(&*self.c, &*self.b, &*self.a, &swapped, mode);
                 QueryOutput::new(
                     out.rows
                         .into_iter()
@@ -421,20 +443,20 @@ impl PhysicalPlan for UnchainedJoinsOp<'_> {
 }
 
 /// Two chained kNN-joins `A → B → C` (Section 4.2).
-pub struct ChainedJoinsOp<'a> {
+pub struct ChainedJoinsOp {
     /// Relation `A`.
-    pub a: Relation<'a>,
+    pub a: Relation,
     /// The middle relation `B`.
-    pub b: Relation<'a>,
+    pub b: Relation,
     /// Relation `C`.
-    pub c: Relation<'a>,
+    pub c: Relation,
     /// Query parameters.
     pub query: ChainedJoinQuery,
     /// Which of the equivalent QEPs to run.
     pub strategy: ChainedStrategy,
 }
 
-impl PhysicalPlan for ChainedJoinsOp<'_> {
+impl PhysicalPlan for ChainedJoinsOp {
     fn name(&self) -> &'static str {
         match self.strategy {
             ChainedStrategy::RightDeep => "chained-right-deep",
@@ -455,16 +477,16 @@ impl PhysicalPlan for ChainedJoinsOp<'_> {
     fn execute(&self, mode: ExecutionMode) -> QueryResult {
         let output = match self.strategy {
             ChainedStrategy::RightDeep => {
-                chained_right_deep_with_mode(self.a, self.b, self.c, &self.query, mode)
+                chained_right_deep_with_mode(&*self.a, &*self.b, &*self.c, &self.query, mode)
             }
             ChainedStrategy::JoinIntersection => {
-                chained_join_intersection_with_mode(self.a, self.b, self.c, &self.query, mode)
+                chained_join_intersection_with_mode(&*self.a, &*self.b, &*self.c, &self.query, mode)
             }
             ChainedStrategy::NestedJoin => {
-                chained_nested_with_mode(self.a, self.b, self.c, &self.query, mode)
+                chained_nested_with_mode(&*self.a, &*self.b, &*self.c, &self.query, mode)
             }
             ChainedStrategy::NestedJoinCached => {
-                chained_nested_cached_with_mode(self.a, self.b, self.c, &self.query, mode)
+                chained_nested_cached_with_mode(&*self.a, &*self.b, &*self.c, &self.query, mode)
             }
         };
         QueryResult::Triplets {
@@ -475,16 +497,16 @@ impl PhysicalPlan for ChainedJoinsOp<'_> {
 }
 
 /// Two kNN-selects over one relation (Section 5).
-pub struct TwoSelectsOp<'a> {
+pub struct TwoSelectsOp {
     /// The relation both selects run against.
-    pub relation: Relation<'a>,
+    pub relation: Relation,
     /// Query parameters.
     pub query: TwoSelectsQuery,
     /// Which of the two equivalent QEPs to run.
     pub strategy: TwoSelectsStrategy,
 }
 
-impl PhysicalPlan for TwoSelectsOp<'_> {
+impl PhysicalPlan for TwoSelectsOp {
     fn name(&self) -> &'static str {
         match self.strategy {
             TwoSelectsStrategy::Conceptual => "two-selects-conceptual",
@@ -505,12 +527,12 @@ impl PhysicalPlan for TwoSelectsOp<'_> {
             // The conceptual QEP's two selects are independent: under a
             // parallel mode each runs as its own (pool) task.
             TwoSelectsStrategy::Conceptual => {
-                two_selects_conceptual_with_mode(self.relation, &self.query, mode)
+                two_selects_conceptual_with_mode(&*self.relation, &self.query, mode)
             }
             // The 2-kNN-select algorithm is inherently sequential (the
             // second locality is bounded by the first select's result);
             // batch-level parallelism covers the many-query case.
-            TwoSelectsStrategy::TwoKnnSelect => two_knn_select(self.relation, &self.query),
+            TwoSelectsStrategy::TwoKnnSelect => two_knn_select(&*self.relation, &self.query),
         };
         QueryResult::Points {
             output,
@@ -537,8 +559,8 @@ mod tests {
             .collect()
     }
 
-    fn db() -> Database {
-        let mut db = Database::new();
+    fn db() -> crate::plan::Database {
+        let mut db = crate::plan::Database::new();
         db.register("A", GridIndex::build(scattered(120, 1), 8).unwrap());
         db.register("B", GridIndex::build(scattered(250, 2), 8).unwrap());
         db.register("C", GridIndex::build(scattered(140, 3), 8).unwrap());
@@ -558,7 +580,7 @@ mod tests {
             (SelectInnerStrategy::BlockMarking, "block-marking"),
             (SelectInnerStrategy::Conceptual, "select-inner-conceptual"),
         ] {
-            let plan = compile(&db, &spec, Strategy::SelectInner(s)).unwrap();
+            let plan = compile(&db.snapshot(), &spec, Strategy::SelectInner(s)).unwrap();
             assert_eq!(plan.name(), name);
             assert_eq!(plan.schema(), RowSchema::Pairs);
             assert_eq!(plan.strategy(), Strategy::SelectInner(s));
@@ -579,7 +601,11 @@ mod tests {
             ),
         };
         assert!(matches!(
-            compile(&db, &spec, Strategy::Chained(ChainedStrategy::RightDeep)),
+            compile(
+                &db.snapshot(),
+                &spec,
+                Strategy::Chained(ChainedStrategy::RightDeep)
+            ),
             Err(QueryError::UnsupportedPlanShape { .. })
         ));
         let missing = QuerySpec::TwoSelects {
@@ -593,7 +619,7 @@ mod tests {
         };
         assert!(matches!(
             compile(
-                &db,
+                &db.snapshot(),
                 &missing,
                 Strategy::TwoSelects(TwoSelectsStrategy::TwoKnnSelect)
             ),
@@ -611,7 +637,7 @@ mod tests {
             query: UnchainedJoinQuery::new(2, 2),
         };
         let strategy = Strategy::Unchained(UnchainedStrategy::BlockMarkingStartWithC);
-        let plan = compile(&db, &spec, strategy).unwrap();
+        let plan = compile(&db.snapshot(), &spec, strategy).unwrap();
         let direct = plan.execute(ExecutionMode::Serial);
         let via_db = db.execute_with(&spec, strategy).unwrap();
         assert_eq!(direct.num_rows(), via_db.num_rows());

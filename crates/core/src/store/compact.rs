@@ -1,0 +1,166 @@
+//! Background index rebuilds on the shared worker pool.
+//!
+//! When a relation's delta outgrows its compaction threshold, the store
+//! schedules a rebuild job via [`WorkerPool::spawn`] — the same queue (and
+//! the same thread budget) that batch and operator tasks use, so a rebuild
+//! never oversubscribes the machine and `execute_batch` keeps making
+//! progress on the caller thread while a worker rebuilds.
+//!
+//! The rebuild pipeline:
+//!
+//! 1. **Capture** `(snapshot, log position)` under the relation's writer
+//!    lock (nanoseconds — ingest continues right after);
+//! 2. **Gather** the snapshot's visible points, sharded over block ranges
+//!    with [`run_partitioned_on`] so large relations use the whole pool;
+//! 3. **Build** a fresh base index with the relation's [`IndexConfig`];
+//! 4. **Publish**: replay the ops ingested since the capture onto the new
+//!    base and atomically swap the snapshot in.
+//!
+//! On a parallelism-1 pool (e.g. `TWOKNN_THREADS=1`) there are no workers,
+//! so [`WorkerPool::spawn`] degrades to running the rebuild inline in the
+//! ingest call — synchronous, but semantically identical.
+
+use std::sync::{Arc, Mutex};
+
+use twoknn_geometry::Point;
+use twoknn_index::{BlockId, Metrics};
+
+use crate::exec::{run_partitioned_on, WorkerPool};
+
+use super::snapshot::RelationSnapshot;
+use super::version::VersionedRelation;
+
+/// Number of blocks a single gather shard covers. Small relations collapse
+/// to one shard (a plain serial copy); large ones fan out over the pool.
+const GATHER_SHARD_BLOCKS: usize = 64;
+
+/// Collects a snapshot's visible points, partitioned over block-range shards
+/// on `pool`. Ordering follows block order (and point order within blocks),
+/// matching the serial [`RelationSnapshot::merged_points`].
+pub(crate) fn gather_points_sharded(snapshot: &RelationSnapshot, pool: &WorkerPool) -> Vec<Point> {
+    use twoknn_index::SpatialIndex;
+
+    let num_blocks = snapshot.num_blocks();
+    let shards: Vec<std::ops::Range<usize>> = (0..num_blocks)
+        .step_by(GATHER_SHARD_BLOCKS.max(1))
+        .map(|start| start..(start + GATHER_SHARD_BLOCKS).min(num_blocks))
+        .collect();
+    let mut scratch = Metrics::default();
+    run_partitioned_on(&shards, pool, &mut scratch, |shard, out, metrics| {
+        for id in shard.clone() {
+            metrics.blocks_scanned += 1;
+            out.extend_from_slice(snapshot.block_points(id as BlockId));
+        }
+    })
+}
+
+/// Runs one compaction cycle for `rel` on the calling thread, sharding the
+/// gather phase over `pool`. Returns the published version, or `None` when
+/// another rebuild holds the slot or the delta is empty.
+pub(crate) fn compact_relation(
+    rel: &VersionedRelation,
+    pool: &WorkerPool,
+    metrics: &Mutex<Metrics>,
+) -> Option<u64> {
+    rel.compact_with(|snapshot| gather_points_sharded(snapshot, pool), metrics)
+}
+
+/// Schedules a background compaction of `rel` on `pool` if its delta has
+/// outgrown the threshold and no rebuild is in flight. Returns whether a job
+/// was scheduled.
+pub(crate) fn schedule_compaction(
+    rel: &Arc<VersionedRelation>,
+    pool: &Arc<WorkerPool>,
+    metrics: &Arc<Mutex<Metrics>>,
+) -> bool {
+    if !rel.needs_compaction() {
+        return false;
+    }
+    let rel = Arc::clone(rel);
+    let metrics = Arc::clone(metrics);
+    pool.spawn(move || {
+        // The serving pool (or, inline on a 1-pool, the bound submitting
+        // pool) shards the gather; `compact_with` re-checks the in-flight
+        // slot, so racing duplicate jobs degenerate to no-ops.
+        let pool = WorkerPool::current();
+        let _ = compact_relation(&rel, &pool, &metrics);
+    });
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::delta::WriteOp;
+    use super::super::snapshot::{BaseIndex, IndexConfig};
+    use super::*;
+    use twoknn_geometry::Point;
+    use twoknn_index::{GridIndex, SpatialIndex};
+
+    fn relation(threshold: usize) -> Arc<VersionedRelation> {
+        let pts: Vec<Point> = (0..500u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+                Point::new(i, (h % 997) as f64 * 0.13, ((h / 997) % 997) as f64 * 0.13)
+            })
+            .collect();
+        let base: BaseIndex = Arc::new(GridIndex::build(pts, 9).unwrap());
+        Arc::new(VersionedRelation::new(
+            "R".into(),
+            base,
+            IndexConfig::Grid { cells_per_axis: 9 },
+            threshold,
+        ))
+    }
+
+    #[test]
+    fn sharded_gather_matches_the_serial_merge() {
+        let rel = relation(1_000);
+        rel.ingest(&[
+            WriteOp::Upsert(Point::new(9_000, 3.0, 3.0)),
+            WriteOp::Remove(17),
+            WriteOp::Upsert(Point::new(42, 50.0, 50.0)),
+        ]);
+        let snap = rel.load();
+        let pool = WorkerPool::new(3);
+        let sharded = gather_points_sharded(&snap, &pool);
+        assert_eq!(sharded, snap.merged_points());
+    }
+
+    #[test]
+    fn scheduled_compaction_publishes_on_the_pool() {
+        let rel = relation(2);
+        let pool = WorkerPool::new(2);
+        let metrics = Arc::new(Mutex::new(Metrics::default()));
+        rel.ingest(&[
+            WriteOp::Upsert(Point::new(9_000, 3.0, 3.0)),
+            WriteOp::Remove(17),
+        ]);
+        assert!(schedule_compaction(&rel, &pool, &metrics));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while rel.load().delta_len() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background compaction did not publish"
+            );
+            std::thread::yield_now();
+        }
+        let snap = rel.load();
+        assert_eq!(snap.num_points(), 500);
+        assert!(snap.contains_id(9_000) && !snap.contains_id(17));
+        assert_eq!(metrics.lock().unwrap().compactions, 1);
+        // Below threshold now: nothing to schedule.
+        assert!(!schedule_compaction(&rel, &pool, &metrics));
+    }
+
+    #[test]
+    fn scheduled_compaction_is_synchronous_on_a_one_thread_pool() {
+        let rel = relation(1);
+        let pool = WorkerPool::new(1);
+        let metrics = Arc::new(Mutex::new(Metrics::default()));
+        rel.ingest(&[WriteOp::Remove(3)]);
+        assert!(schedule_compaction(&rel, &pool, &metrics));
+        // Inline spawn: the publish already happened.
+        assert_eq!(rel.load().delta_len(), 0);
+        assert_eq!(rel.load().num_points(), 499);
+    }
+}

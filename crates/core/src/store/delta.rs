@@ -1,0 +1,179 @@
+//! The sorted insert/delete overlay a snapshot carries on top of its base
+//! index.
+//!
+//! A [`Delta`] is always expressed **relative to one base index**: `inserts`
+//! holds points that are visible but not stored in the base, `deletes` holds
+//! ids of base points that are no longer visible. Both lists are kept sorted
+//! (by point id) and duplicate-free, so membership tests are binary searches
+//! and two deltas over the same base can be compared structurally.
+//!
+//! The overlay is applied by [`RelationSnapshot`](super::RelationSnapshot),
+//! which materializes the delta as extra/filtered blocks so that every query
+//! algorithm sees one consistent [`SpatialIndex`](twoknn_index::SpatialIndex)
+//! view.
+
+use twoknn_geometry::{Point, PointId};
+
+/// One ingest operation against a versioned relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteOp {
+    /// Insert a point, replacing any existing point with the same id (the
+    /// moving-objects workload: an update is a position report for a known
+    /// object id).
+    Upsert(Point),
+    /// Remove the point with this id, if present.
+    Remove(PointId),
+}
+
+/// A sorted insert/delete overlay relative to one base index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    /// Points visible on top of the base, sorted by id, unique per id.
+    inserts: Vec<Point>,
+    /// Ids of base points that are tombstoned, sorted, unique. Only ids the
+    /// base actually stores are ever recorded here.
+    deletes: Vec<PointId>,
+}
+
+impl Delta {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The overlay's inserted points, sorted by id.
+    pub fn inserts(&self) -> &[Point] {
+        &self.inserts
+    }
+
+    /// The tombstoned base point ids, sorted.
+    pub fn deletes(&self) -> &[PointId] {
+        &self.deletes
+    }
+
+    /// Number of overlay entries (inserts + deletes) — the quantity the
+    /// compaction threshold is compared against.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Whether the overlay is empty (the snapshot equals its base).
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Whether `id` is tombstoned.
+    pub fn is_deleted(&self, id: PointId) -> bool {
+        self.deletes.binary_search(&id).is_ok()
+    }
+
+    /// The inserted point with `id`, if any.
+    pub fn inserted(&self, id: PointId) -> Option<&Point> {
+        self.inserts
+            .binary_search_by_key(&id, |p| p.id)
+            .ok()
+            .map(|at| &self.inserts[at])
+    }
+
+    /// Applies one write operation. `base_has` must report whether the
+    /// **base index** stores a point with a given id; the overlay uses it to
+    /// decide between tombstoning a base point and editing its own inserts.
+    ///
+    /// Returns `true` when the operation changed the visible point set
+    /// (an upsert always does; a remove only if the id was visible).
+    pub fn apply(&mut self, op: &WriteOp, base_has: impl Fn(PointId) -> bool) -> bool {
+        match op {
+            WriteOp::Upsert(p) => {
+                match self.inserts.binary_search_by_key(&p.id, |q| q.id) {
+                    Ok(at) => self.inserts[at] = *p,
+                    Err(at) => self.inserts.insert(at, *p),
+                }
+                // The base copy (if any) is shadowed: tombstone it so block
+                // scans don't report the stale position.
+                if base_has(p.id) {
+                    if let Err(at) = self.deletes.binary_search(&p.id) {
+                        self.deletes.insert(at, p.id);
+                    }
+                }
+                true
+            }
+            WriteOp::Remove(id) => {
+                let mut removed = false;
+                if let Ok(at) = self.inserts.binary_search_by_key(id, |q| q.id) {
+                    self.inserts.remove(at);
+                    removed = true;
+                }
+                if base_has(*id) {
+                    match self.deletes.binary_search(id) {
+                        // Already tombstoned: visibility unchanged by this op
+                        // (unless we just dropped a shadowing insert).
+                        Ok(_) => {}
+                        Err(at) => {
+                            self.deletes.insert(at, *id);
+                            removed = true;
+                        }
+                    }
+                }
+                removed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn has(ids: &'static [PointId]) -> impl Fn(PointId) -> bool {
+        move |id| ids.contains(&id)
+    }
+
+    #[test]
+    fn upsert_insert_and_remove_roundtrip() {
+        let mut d = Delta::new();
+        assert!(d.apply(&WriteOp::Upsert(Point::new(5, 1.0, 2.0)), has(&[])));
+        assert!(d.apply(&WriteOp::Upsert(Point::new(3, 0.0, 0.0)), has(&[])));
+        assert_eq!(d.inserts().len(), 2);
+        assert_eq!(d.inserts()[0].id, 3, "inserts stay sorted by id");
+        assert!(d.deletes().is_empty());
+        assert_eq!(d.len(), 2);
+
+        assert!(d.apply(&WriteOp::Remove(5), has(&[])));
+        assert_eq!(d.inserts().len(), 1);
+        // Removing an id that is neither inserted nor in the base is a no-op.
+        assert!(!d.apply(&WriteOp::Remove(99), has(&[])));
+    }
+
+    #[test]
+    fn upsert_of_a_base_point_tombstones_the_stale_copy() {
+        let mut d = Delta::new();
+        assert!(d.apply(&WriteOp::Upsert(Point::new(7, 9.0, 9.0)), has(&[7])));
+        assert!(d.is_deleted(7), "the base copy must be shadowed");
+        assert_eq!(d.inserted(7).unwrap().x, 9.0);
+        // A second upsert replaces in place without duplicating tombstones.
+        assert!(d.apply(&WriteOp::Upsert(Point::new(7, 1.0, 1.0)), has(&[7])));
+        assert_eq!(d.inserts().len(), 1);
+        assert_eq!(d.deletes().len(), 1);
+        assert_eq!(d.inserted(7).unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn remove_of_a_base_point_is_a_tombstone() {
+        let mut d = Delta::new();
+        assert!(d.apply(&WriteOp::Remove(2), has(&[2])));
+        assert!(d.is_deleted(2));
+        assert_eq!(d.len(), 1);
+        // Removing it again changes nothing.
+        assert!(!d.apply(&WriteOp::Remove(2), has(&[2])));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn remove_after_upsert_of_base_point_keeps_the_tombstone() {
+        let mut d = Delta::new();
+        d.apply(&WriteOp::Upsert(Point::new(4, 5.0, 5.0)), has(&[4]));
+        assert!(d.apply(&WriteOp::Remove(4), has(&[4])));
+        assert!(d.inserts().is_empty());
+        assert!(d.is_deleted(4), "base copy must stay invisible");
+    }
+}

@@ -1,0 +1,409 @@
+//! The versioned relation store: snapshot reads, delta ingest, and
+//! background index rebuilds.
+//!
+//! The paper's motivating workload is location-based services over *moving*
+//! objects, but a [`SpatialIndex`] is immutable once built. This module adds
+//! the storage layer that reconciles the two without ever blocking readers
+//! on writers:
+//!
+//! * [`RelationSnapshot`] — an immutable version of a relation: a base
+//!   index plus a sorted insert/delete [`Delta`] overlay, materialized as
+//!   extra/filtered blocks so the whole snapshot *is* a [`SpatialIndex`];
+//! * [`VersionedRelation`] — the `Arc`-swapped current snapshot of one
+//!   relation, a serialized writer path for atomic ingest batches, and the
+//!   write log that lets compaction publish without losing concurrent
+//!   writes;
+//! * [`compact`](self) (internal) — background rebuilds scheduled on the
+//!   shared [`WorkerPool`] when a delta outgrows
+//!   [`StoreConfig::compaction_threshold`], with the gather phase sharded
+//!   over block ranges;
+//! * [`RelationStore`] — the named catalog of versioned relations behind
+//!   [`Database`](crate::plan::Database), and [`DbSnapshot`] — a pinned,
+//!   consistent view of *every* relation that a query (or a whole
+//!   `execute_batch`) resolves names against.
+//!
+//! ```text
+//!    writers                    readers
+//!    ───────                    ───────
+//!    insert/remove/update       execute / execute_batch
+//!          │                          │
+//!          ▼                          ▼ pin (Arc clone)
+//!    ┌ writer mutex ┐     ┌────────────────────────┐
+//!    │ delta + log  ├────►│ current: Arc<Snapshot> │  ◄─ atomic swap
+//!    └──────┬───────┘     └────────────────────────┘
+//!           │ delta ≥ threshold            ▲
+//!           ▼                              │ publish (replay log tail)
+//!    WorkerPool::spawn ──► gather (sharded) ──► rebuild base
+//! ```
+
+mod compact;
+mod delta;
+mod snapshot;
+mod version;
+
+pub use delta::{Delta, WriteOp};
+pub use snapshot::{BaseIndex, IndexConfig, RelationSnapshot, StoredIndex};
+pub use version::VersionedRelation;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use twoknn_index::{Metrics, SpatialIndex};
+
+use crate::error::QueryError;
+use crate::exec::WorkerPool;
+
+/// Tuning knobs of the relation store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Delta size (inserts + deletes) at which ingest schedules a background
+    /// rebuild of the relation's base index.
+    pub compaction_threshold: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            compaction_threshold: 512,
+        }
+    }
+}
+
+/// A named catalog of [`VersionedRelation`]s.
+///
+/// All read paths pin snapshots; catalog mutation (`register` /
+/// `deregister`) and ingest go through interior locks, so the store is
+/// shared by reference across reader and writer threads.
+pub struct RelationStore {
+    relations: RwLock<HashMap<String, Arc<VersionedRelation>>>,
+    config: StoreConfig,
+    /// Store-level work counters: ingest ops applied, compactions published,
+    /// rebuild scan work. Merged views are returned by
+    /// [`RelationStore::metrics`].
+    metrics: Arc<Mutex<Metrics>>,
+}
+
+impl Default for RelationStore {
+    fn default() -> Self {
+        Self::new(StoreConfig::default())
+    }
+}
+
+impl RelationStore {
+    /// An empty store with the given tuning knobs.
+    pub fn new(config: StoreConfig) -> Self {
+        Self {
+            relations: RwLock::new(HashMap::new()),
+            config,
+            metrics: Arc::new(Mutex::new(Metrics::default())),
+        }
+    }
+
+    /// The store's tuning knobs.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Registers (or replaces) a relation. Returns the replaced relation's
+    /// last published snapshot, if any.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        base: BaseIndex,
+        config: IndexConfig,
+    ) -> Option<Arc<RelationSnapshot>> {
+        let name = name.into();
+        let relation = Arc::new(VersionedRelation::new(
+            name.clone(),
+            base,
+            config,
+            self.config.compaction_threshold,
+        ));
+        self.relations
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name, relation)
+            .map(|replaced| replaced.load())
+    }
+
+    /// Removes a relation from the catalog. Returns its last published
+    /// snapshot, if the relation existed. Queries that already pinned a
+    /// [`DbSnapshot`] keep their view; an in-flight compaction finishes
+    /// against the detached relation and is dropped with it.
+    pub fn deregister(&self, name: &str) -> Option<Arc<RelationSnapshot>> {
+        self.relations
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name)
+            .map(|removed| removed.load())
+    }
+
+    /// The versioned relation registered under `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<VersionedRelation>, QueryError> {
+        self.relations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+
+    /// The registered relation names, **sorted** — catalog iteration order is
+    /// deterministic regardless of hash-map internals.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .relations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Pins the current snapshot of **every** relation into one frozen
+    /// catalog view.
+    ///
+    /// Each relation is pinned at exactly one published version (no torn
+    /// per-relation reads, and the view never moves once pinned). Across
+    /// *different* relations the guarantee is freshness, not simultaneity:
+    /// relations publish independently, so a pin racing a writer that
+    /// updates B then A may capture new-B with old-A. Per-relation
+    /// versioning has no global commit point; workloads needing
+    /// cross-relation atomicity must serialize their writes externally.
+    pub fn pin(&self) -> DbSnapshot {
+        let relations = self
+            .relations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        DbSnapshot {
+            relations: relations
+                .iter()
+                .map(|(name, rel)| (name.clone(), rel.load()))
+                .collect(),
+        }
+    }
+
+    /// Applies a batch of write operations to `name` as one atomic
+    /// visibility step, scheduling a background compaction on `pool` when
+    /// the delta outgrows the threshold. Returns `(effective ops, new
+    /// version)`.
+    pub fn ingest(
+        &self,
+        name: &str,
+        ops: &[WriteOp],
+        pool: &Arc<WorkerPool>,
+    ) -> Result<(usize, u64), QueryError> {
+        let (effective, version, _) = self.ingest_with_visibility(name, ops, pool)?;
+        Ok((effective, version))
+    }
+
+    /// [`RelationStore::ingest`], additionally reporting — per op, race-free
+    /// under the relation's writer lock — whether the op's id was visible
+    /// immediately before it.
+    pub(crate) fn ingest_with_visibility(
+        &self,
+        name: &str,
+        ops: &[WriteOp],
+        pool: &Arc<WorkerPool>,
+    ) -> Result<(usize, u64, Vec<bool>), QueryError> {
+        let rel = self.get(name)?;
+        let (effective, version, visible_before) = rel.ingest_with_visibility(ops);
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+            m.ingest_ops += effective as u64;
+        }
+        compact::schedule_compaction(&rel, pool, &self.metrics);
+        Ok((effective, version, visible_before))
+    }
+
+    /// Synchronously compacts `name` on the calling thread (the gather phase
+    /// still shards over `pool`). Returns the published version, or `None`
+    /// when the delta is empty or a background rebuild already holds the
+    /// compaction slot.
+    pub fn compact_now(&self, name: &str, pool: &WorkerPool) -> Result<Option<u64>, QueryError> {
+        let rel = self.get(name)?;
+        Ok(compact::compact_relation(&rel, pool, &self.metrics))
+    }
+
+    /// A copy of the store's cumulative work counters (`ingest_ops`,
+    /// `compactions`, rebuild scan work).
+    pub fn metrics(&self) -> Metrics {
+        *self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl std::fmt::Debug for RelationStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelationStore")
+            .field("names", &self.names())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pinned, frozen view of every relation in a [`RelationStore`]:
+/// exactly one published version per relation, immutable once pinned.
+///
+/// Compilation resolves relation names against a `DbSnapshot`, so a query —
+/// or a whole [`execute_batch`](crate::plan::Database::execute_batch) —
+/// observes exactly one published version of each relation even while
+/// ingest and compaction run concurrently. See [`RelationStore::pin`] for
+/// the exact cross-relation guarantee (per-relation atomicity, not a
+/// global instant).
+#[derive(Debug)]
+pub struct DbSnapshot {
+    relations: HashMap<String, Arc<RelationSnapshot>>,
+}
+
+impl DbSnapshot {
+    /// Resolves a relation name to its pinned snapshot as a plain
+    /// [`SpatialIndex`] for the operators.
+    pub fn relation(&self, name: &str) -> Result<&(dyn SpatialIndex + Send + Sync), QueryError> {
+        self.snapshot(name)
+            .map(|snap| snap.as_ref() as &(dyn SpatialIndex + Send + Sync))
+    }
+
+    /// Resolves a relation name to its pinned [`RelationSnapshot`].
+    pub fn snapshot(&self, name: &str) -> Result<&Arc<RelationSnapshot>, QueryError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+
+    /// The pinned relation names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// `(name, version)` of every pinned relation, sorted by name.
+    pub fn versions(&self) -> Vec<(String, u64)> {
+        let mut versions: Vec<(String, u64)> = self
+            .relations
+            .iter()
+            .map(|(name, snap)| (name.clone(), snap.version()))
+            .collect();
+        versions.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        versions
+    }
+}
+
+// Snapshots cross thread boundaries in `execute_batch`; keep that a compile
+// error rather than a runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RelationStore>();
+    assert_send_sync::<DbSnapshot>();
+    assert_send_sync::<RelationSnapshot>();
+    assert_send_sync::<VersionedRelation>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoknn_geometry::Point;
+    use twoknn_index::GridIndex;
+
+    fn base(n: usize, seed: u64) -> BaseIndex {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x2545F4914F6CDD1D) ^ seed;
+                Point::new(
+                    i as u64,
+                    (h % 499) as f64 * 0.2,
+                    ((h / 499) % 499) as f64 * 0.2,
+                )
+            })
+            .collect();
+        Arc::new(GridIndex::build(pts, 6).unwrap())
+    }
+
+    const GRID: IndexConfig = IndexConfig::Grid { cells_per_axis: 6 };
+
+    #[test]
+    fn names_are_sorted_regardless_of_insertion_order() {
+        let store = RelationStore::default();
+        for name in ["zeta", "alpha", "mid", "beta"] {
+            store.register(name, base(50, 1), GRID);
+        }
+        assert_eq!(store.names(), vec!["alpha", "beta", "mid", "zeta"]);
+        assert_eq!(store.pin().names(), vec!["alpha", "beta", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn register_replaces_and_returns_the_old_snapshot() {
+        let store = RelationStore::default();
+        assert!(store.register("R", base(50, 1), GRID).is_none());
+        let replaced = store.register("R", base(80, 2), GRID).unwrap();
+        assert_eq!(replaced.num_points(), 50);
+        assert_eq!(store.get("R").unwrap().load().num_points(), 80);
+    }
+
+    #[test]
+    fn deregister_detaches_but_pinned_snapshots_survive() {
+        let store = RelationStore::default();
+        store.register("R", base(50, 1), GRID);
+        let pinned = store.pin();
+        let removed = store.deregister("R").unwrap();
+        assert_eq!(removed.num_points(), 50);
+        assert!(store.get("R").is_err());
+        assert!(store.deregister("R").is_none());
+        // The pinned view is unaffected by the catalog mutation.
+        assert_eq!(pinned.snapshot("R").unwrap().num_points(), 50);
+    }
+
+    #[test]
+    fn pin_is_a_consistent_catalog_view() {
+        let store = RelationStore::default();
+        store.register("A", base(50, 1), GRID);
+        store.register("B", base(60, 2), GRID);
+        let pool = WorkerPool::new(1);
+        let pinned = store.pin();
+        store.ingest("A", &[WriteOp::Remove(0)], &pool).unwrap();
+        assert_eq!(pinned.snapshot("A").unwrap().num_points(), 50);
+        assert_eq!(store.pin().snapshot("A").unwrap().num_points(), 49);
+        assert_eq!(
+            pinned.versions(),
+            vec![("A".to_string(), 0), ("B".to_string(), 0)]
+        );
+        assert!(pinned.relation("missing").is_err());
+    }
+
+    #[test]
+    fn ingest_counts_and_compacts_through_the_store() {
+        let store = RelationStore::new(StoreConfig {
+            compaction_threshold: 3,
+        });
+        store.register("R", base(100, 3), GRID);
+        let pool = WorkerPool::new(1); // inline spawn: deterministic
+        let (effective, v) = store
+            .ingest(
+                "R",
+                &[
+                    WriteOp::Upsert(Point::new(500, 1.0, 1.0)),
+                    WriteOp::Remove(2),
+                    WriteOp::Remove(777), // absent
+                ],
+                &pool,
+            )
+            .unwrap();
+        assert_eq!((effective, v), (2, 1));
+        assert_eq!(store.metrics().ingest_ops, 2);
+        assert_eq!(store.metrics().compactions, 0, "threshold not reached");
+        store.ingest("R", &[WriteOp::Remove(5)], &pool).unwrap();
+        // Threshold 3 reached: the 1-thread pool compacted inline.
+        assert_eq!(store.metrics().compactions, 1);
+        let snap = store.get("R").unwrap().load();
+        assert!(snap.delta().is_empty());
+        assert_eq!(snap.num_points(), 99);
+        // compact_now with an empty delta is a no-op.
+        assert_eq!(store.compact_now("R", &pool).unwrap(), None);
+    }
+}

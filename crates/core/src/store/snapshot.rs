@@ -1,0 +1,602 @@
+//! Immutable relation snapshots: a base index plus a materialized delta
+//! overlay, presented through the ordinary [`SpatialIndex`] trait.
+//!
+//! A [`RelationSnapshot`] is what queries actually run against. It is
+//! immutable — ingest and compaction never mutate a published snapshot, they
+//! build a *new* one and atomically swap the relation's current pointer — so
+//! a query (or a whole batch) that pinned a snapshot keeps a frozen,
+//! consistent view no matter what writers do concurrently.
+//!
+//! The overlay is folded into the block structure the trait exposes:
+//!
+//! * every **base block** keeps its id and footprint; blocks containing
+//!   tombstoned points expose a filtered copy of their point list (the
+//!   filtered copies are built once, when the snapshot is created — reads
+//!   are plain slice borrows);
+//! * all **inserted points** live in one extra overlay block appended after
+//!   the base blocks, with the inserts' bounding rectangle as its footprint.
+//!
+//! Block ids therefore stay dense, counts stay consistent, and every
+//! algorithm of the paper runs unmodified on a delta-bearing relation —
+//! [`twoknn_index::check_index_invariants`] holds for any snapshot.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use twoknn_geometry::{Point, PointId, Rect};
+use twoknn_index::{BlockId, BlockMeta, SpatialIndex};
+
+use super::delta::{Delta, WriteOp};
+
+/// A shared, immutable base index.
+pub type BaseIndex = Arc<dyn SpatialIndex + Send + Sync>;
+
+/// Maps every base point id to the block storing it. Built once per base
+/// (at registration or compaction, O(n)) and shared by all snapshots over
+/// that base, so ingest can tombstone by id in O(affected block) instead of
+/// scanning the index.
+pub(crate) type BaseIdMap = Arc<HashMap<PointId, BlockId>>;
+
+/// Builds the id → block map of a base index.
+pub(crate) fn index_ids(base: &dyn SpatialIndex) -> HashMap<PointId, BlockId> {
+    let mut ids = HashMap::with_capacity(base.num_points());
+    for block in base.blocks() {
+        for p in base.block_points(block.id) {
+            ids.insert(p.id, block.id);
+        }
+    }
+    ids
+}
+
+/// An immutable versioned view of a relation: base index + delta overlay.
+///
+/// Implements [`SpatialIndex`], so every query algorithm (and
+/// [`RelationProfile`](crate::plan::RelationProfile)) consumes it exactly
+/// like a plain index.
+pub struct RelationSnapshot {
+    base: BaseIndex,
+    base_ids: BaseIdMap,
+    delta: Delta,
+    /// Base blocks with tombstone-adjusted counts, plus (when the delta has
+    /// inserts) the overlay block at id `base.num_blocks()`.
+    blocks: Vec<BlockMeta>,
+    /// Filtered point lists of the base blocks that lost points to
+    /// tombstones. `Arc`'d so successive snapshots share the lists of
+    /// blocks an ingest batch did not touch.
+    tombstoned: HashMap<BlockId, Arc<Vec<Point>>>,
+    bounds: Rect,
+    num_points: usize,
+    version: u64,
+}
+
+/// The per-op outcome of applying one ingest batch to a snapshot.
+pub(crate) struct BatchOutcome {
+    /// Per op: whether it changed the visible point set.
+    pub changed: Vec<bool>,
+    /// Per op: whether the op's id was visible immediately **before** the op
+    /// (within the batch: earlier ops of the same batch count). Computed
+    /// under the writer lock, so it is race-free.
+    pub visible_before: Vec<bool>,
+}
+
+impl BatchOutcome {
+    /// Number of ops that changed the visible point set.
+    pub fn effective(&self) -> usize {
+        self.changed.iter().filter(|c| **c).count()
+    }
+}
+
+impl RelationSnapshot {
+    /// Wraps a freshly built base index with an empty overlay.
+    pub(crate) fn clean(base: BaseIndex, version: u64) -> Self {
+        let base_ids = Arc::new(index_ids(base.as_ref()));
+        Self::assemble(base, base_ids, Delta::new(), version)
+    }
+
+    /// A new snapshot over the same base with a different overlay, rebuilt
+    /// from scratch (used by the compaction publish path, where there is no
+    /// previous overlay to share with).
+    pub(crate) fn with_delta(&self, delta: Delta, version: u64) -> Self {
+        Self::assemble(
+            Arc::clone(&self.base),
+            Arc::clone(&self.base_ids),
+            delta,
+            version,
+        )
+    }
+
+    /// Applies one ingest batch, producing the successor snapshot plus the
+    /// per-op [`BatchOutcome`].
+    ///
+    /// Incremental on the writer path: only the blocks that gained a
+    /// tombstone **in this batch** get their filtered point list rebuilt;
+    /// all other filtered lists are shared with `self` (tombstones never
+    /// disappear between compactions, so stale sharing is impossible).
+    pub(crate) fn apply_batch(&self, ops: &[WriteOp], version: u64) -> (Self, BatchOutcome) {
+        let mut delta = self.delta.clone();
+        let mut changed = Vec::with_capacity(ops.len());
+        let mut visible_before = Vec::with_capacity(ops.len());
+        let mut touched: Vec<BlockId> = Vec::new();
+        for op in ops {
+            let id = match op {
+                WriteOp::Upsert(p) => p.id,
+                WriteOp::Remove(id) => *id,
+            };
+            visible_before.push(
+                delta.inserted(id).is_some()
+                    || (self.base_ids.contains_key(&id) && !delta.is_deleted(id)),
+            );
+            let deletes_before = delta.deletes().len();
+            changed.push(delta.apply(op, |id| self.base_ids.contains_key(&id)));
+            if delta.deletes().len() != deletes_before {
+                touched.push(self.base_ids[&id]);
+            }
+        }
+        let mut tombstoned = self.tombstoned.clone();
+        touched.sort_unstable();
+        touched.dedup();
+        for block in touched {
+            tombstoned.insert(
+                block,
+                Arc::new(
+                    self.base
+                        .block_points(block)
+                        .iter()
+                        .filter(|p| !delta.is_deleted(p.id))
+                        .copied()
+                        .collect(),
+                ),
+            );
+        }
+        let snapshot = Self::finish(
+            Arc::clone(&self.base),
+            Arc::clone(&self.base_ids),
+            delta,
+            tombstoned,
+            version,
+        );
+        (
+            snapshot,
+            BatchOutcome {
+                changed,
+                visible_before,
+            },
+        )
+    }
+
+    fn assemble(base: BaseIndex, base_ids: BaseIdMap, delta: Delta, version: u64) -> Self {
+        let mut affected: Vec<BlockId> = delta
+            .deletes()
+            .iter()
+            .map(|id| {
+                *base_ids
+                    .get(id)
+                    .expect("delta tombstones only reference ids stored in the base")
+            })
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let tombstoned: HashMap<BlockId, Arc<Vec<Point>>> = affected
+            .into_iter()
+            .map(|block| {
+                let filtered: Vec<Point> = base
+                    .block_points(block)
+                    .iter()
+                    .filter(|p| !delta.is_deleted(p.id))
+                    .copied()
+                    .collect();
+                (block, Arc::new(filtered))
+            })
+            .collect();
+        Self::finish(base, base_ids, delta, tombstoned, version)
+    }
+
+    fn finish(
+        base: BaseIndex,
+        base_ids: BaseIdMap,
+        delta: Delta,
+        tombstoned: HashMap<BlockId, Arc<Vec<Point>>>,
+        version: u64,
+    ) -> Self {
+        let mut blocks: Vec<BlockMeta> = base.blocks().to_vec();
+        for (&block, filtered) in &tombstoned {
+            blocks[block as usize] =
+                BlockMeta::new(block, blocks[block as usize].mbr, filtered.len());
+        }
+        let mut bounds = base.bounds();
+        if !delta.inserts().is_empty() {
+            let mbr = Rect::bounding(delta.inserts()).expect("inserts are non-empty");
+            bounds = bounds.union(&mbr);
+            blocks.push(BlockMeta::new(
+                base.num_blocks() as BlockId,
+                mbr,
+                delta.inserts().len(),
+            ));
+        }
+        let num_points = base.num_points() - delta.deletes().len() + delta.inserts().len();
+        Self {
+            base,
+            base_ids,
+            delta,
+            blocks,
+            tombstoned,
+            bounds,
+            num_points,
+            version,
+        }
+    }
+
+    /// The snapshot's version: strictly increasing across a relation's
+    /// publishes (ingest batches and compactions alike).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The delta overlay this snapshot carries on top of its base.
+    pub fn delta(&self) -> &Delta {
+        &self.delta
+    }
+
+    /// Number of overlay entries (inserts + deletes) — what the compaction
+    /// threshold compares against.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The shared base index.
+    pub fn base(&self) -> &BaseIndex {
+        &self.base
+    }
+
+    pub(crate) fn base_ids(&self) -> &BaseIdMap {
+        &self.base_ids
+    }
+
+    /// Whether a point with `id` is visible in this snapshot.
+    pub fn contains_id(&self, id: PointId) -> bool {
+        self.delta.inserted(id).is_some()
+            || (self.base_ids.contains_key(&id) && !self.delta.is_deleted(id))
+    }
+
+    /// The id of the overlay block holding the inserts, if the delta has any.
+    fn overlay_block(&self) -> Option<BlockId> {
+        if self.delta.inserts().is_empty() {
+            None
+        } else {
+            Some(self.base.num_blocks() as BlockId)
+        }
+    }
+
+    /// All currently visible points: filtered base points plus inserts.
+    /// Mostly for tests and the serial compaction path; the background
+    /// rebuild gathers points block-parallel instead.
+    pub fn merged_points(&self) -> Vec<Point> {
+        self.all_points()
+    }
+}
+
+impl SpatialIndex for RelationSnapshot {
+    fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    fn blocks(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    fn block_points(&self, id: BlockId) -> &[Point] {
+        if Some(id) == self.overlay_block() {
+            return self.delta.inserts();
+        }
+        match self.tombstoned.get(&id) {
+            Some(filtered) => filtered.as_slice(),
+            None => self.base.block_points(id),
+        }
+    }
+
+    fn locate(&self, p: &Point) -> Option<BlockId> {
+        // Prefer the block that actually stores a point at these coordinates
+        // (the trait's contract for overlapping footprints): results that
+        // came from inserted points must locate to the overlay block so that
+        // block-marking algorithms mark it as a Candidate.
+        if let Some(overlay) = self.overlay_block() {
+            let mbr = self.blocks[overlay as usize].mbr;
+            if mbr.contains(p)
+                && self
+                    .delta
+                    .inserts()
+                    .iter()
+                    .any(|q| q.x == p.x && q.y == p.y)
+            {
+                return Some(overlay);
+            }
+        }
+        if let Some(block) = self.base.locate(p) {
+            return Some(block);
+        }
+        // Points outside the base bounds can still fall in the overlay.
+        self.overlay_block()
+            .filter(|overlay| self.blocks[*overlay as usize].mbr.contains(p))
+    }
+}
+
+impl std::fmt::Debug for RelationSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelationSnapshot")
+            .field("version", &self.version)
+            .field("num_points", &self.num_points)
+            .field("delta_len", &self.delta.len())
+            .field("num_blocks", &self.blocks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// How to rebuild a relation's base index at compaction time.
+///
+/// Compaction replaces the base wholesale, so the store must know the index
+/// *family and granularity* to rebuild into. The three built-in families are
+/// covered; [`StoredIndex`] infers the config automatically when registering
+/// one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexConfig {
+    /// Rebuild as a [`twoknn_index::GridIndex`] with `cells_per_axis` cells
+    /// along each axis.
+    Grid {
+        /// Cells along each axis (clamped to ≥ 1 when building).
+        cells_per_axis: usize,
+    },
+    /// Rebuild as a [`twoknn_index::QuadtreeIndex`] with the given leaf
+    /// capacity and subdivision depth limit.
+    Quadtree {
+        /// Leaf split threshold (clamped to ≥ 1 when building).
+        capacity: usize,
+        /// Maximum subdivision depth
+        /// ([`twoknn_index::DEFAULT_MAX_DEPTH`] reproduces
+        /// [`twoknn_index::QuadtreeIndex::build`]).
+        max_depth: usize,
+    },
+    /// Rebuild as a [`twoknn_index::StrRTree`] with the given leaf capacity.
+    RTree {
+        /// Points per leaf (clamped to ≥ 1 when building).
+        leaf_capacity: usize,
+    },
+}
+
+impl IndexConfig {
+    /// Builds a fresh base index of this family over `points`.
+    ///
+    /// `bounds_hint` (the previous base's extent) keeps the space
+    /// decomposition meaningful when `points` is empty or degenerate. An
+    /// empty R-tree cannot be represented ([`twoknn_index::StrRTree`]
+    /// requires points), so that corner case falls back to a single-cell
+    /// grid over the hint bounds — the family is restored by the next
+    /// compaction once the relation has points again.
+    pub fn build(&self, points: Vec<Point>, bounds_hint: Rect) -> BaseIndex {
+        let bounds = bounds_for(&points, bounds_hint);
+        match *self {
+            IndexConfig::Grid { cells_per_axis } => Arc::new(
+                twoknn_index::GridIndex::build_with_bounds(points, bounds, cells_per_axis.max(1))
+                    .expect("grid build with explicit bounds and ≥1 cells cannot fail"),
+            ),
+            IndexConfig::Quadtree {
+                capacity,
+                max_depth,
+            } => Arc::new(
+                twoknn_index::QuadtreeIndex::build_with_bounds(
+                    points,
+                    bounds,
+                    capacity.max(1),
+                    max_depth,
+                )
+                .expect("quadtree build with explicit bounds and ≥1 capacity cannot fail"),
+            ),
+            IndexConfig::RTree { leaf_capacity } => {
+                if points.is_empty() {
+                    return Arc::new(
+                        twoknn_index::GridIndex::build_with_bounds(points, bounds_hint, 1)
+                            .expect("empty grid build with explicit bounds cannot fail"),
+                    );
+                }
+                Arc::new(
+                    twoknn_index::StrRTree::build(points, leaf_capacity.max(1))
+                        .expect("non-empty R-tree build with ≥1 leaf capacity cannot fail"),
+                )
+            }
+        }
+    }
+}
+
+/// The extent a rebuild should cover: the points' bounding box extended to
+/// the previous base's bounds, so shrinking data never shrinks the space
+/// decomposition mid-stream (and empty data keeps the old extent).
+fn bounds_for(points: &[Point], hint: Rect) -> Rect {
+    match Rect::bounding(points) {
+        Ok(b) => b.union(&hint),
+        Err(_) => hint,
+    }
+}
+
+/// An index family the store can rebuild without an explicit
+/// [`IndexConfig`]: the three built-in index types report their own build
+/// parameters. Custom [`SpatialIndex`] implementations register through
+/// [`Database::register_with_config`](crate::plan::Database::register_with_config)
+/// instead.
+pub trait StoredIndex: SpatialIndex + Send + Sync + 'static {
+    /// The config that rebuilds an equivalent index over new points.
+    fn rebuild_config(&self) -> IndexConfig;
+}
+
+impl StoredIndex for twoknn_index::GridIndex {
+    fn rebuild_config(&self) -> IndexConfig {
+        IndexConfig::Grid {
+            cells_per_axis: self.cells_per_axis(),
+        }
+    }
+}
+
+impl StoredIndex for twoknn_index::QuadtreeIndex {
+    fn rebuild_config(&self) -> IndexConfig {
+        IndexConfig::Quadtree {
+            capacity: self.capacity(),
+            max_depth: self.max_depth(),
+        }
+    }
+}
+
+impl StoredIndex for twoknn_index::StrRTree {
+    fn rebuild_config(&self) -> IndexConfig {
+        IndexConfig::RTree {
+            leaf_capacity: self.leaf_capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::delta::WriteOp;
+    use super::*;
+    use twoknn_index::{check_index_invariants, GridIndex};
+
+    fn scattered(n: usize, seed: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
+                Point::new(
+                    i as u64,
+                    (h % 1013) as f64 * 0.11,
+                    ((h / 1013) % 1013) as f64 * 0.11,
+                )
+            })
+            .collect()
+    }
+
+    fn snapshot_with(ops: &[WriteOp]) -> RelationSnapshot {
+        let base: BaseIndex = Arc::new(GridIndex::build(scattered(300, 7), 6).unwrap());
+        let clean = RelationSnapshot::clean(base, 0);
+        let mut delta = clean.delta().clone();
+        for op in ops {
+            delta.apply(op, |id| clean.base_ids().contains_key(&id));
+        }
+        clean.with_delta(delta, 1)
+    }
+
+    #[test]
+    fn clean_snapshot_mirrors_its_base() {
+        let snap = snapshot_with(&[]);
+        assert_eq!(snap.num_points(), 300);
+        assert_eq!(snap.num_blocks(), 36);
+        check_index_invariants(&snap).unwrap();
+        assert_eq!(snap.all_points().len(), 300);
+    }
+
+    #[test]
+    fn overlay_upholds_index_invariants() {
+        let snap = snapshot_with(&[
+            WriteOp::Upsert(Point::new(1_000, 5.0, 5.0)),
+            WriteOp::Upsert(Point::new(1_001, 200.0, 200.0)),
+            WriteOp::Remove(10),
+            WriteOp::Remove(20),
+            WriteOp::Upsert(Point::new(30, 1.0, 1.0)), // moves a base point
+        ]);
+        assert_eq!(snap.num_points(), 300 + 3 - 3);
+        assert_eq!(snap.num_blocks(), 37, "one overlay block for the inserts");
+        check_index_invariants(&snap).unwrap();
+        assert!(snap.contains_id(1_000));
+        assert!(!snap.contains_id(10));
+        assert!(snap.contains_id(30));
+    }
+
+    #[test]
+    fn removed_points_disappear_from_block_scans() {
+        let snap = snapshot_with(&[WriteOp::Remove(10)]);
+        assert!(snap.all_points().iter().all(|p| p.id != 10));
+        assert_eq!(snap.num_points(), 299);
+        check_index_invariants(&snap).unwrap();
+    }
+
+    #[test]
+    fn locate_prefers_the_overlay_block_for_inserted_points() {
+        let inserted = Point::new(9_999, 3.0, 4.0);
+        let snap = snapshot_with(&[WriteOp::Upsert(inserted)]);
+        let at = snap.locate(&inserted).unwrap();
+        assert_eq!(at as usize, snap.num_blocks() - 1);
+        assert!(snap.block_points(at).iter().any(|p| p.id == 9_999));
+        // Points outside base bounds but inside the overlay are locatable.
+        let outside = Point::new(10_000, -50.0, -50.0);
+        let snap = snapshot_with(&[WriteOp::Upsert(outside)]);
+        assert!(snap.bounds().contains(&outside));
+        let at = snap.locate(&outside).unwrap();
+        assert!(snap.block_points(at).iter().any(|p| p.id == 10_000));
+    }
+
+    #[test]
+    fn moved_point_is_visible_only_at_its_new_position() {
+        let snap = snapshot_with(&[WriteOp::Upsert(Point::new(10, 77.7, 88.8))]);
+        let stored: Vec<Point> = snap
+            .all_points()
+            .into_iter()
+            .filter(|p| p.id == 10)
+            .collect();
+        assert_eq!(stored.len(), 1);
+        assert_eq!((stored[0].x, stored[0].y), (77.7, 88.8));
+        check_index_invariants(&snap).unwrap();
+    }
+
+    #[test]
+    fn index_config_rebuilds_each_family() {
+        let pts = scattered(120, 3);
+        let hint = Rect::bounding(&pts).unwrap();
+        for config in [
+            IndexConfig::Grid { cells_per_axis: 5 },
+            IndexConfig::Quadtree {
+                capacity: 16,
+                max_depth: twoknn_index::DEFAULT_MAX_DEPTH,
+            },
+            IndexConfig::RTree { leaf_capacity: 16 },
+        ] {
+            let base = config.build(pts.clone(), hint);
+            assert_eq!(base.num_points(), 120);
+            check_index_invariants(base.as_ref()).unwrap();
+        }
+        // The empty corner case keeps the hint bounds.
+        for config in [
+            IndexConfig::Grid { cells_per_axis: 4 },
+            IndexConfig::Quadtree {
+                capacity: 8,
+                max_depth: twoknn_index::DEFAULT_MAX_DEPTH,
+            },
+            IndexConfig::RTree { leaf_capacity: 8 },
+        ] {
+            let base = config.build(Vec::new(), hint);
+            assert_eq!(base.num_points(), 0);
+            assert!(base.bounds().contains_rect(&hint));
+        }
+    }
+
+    #[test]
+    fn stored_index_reports_its_own_config() {
+        let pts = scattered(80, 9);
+        let grid = GridIndex::build(pts.clone(), 7).unwrap();
+        assert_eq!(
+            grid.rebuild_config(),
+            IndexConfig::Grid { cells_per_axis: 7 }
+        );
+        let quad = twoknn_index::QuadtreeIndex::build(pts.clone(), 12).unwrap();
+        assert_eq!(
+            quad.rebuild_config(),
+            IndexConfig::Quadtree {
+                capacity: 12,
+                max_depth: twoknn_index::DEFAULT_MAX_DEPTH,
+            }
+        );
+        let rtree = twoknn_index::StrRTree::build(pts, 9).unwrap();
+        assert_eq!(
+            rtree.rebuild_config(),
+            IndexConfig::RTree { leaf_capacity: 9 }
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! One versioned relation: an atomically swapped current snapshot, a
+//! serialized writer path, and the write log that lets a background rebuild
+//! publish without losing concurrent ingest.
+//!
+//! # Concurrency model
+//!
+//! * **Readers** call [`VersionedRelation::load`], which clones the current
+//!   snapshot `Arc` under a read lock held only for the clone — a few
+//!   nanoseconds. Writers hold the matching write lock only to swap the
+//!   pointer, so readers never wait on ingest or compaction *work*, only on
+//!   pointer swaps. The query then runs entirely against its pinned
+//!   [`RelationSnapshot`], lock-free.
+//! * **Writers** (ingest batches and compaction publishes) serialize on one
+//!   writer mutex. Each ingest batch clones the current delta, applies its
+//!   ops, assembles a new snapshot and swaps it in — one atomic visibility
+//!   step per batch.
+//! * **Compaction** captures `(current snapshot, log length)` under the
+//!   writer lock, rebuilds the base *outside* the lock (ingest continues
+//!   concurrently), then re-enters the lock to replay the ops logged since
+//!   the capture onto the new base and swap the result in. The log is
+//!   trimmed to exactly those replayed ops, so it never grows beyond one
+//!   compaction cycle of writes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use twoknn_index::Metrics;
+
+use super::delta::{Delta, WriteOp};
+use super::snapshot::{BaseIndex, IndexConfig, RelationSnapshot};
+
+/// Writer-side state: the ops applied since the current base was built.
+struct WriterState {
+    /// Ops since the last compaction publish (equivalently: the ops the
+    /// current snapshot's delta represents).
+    log: Vec<WriteOp>,
+}
+
+/// A relation whose current snapshot is replaced, never mutated.
+pub struct VersionedRelation {
+    name: String,
+    current: RwLock<Arc<RelationSnapshot>>,
+    writer: Mutex<WriterState>,
+    /// Guards against more than one in-flight compaction per relation.
+    compacting: AtomicBool,
+    config: IndexConfig,
+    compaction_threshold: usize,
+}
+
+impl VersionedRelation {
+    pub(crate) fn new(
+        name: String,
+        base: BaseIndex,
+        config: IndexConfig,
+        compaction_threshold: usize,
+    ) -> Self {
+        Self {
+            name,
+            current: RwLock::new(Arc::new(RelationSnapshot::clean(base, 0))),
+            writer: Mutex::new(WriterState { log: Vec::new() }),
+            compacting: AtomicBool::new(false),
+            config,
+            compaction_threshold,
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rebuild config compaction uses.
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// The delta size at which ingest schedules a background rebuild.
+    pub fn compaction_threshold(&self) -> usize {
+        self.compaction_threshold
+    }
+
+    /// Pins the current snapshot. The returned `Arc` stays valid (and
+    /// immutable) regardless of concurrent ingest or compaction.
+    pub fn load(&self) -> Arc<RelationSnapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Swaps the published snapshot. Callers must hold the writer mutex.
+    fn publish(&self, snapshot: RelationSnapshot) {
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+    }
+
+    /// Applies a batch of write operations as **one** atomic visibility
+    /// step: queries either see all of the batch or none of it.
+    ///
+    /// Returns the number of ops that changed the visible point set and the
+    /// new snapshot's version. Whether the relation now *wants* compaction is
+    /// reported through [`VersionedRelation::needs_compaction`]; scheduling
+    /// is the store's job (it owns the pool handle).
+    ///
+    /// (Non-test code goes through
+    /// [`VersionedRelation::ingest_with_visibility`], which this wraps.)
+    #[cfg(test)]
+    pub(crate) fn ingest(&self, ops: &[WriteOp]) -> (usize, u64) {
+        let (effective, version, _) = self.ingest_with_visibility(ops);
+        (effective, version)
+    }
+
+    /// [`VersionedRelation::ingest`], additionally reporting — per op,
+    /// race-free under the writer lock — whether the op's id was visible
+    /// immediately before it (`Database::update` uses this for its return
+    /// value).
+    pub(crate) fn ingest_with_visibility(&self, ops: &[WriteOp]) -> (usize, u64, Vec<bool>) {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let prev = self.load();
+        let version = prev.version() + 1;
+        let (snapshot, outcome) = prev.apply_batch(ops, version);
+        // Only ops that changed the visible set enter the log: ineffective
+        // ops (removes of absent ids) would replay as no-ops anyway, and
+        // skipping them keeps the log proportional to real work.
+        for (op, changed) in ops.iter().zip(&outcome.changed) {
+            if *changed {
+                writer.log.push(*op);
+            }
+        }
+        // A delta that cancelled back to empty makes the snapshot equal its
+        // base: the log has nothing a compaction would need to replay, so
+        // drop it — unless a rebuild is in flight, whose captured log
+        // position must stay valid until its publish trims the log itself.
+        if snapshot.delta().is_empty() && !self.compacting.load(Ordering::Acquire) {
+            writer.log.clear();
+        }
+        let effective = outcome.effective();
+        self.publish(snapshot);
+        (effective, version, outcome.visible_before)
+    }
+
+    /// Whether the current delta has outgrown the compaction threshold and
+    /// no rebuild is already in flight.
+    pub(crate) fn needs_compaction(&self) -> bool {
+        !self.compacting.load(Ordering::Acquire)
+            && self.load().delta_len() >= self.compaction_threshold
+    }
+
+    /// Attempts to claim the single in-flight compaction slot. Returns
+    /// `false` if another rebuild already holds it.
+    pub(crate) fn begin_compaction(&self) -> bool {
+        !self.compacting.swap(true, Ordering::AcqRel)
+    }
+
+    /// Releases the compaction slot (publish finished or rebuild failed).
+    pub(crate) fn end_compaction(&self) {
+        self.compacting.store(false, Ordering::Release);
+    }
+
+    /// Captures the rebuild source under the writer lock: the snapshot to
+    /// merge and the log length it corresponds to.
+    pub(crate) fn capture_for_compaction(&self) -> (Arc<RelationSnapshot>, usize) {
+        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        (self.load(), writer.log.len())
+    }
+
+    /// Publishes a rebuilt base: replays the ops ingested since the capture
+    /// onto the new base, swaps the snapshot in, and trims the log to the
+    /// replayed tail. Returns the published version.
+    pub(crate) fn publish_compacted(&self, base: BaseIndex, captured_len: usize) -> u64 {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let prev = self.load();
+        let clean = RelationSnapshot::clean(base, prev.version() + 1);
+        writer.log = writer.log.split_off(captured_len);
+        let snapshot = if writer.log.is_empty() {
+            clean
+        } else {
+            let mut delta = Delta::new();
+            for op in &writer.log {
+                delta.apply(op, |id| clean.base_ids().contains_key(&id));
+            }
+            let version = clean.version();
+            clean.with_delta(delta, version)
+        };
+        let version = snapshot.version();
+        self.publish(snapshot);
+        version
+    }
+
+    /// Runs one full compaction cycle **synchronously on the calling
+    /// thread**: capture → merge → rebuild → publish. Returns `None` without
+    /// doing work when another compaction holds the in-flight slot or the
+    /// delta is empty; otherwise the published version.
+    ///
+    /// `gather` turns the captured snapshot into the merged point set — the
+    /// background path supplies a pool-sharded gatherer, tests can pass
+    /// [`RelationSnapshot::merged_points`].
+    pub(crate) fn compact_with(
+        &self,
+        gather: impl FnOnce(&RelationSnapshot) -> Vec<twoknn_geometry::Point>,
+        metrics: &Mutex<Metrics>,
+    ) -> Option<u64> {
+        if !self.begin_compaction() {
+            return None;
+        }
+        // Release the slot on every exit path, including panics in the
+        // index build (run_job would otherwise leave the relation
+        // permanently uncompactable).
+        struct Slot<'a>(&'a VersionedRelation);
+        impl Drop for Slot<'_> {
+            fn drop(&mut self) {
+                self.0.end_compaction();
+            }
+        }
+        let _slot = Slot(self);
+
+        let (source, captured_len) = self.capture_for_compaction();
+        if source.delta().is_empty() {
+            return None;
+        }
+        let points = gather(&source);
+        let gathered = points.len() as u64;
+        let base = self.config.build(points, source.base().bounds());
+        let version = self.publish_compacted(base, captured_len);
+        let mut m = metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        m.compactions += 1;
+        m.points_scanned += gathered;
+        Some(version)
+    }
+}
+
+impl std::fmt::Debug for VersionedRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedRelation")
+            .field("name", &self.name)
+            .field("version", &self.load().version())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twoknn_geometry::Point;
+    use twoknn_index::{check_index_invariants, GridIndex, SpatialIndex};
+
+    fn relation(threshold: usize) -> VersionedRelation {
+        let pts: Vec<Point> = (0..200u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x2545F4914F6CDD1D);
+                Point::new(i, (h % 631) as f64 * 0.17, ((h / 631) % 631) as f64 * 0.17)
+            })
+            .collect();
+        let base: BaseIndex = Arc::new(GridIndex::build(pts, 5).unwrap());
+        VersionedRelation::new(
+            "R".into(),
+            base,
+            IndexConfig::Grid { cells_per_axis: 5 },
+            threshold,
+        )
+    }
+
+    #[test]
+    fn ingest_batches_are_atomic_and_versioned() {
+        let rel = relation(1_000);
+        let before = rel.load();
+        let (effective, v1) = rel.ingest(&[
+            WriteOp::Upsert(Point::new(900, 1.0, 1.0)),
+            WriteOp::Remove(3),
+            WriteOp::Remove(9_999), // not present: ineffective
+        ]);
+        assert_eq!(effective, 2);
+        assert_eq!(v1, 1);
+        // The pinned pre-ingest snapshot is untouched.
+        assert_eq!(before.version(), 0);
+        assert_eq!(before.num_points(), 200);
+        assert!(!before.contains_id(900));
+        let after = rel.load();
+        assert_eq!(after.version(), 1);
+        assert_eq!(after.num_points(), 200);
+        assert!(after.contains_id(900));
+        assert!(!after.contains_id(3));
+    }
+
+    fn log_len(rel: &VersionedRelation) -> usize {
+        rel.writer.lock().unwrap().log.len()
+    }
+
+    #[test]
+    fn write_log_stays_proportional_to_the_delta() {
+        let rel = relation(1_000_000); // never compacts on its own
+                                       // Ineffective ops (removes of absent ids) must not grow the log.
+        for _ in 0..100 {
+            rel.ingest(&[WriteOp::Remove(555_555)]);
+        }
+        assert_eq!(log_len(&rel), 0, "no-op writes must not be logged");
+        // A delta that cancels back to empty clears the log: an
+        // upsert/remove cycle of a fresh id leaves nothing to replay.
+        for round in 0..50 {
+            rel.ingest(&[WriteOp::Upsert(Point::new(777, 1.0, 1.0))]);
+            rel.ingest(&[WriteOp::Remove(777)]);
+            assert!(
+                log_len(&rel) <= 2,
+                "log grew to {} after {round} cancelling cycles",
+                log_len(&rel)
+            );
+        }
+        assert_eq!(rel.load().delta_len(), 0);
+        assert_eq!(log_len(&rel), 0);
+        // visible_before is exact, including within one batch.
+        let (_, _, visible) = rel.ingest_with_visibility(&[
+            WriteOp::Upsert(Point::new(888, 2.0, 2.0)), // fresh id
+            WriteOp::Upsert(Point::new(888, 3.0, 3.0)), // now visible
+            WriteOp::Remove(888),
+            WriteOp::Upsert(Point::new(0, 4.0, 4.0)), // base id: visible
+        ]);
+        assert_eq!(visible, vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn compaction_folds_the_delta_into_a_fresh_base() {
+        let rel = relation(4);
+        rel.ingest(&[
+            WriteOp::Upsert(Point::new(900, 1.0, 1.0)),
+            WriteOp::Upsert(Point::new(901, 2.0, 2.0)),
+            WriteOp::Remove(0),
+        ]);
+        assert!(!rel.needs_compaction(), "threshold is 4, delta is 3");
+        rel.ingest(&[WriteOp::Remove(1)]);
+        assert!(rel.needs_compaction());
+
+        let metrics = Mutex::new(Metrics::default());
+        let version = rel
+            .compact_with(|s| s.merged_points(), &metrics)
+            .expect("compaction must run");
+        let snap = rel.load();
+        assert_eq!(snap.version(), version);
+        assert!(snap.delta().is_empty(), "delta folded into the base");
+        assert_eq!(snap.num_points(), 200);
+        assert!(snap.contains_id(900) && !snap.contains_id(0));
+        check_index_invariants(&*snap).unwrap();
+        assert_eq!(
+            metrics.lock().unwrap().compactions,
+            1,
+            "epoch counter advanced"
+        );
+        assert!(!rel.needs_compaction());
+    }
+
+    #[test]
+    fn writes_during_compaction_survive_the_publish() {
+        let rel = relation(1);
+        rel.ingest(&[WriteOp::Upsert(Point::new(500, 3.0, 3.0))]);
+        // Simulate a concurrent write landing between capture and publish:
+        // capture first, ingest, then finish the rebuild from the capture.
+        assert!(rel.begin_compaction());
+        let (source, captured_len) = rel.capture_for_compaction();
+        rel.ingest(&[
+            WriteOp::Upsert(Point::new(501, 4.0, 4.0)),
+            WriteOp::Remove(7),
+        ]);
+        let base = rel
+            .config()
+            .build(source.merged_points(), source.base().bounds());
+        rel.publish_compacted(base, captured_len);
+        rel.end_compaction();
+
+        let snap = rel.load();
+        assert!(snap.contains_id(500), "compacted write present in the base");
+        assert!(snap.contains_id(501), "concurrent write replayed on top");
+        assert!(!snap.contains_id(7), "concurrent remove replayed on top");
+        assert_eq!(snap.delta_len(), 2, "only the replayed tail remains");
+        check_index_invariants(&*snap).unwrap();
+    }
+
+    #[test]
+    fn compaction_slot_is_exclusive() {
+        let rel = relation(1);
+        rel.ingest(&[WriteOp::Remove(0)]);
+        assert!(rel.begin_compaction());
+        let metrics = Mutex::new(Metrics::default());
+        assert_eq!(
+            rel.compact_with(|s| s.merged_points(), &metrics),
+            None,
+            "second compaction must refuse while one is in flight"
+        );
+        rel.end_compaction();
+        assert!(rel.compact_with(|s| s.merged_points(), &metrics).is_some());
+    }
+}

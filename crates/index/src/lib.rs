@@ -60,7 +60,7 @@ pub use locality::Locality;
 pub use metrics::Metrics;
 pub use neighborhood::{Neighbor, Neighborhood};
 pub use ordering::{BlockOrder, OrderMetric, OrderedBlock, OrderedF64};
-pub use quadtree::QuadtreeIndex;
+pub use quadtree::{QuadtreeIndex, DEFAULT_MAX_DEPTH};
 pub use rtree::StrRTree;
 pub use traits::{check_index_invariants, SpatialIndex};
 

@@ -43,7 +43,7 @@ pub struct Locality {
 
 impl Locality {
     /// Builds the (minimal) locality of `p` for a `k`-nearest-neighbor query,
-    /// following the two-phase algorithm of [15].
+    /// following the two-phase algorithm of reference \[15\] of the paper.
     pub fn build<I: SpatialIndex + ?Sized>(
         index: &I,
         p: &Point,

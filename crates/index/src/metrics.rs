@@ -37,6 +37,12 @@ pub struct Metrics {
     /// Number of outer points skipped without a neighborhood computation
     /// (e.g. by the Counting algorithm's threshold test).
     pub points_pruned: u64,
+    /// Number of write operations (inserts/removes/updates) applied to
+    /// versioned relations.
+    pub ingest_ops: u64,
+    /// Number of background index rebuilds (compactions) published — each one
+    /// advances a relation's snapshot epoch.
+    pub compactions: u64,
 }
 
 impl Metrics {
@@ -74,6 +80,8 @@ impl std::ops::AddAssign for Metrics {
         self.cache_misses += rhs.cache_misses;
         self.blocks_pruned += rhs.blocks_pruned;
         self.points_pruned += rhs.points_pruned;
+        self.ingest_ops += rhs.ingest_ops;
+        self.compactions += rhs.compactions;
     }
 }
 
@@ -90,7 +98,8 @@ impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} cache={}/{}",
+            "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} cache={}/{} \
+             ingest={} compactions={}",
             self.neighborhoods_computed,
             self.blocks_scanned,
             self.points_scanned,
@@ -100,6 +109,8 @@ impl std::fmt::Display for Metrics {
             self.points_pruned,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
+            self.ingest_ops,
+            self.compactions,
         )
     }
 }
@@ -121,10 +132,14 @@ mod tests {
             cache_misses: 8,
             blocks_pruned: 9,
             points_pruned: 10,
+            ingest_ops: 11,
+            compactions: 12,
         };
         a += a;
         assert_eq!(a.neighborhoods_computed, 2);
         assert_eq!(a.points_pruned, 20);
+        assert_eq!(a.ingest_ops, 22);
+        assert_eq!(a.compactions, 24);
         assert_eq!(a.work(), 2 + 4);
     }
 

@@ -15,7 +15,11 @@ use crate::traits::SpatialIndex;
 
 /// Default maximum tree depth; bounds the tree in the presence of duplicate
 /// or near-duplicate points.
-const DEFAULT_MAX_DEPTH: usize = 16;
+/// The subdivision depth limit [`QuadtreeIndex::build`] uses. Exposed so
+/// that callers reconstructing a quadtree with explicit bounds (e.g. a store
+/// compaction rebuilding an index family-preservingly) can reproduce the
+/// default build exactly.
+pub const DEFAULT_MAX_DEPTH: usize = 16;
 
 /// A PR-quadtree whose leaves are the index blocks.
 #[derive(Debug, Clone)]

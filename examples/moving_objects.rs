@@ -1,0 +1,99 @@
+//! Streaming updates over a moving-objects relation — the workload the
+//! paper motivates (location-based services over vehicles) and the one the
+//! versioned relation store exists for.
+//!
+//! A fleet of vehicles streams position reports into the database while
+//! dispatch queries keep running: each query pins an immutable snapshot, so
+//! readers never block on writers. When a relation's delta overlay outgrows
+//! the compaction threshold, a background rebuild of the index is scheduled
+//! on the shared worker pool and the fresh base is atomically published.
+//!
+//! Run with: `cargo run --release --features parallel --example moving_objects`
+
+use two_knn::core::plan::{Database, QuerySpec};
+use two_knn::core::select_join::SelectInnerJoinQuery;
+use two_knn::core::store::{StoreConfig, WriteOp};
+use two_knn::datagen::{berlinmod, BerlinModConfig};
+use two_knn::{GridIndex, Point, SpatialIndex};
+
+fn main() {
+    // Vehicles move; repair stations don't. A small compaction threshold so
+    // this example visibly triggers background rebuilds.
+    let mut db = Database::with_store_config(StoreConfig {
+        compaction_threshold: 4_000,
+    });
+    let vehicles = berlinmod(&BerlinModConfig::with_points(40_000, 21));
+    db.register(
+        "Vehicles",
+        GridIndex::build_with_target_occupancy(vehicles.clone(), 64).unwrap(),
+    );
+    db.register(
+        "Stations",
+        GridIndex::build_with_target_occupancy(
+            berlinmod(&BerlinModConfig::with_points(2_000, 22)),
+            64,
+        )
+        .unwrap(),
+    );
+
+    // Dispatch query: for every repair station, its 2 nearest vehicles —
+    // keeping only vehicles among the 32 closest to the accident hotspot.
+    let hotspot = Point::anonymous(51_000.0, 48_500.0);
+    let spec = QuerySpec::SelectInnerOfJoin {
+        outer: "Stations".into(),
+        inner: "Vehicles".into(),
+        query: SelectInnerJoinQuery::new(2, 32, hotspot),
+    };
+
+    println!(
+        "{} vehicles streaming positions, {} stations, compaction threshold {}\n",
+        db.relation("Vehicles").unwrap().num_points(),
+        db.relation("Stations").unwrap().num_points(),
+        db.store().config().compaction_threshold,
+    );
+    println!(
+        "{:>5} {:>10} {:>9} {:>12} {:>12} {:>8}",
+        "tick", "version", "delta", "compactions", "rows", "ms"
+    );
+
+    // Ten ticks of the position stream: every tick, 1500 vehicles report a
+    // new position (one atomic batch each) and dispatch re-runs its query.
+    for tick in 1..=10u64 {
+        let ops: Vec<WriteOp> = vehicles
+            .iter()
+            .filter(|p| (p.id + tick) % 27 == 0)
+            .map(|p| {
+                // A small deterministic drift per tick.
+                let dx = ((p.id * 31 + tick * 7) % 400) as f64 - 200.0;
+                let dy = ((p.id * 17 + tick * 13) % 400) as f64 - 200.0;
+                WriteOp::Upsert(Point::new(p.id, p.x + dx, p.y + dy))
+            })
+            .collect();
+        db.ingest("Vehicles", &ops).unwrap();
+
+        let start = std::time::Instant::now();
+        let result = db.execute(&spec).unwrap();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let snap = db.relation("Vehicles").unwrap();
+        println!(
+            "{tick:>5} {:>10} {:>9} {:>12} {:>12} {:>8.1}",
+            snap.version(),
+            snap.delta_len(),
+            db.store_metrics().compactions,
+            result.num_rows(),
+            ms
+        );
+    }
+
+    // Drain whatever delta remains and show the final, fully compacted state.
+    while db.relation("Vehicles").unwrap().delta_len() > 0 {
+        db.compact_now("Vehicles").unwrap();
+    }
+    let metrics = db.store_metrics();
+    println!(
+        "\nfinal: version {}, {} points, store metrics: {metrics}",
+        db.relation("Vehicles").unwrap().version(),
+        db.relation("Vehicles").unwrap().num_points(),
+    );
+}
