@@ -1,20 +1,29 @@
 //! Ablation A5: the cost of versioned storage.
 //!
-//! Two measurements over a BerlinMOD-like moving-objects relation:
+//! Three measurements over a BerlinMOD-like moving-objects relation:
 //!
 //! 1. **Delta-overlay read overhead** — the same query batch against a
-//!    snapshot carrying a delta overlay (tombstoned blocks + one overlay
-//!    block) vs against the freshly compacted base. The overlay is the
-//!    price of never blocking readers on writers; compaction pays it down.
+//!    snapshot carrying a delta overlay (tombstoned blocks + partitioned
+//!    overlay blocks) vs against the freshly compacted base. The overlay is
+//!    the price of never blocking readers on writers; compaction pays it
+//!    down.
 //! 2. **Concurrent background rebuild** — query-batch latency while a
 //!    compaction of the whole base runs on the shared worker pool, compared
 //!    with the idle baseline (and with the ingest burst alone, so the
 //!    rebuild's interference can be read off the difference). On a 1-thread
 //!    pool the rebuild runs inline in `ingest`, so "during" collapses to
 //!    ingest + rebuild + batch — the degraded but deterministic mode CI pins.
+//! 3. **Burst pruning: single-block vs partitioned overlay** — a clustered
+//!    insert burst of growing size with compaction disabled, queried with
+//!    the same batch under a fanout-1 overlay (the old single giant block)
+//!    and the default overlay grid. Reports query latency, per-kNN block
+//!    and point scan counts, and the pruned fraction (share of the
+//!    relation's points a kNN avoided touching — a common-denominator
+//!    number, since both configs index identical data), the quantity the
+//!    single-block overlay erodes as the burst grows.
 //!
 //! Usage: `cargo bench -p twoknn-bench --features parallel --bench
-//! ablation_ingest -- [--points N] [--queries N] [--threads N]`
+//! ablation_ingest -- [--points N] [--queries N] [--threads N] [--smoke]`
 
 use std::sync::Arc;
 
@@ -23,9 +32,10 @@ use twoknn_bench::workloads;
 use twoknn_core::exec::available_threads;
 use twoknn_core::plan::{Database, QuerySpec};
 use twoknn_core::selects2::TwoSelectsQuery;
-use twoknn_core::store::{StoreConfig, WriteOp};
+use twoknn_core::store::{OverlayConfig, StoreConfig, WriteOp};
 use twoknn_core::WorkerPool;
 use twoknn_geometry::Point;
+use twoknn_index::{Metrics, SpatialIndex};
 
 /// A burst of upserts that move `count` existing objects to new positions.
 fn move_burst(count: u64, round: u64) -> Vec<WriteOp> {
@@ -37,6 +47,25 @@ fn move_burst(count: u64, round: u64) -> Vec<WriteOp> {
                 i * 13 % 20_011, // existing ids: moves, not inserts
                 extent.min_x + (h % 1_000) as f64 * (extent.width() / 1_000.0),
                 extent.min_y + ((h / 1_000) % 1_000) as f64 * (extent.height() / 1_000.0),
+            ))
+        })
+        .collect()
+}
+
+/// A burst of `count` **fresh** inserts clustered within ~2% of the extent
+/// around the query batch's focal region — the hot-region write burst that
+/// used to collapse MINDIST pruning into one giant overlay block.
+fn clustered_insert_burst(count: u64) -> Vec<WriteOp> {
+    let extent = workloads::extent();
+    let focal = workloads::focal_point();
+    let radius = extent.width() * 0.02;
+    (0..count)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+            WriteOp::Upsert(Point::new(
+                1_000_000 + i, // fresh ids: inserts, not moves
+                focal.x - radius + (h % 4_000) as f64 * (radius / 2_000.0),
+                focal.y - radius + ((h / 4_000) % 4_000) as f64 * (radius / 2_000.0),
             ))
         })
         .collect()
@@ -64,6 +93,7 @@ fn main() {
     let mut points = 120_000usize;
     let mut queries = 256usize;
     let mut threads = available_threads();
+    let mut smoke = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +109,13 @@ fn main() {
             "--threads" => {
                 i += 1;
                 threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(threads);
+            }
+            // CI-sized run: small relation and batch, every measurement
+            // still exercised (including the overlay-pruning sweep).
+            "--smoke" => {
+                points = 20_000;
+                queries = 64;
+                smoke = true;
             }
             // Ignore harness flags cargo bench forwards (e.g. --bench).
             _ => {}
@@ -105,6 +142,7 @@ fn main() {
             pool,
             StoreConfig {
                 compaction_threshold: usize::MAX,
+                ..StoreConfig::default()
             },
         );
         db.register("Objects", workloads::berlin_relation(points, 311));
@@ -137,6 +175,7 @@ fn main() {
                 Arc::clone(&pool),
                 StoreConfig {
                     compaction_threshold: burst as usize,
+                    ..StoreConfig::default()
                 },
             );
             db.register("Objects", workloads::berlin_relation(points, 312));
@@ -177,5 +216,68 @@ fn main() {
             during.median_ms / (idle.median_ms + ingest_only.median_ms),
             db.store_metrics().compactions
         );
+    }
+
+    // 3. MINDIST pruning under write bursts: the old single-block overlay
+    //    (fanout cap 1) vs the partitioned overlay grid, across burst sizes.
+    {
+        let burst_sizes: &[u64] = if smoke {
+            &[1_000, 4_000]
+        } else {
+            &[2_000, 8_000, 32_000]
+        };
+        let overlays = [
+            (
+                "single_block",
+                OverlayConfig {
+                    max_cells_per_axis: 1,
+                    ..OverlayConfig::default()
+                },
+            ),
+            ("grid", OverlayConfig::default()),
+        ];
+        for &burst_size in burst_sizes {
+            let mut group =
+                BenchGroup::new(&format!("ingest_burst_pruning_{burst_size}")).sample_size(5);
+            for (label, overlay) in overlays {
+                let pool = WorkerPool::new(threads);
+                // Compaction disabled: the whole burst stays in the overlay.
+                let mut db = Database::with_pool_and_store_config(
+                    pool,
+                    StoreConfig {
+                        compaction_threshold: usize::MAX,
+                        overlay,
+                    },
+                );
+                db.register("Objects", workloads::berlin_relation(points, 313));
+                db.ingest("Objects", &clustered_insert_burst(burst_size))
+                    .unwrap();
+                let snap = db.relation("Objects").unwrap();
+                let stat = group.bench(label, || db.execute_batch(&specs));
+                let work: Metrics = db
+                    .execute_batch(&specs)
+                    .into_iter()
+                    .map(|r| r.expect("burst batch query").metrics())
+                    .fold(Metrics::default(), |acc, m| acc + m);
+                // Share of the relation's points a kNN avoided touching —
+                // the two configs index the identical data, so this
+                // denominator is common and the fractions are directly
+                // comparable (a per-config block count would not be: the
+                // single-block overlay has far fewer, bigger blocks).
+                let pruned_fraction = 1.0
+                    - work.points_scanned as f64
+                        / (work.neighborhoods_computed * snap.num_points() as u64).max(1) as f64;
+                let knn = work.neighborhoods_computed.max(1);
+                println!(
+                    "burst {burst_size} {label}: pruned-point fraction {pruned_fraction:.4}, \
+                     {} overlay block(s), {:.1} blocks / {:.0} points scanned per kNN, \
+                     median {:.1} ms",
+                    snap.overlay_block_count(),
+                    work.blocks_scanned as f64 / knn as f64,
+                    work.points_scanned as f64 / knn as f64,
+                    stat.median_ms,
+                );
+            }
+        }
     }
 }

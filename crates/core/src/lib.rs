@@ -87,4 +87,4 @@ pub mod store;
 pub use error::QueryError;
 pub use exec::{ExecutionMode, WorkerPool};
 pub use output::{Pair, QueryOutput, Triplet};
-pub use store::{DbSnapshot, IndexConfig, RelationStore, StoreConfig, WriteOp};
+pub use store::{DbSnapshot, IndexConfig, OverlayConfig, RelationStore, StoreConfig, WriteOp};

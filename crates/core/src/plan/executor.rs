@@ -305,10 +305,12 @@ impl Database {
         self.store.pin()
     }
 
-    /// Computes the statistics profile of a registered relation (on its
-    /// current snapshot).
+    /// The statistics profile of a registered relation (on its current
+    /// snapshot). Profiles are memoized per published version
+    /// ([`RelationSnapshot::profile`]), so repeat calls against an unchanged
+    /// relation are O(1).
     pub fn profile(&self, name: &str) -> Result<RelationProfile, QueryError> {
-        Ok(RelationProfile::compute(&*self.relation(name)?))
+        Ok(self.relation(name)?.profile())
     }
 
     /// Applies a batch of write operations to a relation as **one** atomic
@@ -456,10 +458,13 @@ impl Database {
         self.plan_on(&self.snapshot(), spec)
     }
 
-    /// Strategy choice against an explicit pinned snapshot.
+    /// Strategy choice against an explicit pinned snapshot. Relation
+    /// profiles come from the snapshots' per-version memo, so a batch of
+    /// queries planned against one pinned [`DbSnapshot`] computes each
+    /// relation's statistics at most once — not once per query.
     fn plan_on(&self, snapshot: &DbSnapshot, spec: &QuerySpec) -> Result<Strategy, QueryError> {
         let profile = |name: &str| -> Result<RelationProfile, QueryError> {
-            Ok(RelationProfile::compute(snapshot.relation(name)?))
+            Ok(snapshot.snapshot(name)?.profile())
         };
         Ok(match spec {
             QuerySpec::SelectInnerOfJoin { outer, .. } => {

@@ -4,6 +4,13 @@
 //! footprints), so profiling a relation is `O(number of blocks)` and never
 //! touches the points themselves — matching the paper's assumption that the
 //! index maintains per-block counts.
+//!
+//! [`RelationProfile::compute`] works on any [`SpatialIndex`]; for versioned
+//! relations prefer
+//! [`RelationSnapshot::profile`](crate::store::RelationSnapshot::profile),
+//! which memoizes the result per published snapshot — statistics of an
+//! immutable version never change, so planning a whole batch against one
+//! pinned snapshot pays for at most one computation per relation.
 
 use twoknn_index::SpatialIndex;
 

@@ -11,7 +11,10 @@
 //! 1. **Capture** `(snapshot, log position)` under the relation's writer
 //!    lock (nanoseconds — ingest continues right after);
 //! 2. **Gather** the snapshot's visible points, sharded over block ranges
-//!    with [`run_partitioned_on`] so large relations use the whole pool;
+//!    with [`run_partitioned_on`] so large relations use the whole pool.
+//!    Overlay-grid cells are ordinary blocks of the snapshot, so a large
+//!    un-compacted burst is gathered cell-parallel exactly like the base —
+//!    the shards cover base and overlay blocks uniformly;
 //! 3. **Build** a fresh base index with the relation's [`IndexConfig`];
 //! 4. **Publish**: replay the ops ingested since the capture onto the new
 //!    base and atomically swap the snapshot in.
@@ -109,6 +112,7 @@ mod tests {
             base,
             IndexConfig::Grid { cells_per_axis: 9 },
             threshold,
+            crate::store::OverlayConfig::default(),
         ))
     }
 
@@ -124,6 +128,33 @@ mod tests {
         let pool = WorkerPool::new(3);
         let sharded = gather_points_sharded(&snap, &pool);
         assert_eq!(sharded, snap.merged_points());
+    }
+
+    #[test]
+    fn sharded_gather_covers_a_partitioned_overlay_cell_parallel() {
+        // A burst big enough to split into many overlay cells: the gather
+        // shards must cover every cell exactly once, in block order, just
+        // like base blocks.
+        let rel = relation(1_000_000);
+        let burst: Vec<WriteOp> = (0..600u64)
+            .map(|i| {
+                WriteOp::Upsert(Point::new(
+                    10_000 + i,
+                    30.0 + (i % 25) as f64 * 0.31,
+                    30.0 + (i / 25) as f64 * 0.29,
+                ))
+            })
+            .collect();
+        rel.ingest(&burst);
+        let snap = rel.load();
+        assert!(
+            snap.overlay_block_count() > 1,
+            "the burst must partition the overlay"
+        );
+        let pool = WorkerPool::new(4);
+        let sharded = gather_points_sharded(&snap, &pool);
+        assert_eq!(sharded, snap.merged_points());
+        assert_eq!(sharded.len(), snap.num_points());
     }
 
     #[test]

@@ -7,12 +7,17 @@
 //! (by point id) and duplicate-free, so membership tests are binary searches
 //! and two deltas over the same base can be compared structurally.
 //!
-//! The overlay is applied by [`RelationSnapshot`](super::RelationSnapshot),
-//! which materializes the delta as extra/filtered blocks so that every query
-//! algorithm sees one consistent [`SpatialIndex`](twoknn_index::SpatialIndex)
-//! view.
+//! Alongside the id-sorted insert list, the delta maintains an
+//! [`OverlayGrid`]: the same inserts bucketed by **position** into a small
+//! grid of copy-on-write cells. The grid is what
+//! [`RelationSnapshot`](super::RelationSnapshot) materializes as per-cell
+//! overlay blocks with tight MBRs, keeping MINDIST pruning effective during
+//! write bursts; the sorted list keeps id lookups O(log n). Both structures
+//! are updated by [`Delta::apply`], so they can never drift apart.
 
 use twoknn_geometry::{Point, PointId};
+
+use super::overlay::{OverlayConfig, OverlayGrid};
 
 /// One ingest operation against a versioned relation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,19 +31,46 @@ pub enum WriteOp {
 }
 
 /// A sorted insert/delete overlay relative to one base index.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Delta {
     /// Points visible on top of the base, sorted by id, unique per id.
     inserts: Vec<Point>,
     /// Ids of base points that are tombstoned, sorted, unique. Only ids the
     /// base actually stores are ever recorded here.
     deletes: Vec<PointId>,
+    /// The same inserts, bucketed by position into copy-on-write grid cells.
+    grid: OverlayGrid,
+}
+
+impl Default for Delta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Logical equality: two deltas are equal when they describe the same
+/// visible-set change, regardless of how the overlay grid happens to be
+/// decomposed (the grid geometry depends on the op history, not just the
+/// final contents).
+impl PartialEq for Delta {
+    fn eq(&self, other: &Self) -> bool {
+        self.inserts == other.inserts && self.deletes == other.deletes
+    }
 }
 
 impl Delta {
-    /// An empty overlay.
+    /// An empty overlay with the default [`OverlayConfig`].
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(OverlayConfig::default())
+    }
+
+    /// An empty overlay with explicit grid tuning.
+    pub fn with_config(config: OverlayConfig) -> Self {
+        Self {
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+            grid: OverlayGrid::new(config),
+        }
     }
 
     /// The overlay's inserted points, sorted by id.
@@ -49,6 +81,11 @@ impl Delta {
     /// The tombstoned base point ids, sorted.
     pub fn deletes(&self) -> &[PointId] {
         &self.deletes
+    }
+
+    /// The position-bucketed view of the inserts.
+    pub(crate) fn grid(&self) -> &OverlayGrid {
+        &self.grid
     }
 
     /// Number of overlay entries (inserts + deletes) — the quantity the
@@ -82,11 +119,19 @@ impl Delta {
     /// Returns `true` when the operation changed the visible point set
     /// (an upsert always does; a remove only if the id was visible).
     pub fn apply(&mut self, op: &WriteOp, base_has: impl Fn(PointId) -> bool) -> bool {
-        match op {
+        let changed = match op {
             WriteOp::Upsert(p) => {
                 match self.inserts.binary_search_by_key(&p.id, |q| q.id) {
-                    Ok(at) => self.inserts[at] = *p,
-                    Err(at) => self.inserts.insert(at, *p),
+                    Ok(at) => {
+                        let old = self.inserts[at];
+                        self.inserts[at] = *p;
+                        self.grid.remove(&old);
+                        self.grid.add(*p);
+                    }
+                    Err(at) => {
+                        self.inserts.insert(at, *p);
+                        self.grid.add(*p);
+                    }
                 }
                 // The base copy (if any) is shadowed: tombstone it so block
                 // scans don't report the stale position.
@@ -100,7 +145,8 @@ impl Delta {
             WriteOp::Remove(id) => {
                 let mut removed = false;
                 if let Ok(at) = self.inserts.binary_search_by_key(id, |q| q.id) {
-                    self.inserts.remove(at);
+                    let old = self.inserts.remove(at);
+                    self.grid.remove(&old);
                     removed = true;
                 }
                 if base_has(*id) {
@@ -116,7 +162,12 @@ impl Delta {
                 }
                 removed
             }
-        }
+        };
+        // Cheap O(1) staleness check; the actual re-bucket is geometric, so
+        // the amortized cost per applied op stays O(1).
+        self.grid.maybe_rebucket(&self.inserts);
+        debug_assert_eq!(self.grid.len(), self.inserts.len());
+        changed
     }
 }
 
@@ -175,5 +226,30 @@ mod tests {
         assert!(d.apply(&WriteOp::Remove(4), has(&[4])));
         assert!(d.inserts().is_empty());
         assert!(d.is_deleted(4), "base copy must stay invisible");
+    }
+
+    #[test]
+    fn grid_tracks_every_insert_edit() {
+        let mut d = Delta::new();
+        // A burst large enough to force a multi-cell grid.
+        for i in 0..200u64 {
+            let p = Point::new(i, (i % 20) as f64, (i / 20) as f64);
+            d.apply(&WriteOp::Upsert(p), has(&[]));
+        }
+        assert!(d.grid().cells_per_axis() > 1);
+        assert_eq!(d.grid().len(), d.inserts().len());
+        // Moves and removes keep the two structures in lockstep.
+        d.apply(&WriteOp::Upsert(Point::new(7, 500.0, 500.0)), has(&[]));
+        d.apply(&WriteOp::Remove(8), has(&[]));
+        assert_eq!(d.grid().len(), d.inserts().len());
+        let moved = d.inserted(7).copied().unwrap();
+        let cell = d.grid().find_at(&moved).expect("moved point re-bucketed");
+        assert!(d.grid().cell_points(cell).iter().any(|q| q.id == 7));
+        // Logical equality ignores grid geometry.
+        let mut replay = Delta::new();
+        for p in d.inserts() {
+            replay.apply(&WriteOp::Upsert(*p), has(&[]));
+        }
+        assert_eq!(d, replay);
     }
 }

@@ -8,7 +8,12 @@
 //!
 //! * [`RelationSnapshot`] — an immutable version of a relation: a base
 //!   index plus a sorted insert/delete [`Delta`] overlay, materialized as
-//!   extra/filtered blocks so the whole snapshot *is* a [`SpatialIndex`];
+//!   extra/filtered blocks so the whole snapshot *is* a [`SpatialIndex`].
+//!   Inserts are bucketed by position into a bounded **overlay grid**
+//!   ([`OverlayConfig`]) of copy-on-write cells, one tight-MBR overlay
+//!   block per occupied cell, so per-block MINDIST pruning keeps working
+//!   during write bursts instead of collapsing against one giant overlay
+//!   block;
 //! * [`VersionedRelation`] — the `Arc`-swapped current snapshot of one
 //!   relation, a serialized writer path for atomic ingest batches, and the
 //!   write log that lets compaction publish without losing concurrent
@@ -38,10 +43,12 @@
 
 mod compact;
 mod delta;
+mod overlay;
 mod snapshot;
 mod version;
 
 pub use delta::{Delta, WriteOp};
+pub use overlay::OverlayConfig;
 pub use snapshot::{BaseIndex, IndexConfig, RelationSnapshot, StoredIndex};
 pub use version::VersionedRelation;
 
@@ -59,12 +66,18 @@ pub struct StoreConfig {
     /// Delta size (inserts + deletes) at which ingest schedules a background
     /// rebuild of the relation's base index.
     pub compaction_threshold: usize,
+    /// Sizing of the partitioned delta overlay (cell occupancy target and
+    /// fanout cap). The default keeps overlay cells around 32 points with at
+    /// most 32×32 cells; `max_cells_per_axis: 1` reproduces the old
+    /// single-block overlay for ablations.
+    pub overlay: OverlayConfig,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
         Self {
             compaction_threshold: 512,
+            overlay: OverlayConfig::default(),
         }
     }
 }
@@ -118,6 +131,7 @@ impl RelationStore {
             base,
             config,
             self.config.compaction_threshold,
+            self.config.overlay,
         ));
         self.relations
             .write()
@@ -380,6 +394,7 @@ mod tests {
     fn ingest_counts_and_compacts_through_the_store() {
         let store = RelationStore::new(StoreConfig {
             compaction_threshold: 3,
+            ..StoreConfig::default()
         });
         store.register("R", base(100, 3), GRID);
         let pool = WorkerPool::new(1); // inline spawn: deterministic

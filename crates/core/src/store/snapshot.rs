@@ -13,20 +13,36 @@
 //!   tombstoned points expose a filtered copy of their point list (the
 //!   filtered copies are built once, when the snapshot is created — reads
 //!   are plain slice borrows);
-//! * all **inserted points** live in one extra overlay block appended after
-//!   the base blocks, with the inserts' bounding rectangle as its footprint.
+//! * the **inserted points** live in the delta's [`OverlayGrid`]: each
+//!   occupied grid cell becomes one extra overlay block appended after the
+//!   base blocks, with the **tight bounding box of the cell's points** as
+//!   its footprint. A small delta degenerates to a single overlay block;
+//!   a write burst is partitioned so MINDIST pruning and Block-Marking keep
+//!   working instead of degrading toward a scan of the whole burst.
 //!
 //! Block ids therefore stay dense, counts stay consistent, and every
 //! algorithm of the paper runs unmodified on a delta-bearing relation —
-//! [`twoknn_index::check_index_invariants`] holds for any snapshot.
+//! [`twoknn_index::check_index_invariants`] holds for any snapshot, and
+//! [`RelationSnapshot::check_overlay_invariants`] additionally pins the
+//! overlay-specific guarantees (exact per-cell counts/MBRs, tombstones
+//! filtered everywhere, inserts locatable in O(cell)).
+//!
+//! Because a snapshot is immutable, its optimizer statistics are immutable
+//! too: [`RelationSnapshot::profile`] memoizes the
+//! [`RelationProfile`](crate::plan::RelationProfile) on first use, so a
+//! batch of queries planned against one snapshot profiles each relation
+//! once, not once per query.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use twoknn_geometry::{Point, PointId, Rect};
 use twoknn_index::{BlockId, BlockMeta, SpatialIndex};
 
+use crate::plan::stats::RelationProfile;
+
 use super::delta::{Delta, WriteOp};
+use super::overlay::OverlayConfig;
 
 /// A shared, immutable base index.
 pub type BaseIndex = Arc<dyn SpatialIndex + Send + Sync>;
@@ -57,9 +73,13 @@ pub struct RelationSnapshot {
     base: BaseIndex,
     base_ids: BaseIdMap,
     delta: Delta,
-    /// Base blocks with tombstone-adjusted counts, plus (when the delta has
-    /// inserts) the overlay block at id `base.num_blocks()`.
+    /// Base blocks with tombstone-adjusted counts, plus one overlay block
+    /// per occupied overlay-grid cell starting at id `base.num_blocks()`.
     blocks: Vec<BlockMeta>,
+    /// Overlay-block ordinal → overlay-grid cell index, ascending. Maps the
+    /// dense block ids the trait exposes back to the grid cells that store
+    /// the points.
+    overlay_cells: Vec<usize>,
     /// Filtered point lists of the base blocks that lost points to
     /// tombstones. `Arc`'d so successive snapshots share the lists of
     /// blocks an ingest batch did not touch.
@@ -67,6 +87,9 @@ pub struct RelationSnapshot {
     bounds: Rect,
     num_points: usize,
     version: u64,
+    /// Memoized optimizer statistics — computed at most once per published
+    /// version, shared by every query planned against this snapshot.
+    profile: OnceLock<RelationProfile>,
 }
 
 /// The per-op outcome of applying one ingest batch to a snapshot.
@@ -88,9 +111,9 @@ impl BatchOutcome {
 
 impl RelationSnapshot {
     /// Wraps a freshly built base index with an empty overlay.
-    pub(crate) fn clean(base: BaseIndex, version: u64) -> Self {
+    pub(crate) fn clean(base: BaseIndex, version: u64, overlay: OverlayConfig) -> Self {
         let base_ids = Arc::new(index_ids(base.as_ref()));
-        Self::assemble(base, base_ids, Delta::new(), version)
+        Self::assemble(base, base_ids, Delta::with_config(overlay), version)
     }
 
     /// A new snapshot over the same base with a different overlay, rebuilt
@@ -203,27 +226,33 @@ impl RelationSnapshot {
             blocks[block as usize] =
                 BlockMeta::new(block, blocks[block as usize].mbr, filtered.len());
         }
+        // One overlay block per occupied grid cell, each with the tight
+        // bounding box of the points actually in the cell — far-away cells
+        // prune under MINDIST exactly like base blocks. Assembling the metas
+        // is O(cells); the cell contents themselves are Arc-shared with the
+        // previous snapshot except where the batch dirtied them.
         let mut bounds = base.bounds();
-        if !delta.inserts().is_empty() {
-            let mbr = Rect::bounding(delta.inserts()).expect("inserts are non-empty");
+        let mut overlay_cells = Vec::new();
+        for (cell, mbr, points) in delta.grid().occupied() {
+            blocks.push(BlockMeta::new(blocks.len() as BlockId, mbr, points.len()));
+            overlay_cells.push(cell);
             bounds = bounds.union(&mbr);
-            blocks.push(BlockMeta::new(
-                base.num_blocks() as BlockId,
-                mbr,
-                delta.inserts().len(),
-            ));
         }
         let num_points = base.num_points() - delta.deletes().len() + delta.inserts().len();
-        Self {
+        let snapshot = Self {
             base,
             base_ids,
             delta,
             blocks,
+            overlay_cells,
             tombstoned,
             bounds,
             num_points,
             version,
-        }
+            profile: OnceLock::new(),
+        };
+        debug_assert_eq!(snapshot.check_overlay_invariants(), Ok(()));
+        snapshot
     }
 
     /// The snapshot's version: strictly increasing across a relation's
@@ -258,13 +287,19 @@ impl RelationSnapshot {
             || (self.base_ids.contains_key(&id) && !self.delta.is_deleted(id))
     }
 
-    /// The id of the overlay block holding the inserts, if the delta has any.
-    fn overlay_block(&self) -> Option<BlockId> {
-        if self.delta.inserts().is_empty() {
-            None
-        } else {
-            Some(self.base.num_blocks() as BlockId)
-        }
+    /// Number of overlay blocks (occupied overlay-grid cells) this snapshot
+    /// exposes after its base blocks.
+    pub fn overlay_block_count(&self) -> usize {
+        self.overlay_cells.len()
+    }
+
+    /// The memoized optimizer statistics of this snapshot, computed on
+    /// first use. Snapshots are immutable, so the profile of a published
+    /// version never changes — `execute_batch` plans every query of a batch
+    /// against one profile computation per relation instead of recomputing
+    /// `O(num_blocks)` statistics per query.
+    pub fn profile(&self) -> RelationProfile {
+        *self.profile.get_or_init(|| RelationProfile::compute(self))
     }
 
     /// All currently visible points: filtered base points plus inserts.
@@ -272,6 +307,83 @@ impl RelationSnapshot {
     /// rebuild gathers points block-parallel instead.
     pub fn merged_points(&self) -> Vec<Point> {
         self.all_points()
+    }
+
+    /// Checks the overlay-specific structural invariants on top of
+    /// [`twoknn_index::check_index_invariants`]:
+    ///
+    /// * every overlay block's count and MBR reflect its grid cell's
+    ///   tombstone-free contents **exactly** (the MBR is the tight bounding
+    ///   box, not a stale or padded footprint);
+    /// * every delta insert is bucketed in exactly one overlay block and is
+    ///   locatable through [`SpatialIndex::locate`];
+    /// * no tombstoned id is visible in any block (base or overlay);
+    /// * the visible point count adds up.
+    pub fn check_overlay_invariants(&self) -> Result<(), String> {
+        twoknn_index::check_index_invariants(self)?;
+        let base_blocks = self.base.num_blocks();
+        let mut bucketed = 0usize;
+        for (ordinal, &cell) in self.overlay_cells.iter().enumerate() {
+            let meta = self.blocks[base_blocks + ordinal];
+            let points = self.delta.grid().cell_points(cell);
+            if points.is_empty() {
+                return Err(format!("overlay block {} maps to an empty cell", meta.id));
+            }
+            if meta.count != points.len() {
+                return Err(format!(
+                    "overlay block {} count {} != cell contents {}",
+                    meta.id,
+                    meta.count,
+                    points.len()
+                ));
+            }
+            let tight = Rect::bounding(points).expect("cell is non-empty");
+            if meta.mbr != tight {
+                return Err(format!(
+                    "overlay block {} MBR {} is not the tight bounding box {tight}",
+                    meta.id, meta.mbr
+                ));
+            }
+            for p in points {
+                if self.delta.inserted(p.id) != Some(p) {
+                    return Err(format!(
+                        "overlay block {} holds {p}, which drifted from the delta's inserts",
+                        meta.id
+                    ));
+                }
+            }
+            bucketed += points.len();
+        }
+        if bucketed != self.delta.inserts().len() {
+            return Err(format!(
+                "overlay blocks hold {bucketed} points, delta has {} inserts",
+                self.delta.inserts().len()
+            ));
+        }
+        for block in 0..base_blocks {
+            for p in self.block_points(block as BlockId) {
+                if self.delta.is_deleted(p.id) {
+                    return Err(format!(
+                        "tombstoned point {p} visible in base block {block}"
+                    ));
+                }
+            }
+        }
+        for p in self.delta.inserts() {
+            match self.locate(p) {
+                Some(at) if (at as usize) >= base_blocks => {
+                    if !self.block_points(at).iter().any(|q| q.id == p.id) {
+                        return Err(format!("insert {p} locates to block {at} not storing it"));
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "insert {p} must locate to its overlay block, got {other:?}"
+                    ))
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -289,8 +401,8 @@ impl SpatialIndex for RelationSnapshot {
     }
 
     fn block_points(&self, id: BlockId) -> &[Point] {
-        if Some(id) == self.overlay_block() {
-            return self.delta.inserts();
+        if let Some(ordinal) = (id as usize).checked_sub(self.base.num_blocks()) {
+            return self.delta.grid().cell_points(self.overlay_cells[ordinal]);
         }
         match self.tombstoned.get(&id) {
             Some(filtered) => filtered.as_slice(),
@@ -301,26 +413,27 @@ impl SpatialIndex for RelationSnapshot {
     fn locate(&self, p: &Point) -> Option<BlockId> {
         // Prefer the block that actually stores a point at these coordinates
         // (the trait's contract for overlapping footprints): results that
-        // came from inserted points must locate to the overlay block so that
-        // block-marking algorithms mark it as a Candidate.
-        if let Some(overlay) = self.overlay_block() {
-            let mbr = self.blocks[overlay as usize].mbr;
-            if mbr.contains(p)
-                && self
-                    .delta
-                    .inserts()
-                    .iter()
-                    .any(|q| q.x == p.x && q.y == p.y)
-            {
-                return Some(overlay);
-            }
+        // came from inserted points must locate to their overlay block so
+        // that block-marking algorithms mark it as a Candidate. The grid
+        // routes the check to the single cell `p`'s coordinates bucket into,
+        // so this is O(cell), not O(inserts).
+        if let Some(cell) = self.delta.grid().find_at(p) {
+            let ordinal = self
+                .overlay_cells
+                .binary_search(&cell)
+                .expect("a cell storing points has an overlay block");
+            return Some((self.base.num_blocks() + ordinal) as BlockId);
         }
         if let Some(block) = self.base.locate(p) {
             return Some(block);
         }
-        // Points outside the base bounds can still fall in the overlay.
-        self.overlay_block()
-            .filter(|overlay| self.blocks[*overlay as usize].mbr.contains(p))
+        // Points outside the base bounds can still fall inside an overlay
+        // block's footprint (overlay blocks only exist for occupied cells,
+        // so this scan is bounded by the grid's occupied-cell count).
+        self.blocks[self.base.num_blocks()..]
+            .iter()
+            .find(|meta| meta.mbr.contains(p))
+            .map(|meta| meta.id)
     }
 }
 
@@ -474,14 +587,18 @@ mod tests {
             .collect()
     }
 
-    fn snapshot_with(ops: &[WriteOp]) -> RelationSnapshot {
+    fn snapshot_with_config(ops: &[WriteOp], overlay: OverlayConfig) -> RelationSnapshot {
         let base: BaseIndex = Arc::new(GridIndex::build(scattered(300, 7), 6).unwrap());
-        let clean = RelationSnapshot::clean(base, 0);
+        let clean = RelationSnapshot::clean(base, 0, overlay);
         let mut delta = clean.delta().clone();
         for op in ops {
             delta.apply(op, |id| clean.base_ids().contains_key(&id));
         }
         clean.with_delta(delta, 1)
+    }
+
+    fn snapshot_with(ops: &[WriteOp]) -> RelationSnapshot {
+        snapshot_with_config(ops, OverlayConfig::default())
     }
 
     #[test]
@@ -503,11 +620,73 @@ mod tests {
             WriteOp::Upsert(Point::new(30, 1.0, 1.0)), // moves a base point
         ]);
         assert_eq!(snap.num_points(), 300 + 3 - 3);
-        assert_eq!(snap.num_blocks(), 37, "one overlay block for the inserts");
-        check_index_invariants(&snap).unwrap();
+        assert_eq!(
+            snap.num_blocks(),
+            37,
+            "a 3-insert delta fits one overlay cell"
+        );
+        assert_eq!(snap.overlay_block_count(), 1);
+        snap.check_overlay_invariants().unwrap();
         assert!(snap.contains_id(1_000));
         assert!(!snap.contains_id(10));
         assert!(snap.contains_id(30));
+    }
+
+    #[test]
+    fn write_bursts_partition_into_tight_overlay_blocks() {
+        // A clustered burst big enough to outgrow one cell: the overlay must
+        // split into multiple blocks whose MBRs hug the points, so MINDIST
+        // pruning keeps working for queries away from the burst.
+        let burst: Vec<WriteOp> = (0..400u64)
+            .map(|i| {
+                WriteOp::Upsert(Point::new(
+                    5_000 + i,
+                    60.0 + (i % 20) as f64 * 0.11,
+                    60.0 + (i / 20) as f64 * 0.13,
+                ))
+            })
+            .collect();
+        let snap = snapshot_with(&burst);
+        assert!(
+            snap.overlay_block_count() > 1,
+            "a 400-insert burst must partition, got {} overlay blocks",
+            snap.overlay_block_count()
+        );
+        snap.check_overlay_invariants().unwrap();
+        let base_blocks = snap.num_blocks() - snap.overlay_block_count();
+        for meta in &snap.blocks()[base_blocks..] {
+            assert!(
+                meta.mbr.width() <= 2.2 && meta.mbr.height() <= 2.6,
+                "overlay block {} MBR {} must stay tight around its cell",
+                meta.id,
+                meta.mbr
+            );
+        }
+        // The same ops under a fanout cap of 1 reproduce the single giant
+        // block (the ablation baseline) — equal contents, no partitioning.
+        let single = snapshot_with_config(
+            &burst,
+            OverlayConfig {
+                max_cells_per_axis: 1,
+                ..OverlayConfig::default()
+            },
+        );
+        assert_eq!(single.overlay_block_count(), 1);
+        single.check_overlay_invariants().unwrap();
+        assert_eq!(single.num_points(), snap.num_points());
+    }
+
+    #[test]
+    fn profile_is_memoized_per_snapshot() {
+        let snap = snapshot_with(&[WriteOp::Upsert(Point::new(900, 9.0, 9.0))]);
+        let first = snap.profile();
+        assert_eq!(first.num_points, 301);
+        assert_eq!(first, snap.profile(), "repeat calls hit the memo");
+        assert_eq!(
+            first,
+            crate::plan::RelationProfile::compute(&snap),
+            "the memo equals a fresh computation"
+        );
     }
 
     #[test]

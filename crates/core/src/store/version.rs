@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use twoknn_index::Metrics;
 
 use super::delta::{Delta, WriteOp};
+use super::overlay::OverlayConfig;
 use super::snapshot::{BaseIndex, IndexConfig, RelationSnapshot};
 
 /// Writer-side state: the ops applied since the current base was built.
@@ -45,6 +46,7 @@ pub struct VersionedRelation {
     compacting: AtomicBool,
     config: IndexConfig,
     compaction_threshold: usize,
+    overlay: OverlayConfig,
 }
 
 impl VersionedRelation {
@@ -53,14 +55,16 @@ impl VersionedRelation {
         base: BaseIndex,
         config: IndexConfig,
         compaction_threshold: usize,
+        overlay: OverlayConfig,
     ) -> Self {
         Self {
             name,
-            current: RwLock::new(Arc::new(RelationSnapshot::clean(base, 0))),
+            current: RwLock::new(Arc::new(RelationSnapshot::clean(base, 0, overlay))),
             writer: Mutex::new(WriterState { log: Vec::new() }),
             compacting: AtomicBool::new(false),
             config,
             compaction_threshold,
+            overlay,
         }
     }
 
@@ -166,12 +170,12 @@ impl VersionedRelation {
     pub(crate) fn publish_compacted(&self, base: BaseIndex, captured_len: usize) -> u64 {
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let prev = self.load();
-        let clean = RelationSnapshot::clean(base, prev.version() + 1);
+        let clean = RelationSnapshot::clean(base, prev.version() + 1, self.overlay);
         writer.log = writer.log.split_off(captured_len);
         let snapshot = if writer.log.is_empty() {
             clean
         } else {
-            let mut delta = Delta::new();
+            let mut delta = Delta::with_config(self.overlay);
             for op in &writer.log {
                 delta.apply(op, |id| clean.base_ids().contains_key(&id));
             }
@@ -254,6 +258,7 @@ mod tests {
             base,
             IndexConfig::Grid { cells_per_axis: 5 },
             threshold,
+            OverlayConfig::default(),
         )
     }
 

@@ -21,6 +21,7 @@ fn main() {
     // this example visibly triggers background rebuilds.
     let mut db = Database::with_store_config(StoreConfig {
         compaction_threshold: 4_000,
+        ..StoreConfig::default()
     });
     let vehicles = berlinmod(&BerlinModConfig::with_points(40_000, 21));
     db.register(

@@ -1,16 +1,19 @@
 //! Integration tests of the versioned relation store: catalog determinism,
 //! delta-overlay vs rebuilt-index equivalence across all three index
-//! families, and snapshot isolation under concurrent ingest with forced
-//! compactions.
+//! families (with the overlay forced into multiple grid cells), snapshot
+//! isolation under concurrent ingest with forced compactions, and the
+//! burst-pruning regression — a clustered write burst must not defeat
+//! MINDIST pruning the way the old single-block overlay did.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use two_knn::core::exec::available_threads;
-use two_knn::core::plan::{Database, QuerySpec};
+use two_knn::core::joins2::UnchainedJoinQuery;
+use two_knn::core::plan::{Database, QuerySpec, Strategy, TwoSelectsStrategy, UnchainedStrategy};
 use two_knn::core::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
 use two_knn::core::selects2::TwoSelectsQuery;
-use two_knn::core::store::{StoreConfig, WriteOp};
+use two_knn::core::store::{OverlayConfig, StoreConfig, WriteOp};
 use two_knn::core::WorkerPool;
 use two_knn::{GridIndex, Point, QuadtreeIndex, SpatialIndex, StrRTree};
 
@@ -172,9 +175,15 @@ fn delta_overlay_matches_rebuilt_index_across_all_index_families() {
     ];
 
     for (family, install) in families {
-        // A huge threshold: nothing compacts until we ask for it.
+        // A huge threshold (nothing compacts until we ask for it) and a tiny
+        // overlay cell target, so even this modest workload exercises a
+        // multi-cell partitioned overlay rather than one block.
         let mut db = Database::with_store_config(StoreConfig {
             compaction_threshold: usize::MAX,
+            overlay: OverlayConfig {
+                cell_target: 4,
+                max_cells_per_axis: 8,
+            },
         });
         install(&mut db);
         db.register("Sites", sites.clone());
@@ -185,7 +194,13 @@ fn delta_overlay_matches_rebuilt_index_across_all_index_families() {
             overlay_snap.delta_len() > 0,
             "{family}: the workload must leave a delta overlay"
         );
-        two_knn::index::check_index_invariants(&*overlay_snap)
+        assert!(
+            overlay_snap.overlay_block_count() > 1,
+            "{family}: the overlay must be partitioned, got {} block(s)",
+            overlay_snap.overlay_block_count()
+        );
+        overlay_snap
+            .check_overlay_invariants()
             .unwrap_or_else(|e| panic!("{family}: overlay invariants: {e}"));
         let overlay: Vec<_> = object_queries()
             .iter()
@@ -289,6 +304,7 @@ fn snapshot_isolation_holds_under_concurrent_ingest_and_compaction() {
         pool,
         StoreConfig {
             compaction_threshold: 3 * GEN_SIZE as usize,
+            ..StoreConfig::default()
         },
     );
     let mut db = db;
@@ -398,6 +414,7 @@ fn background_rebuild_runs_on_the_shared_pool_without_blocking_batches() {
         Arc::clone(&pool),
         StoreConfig {
             compaction_threshold: 40,
+            ..StoreConfig::default()
         },
     );
     db.register(
@@ -447,4 +464,255 @@ fn background_rebuild_runs_on_the_shared_pool_without_blocking_batches() {
         .map(|r| id_rows(&r.unwrap()))
         .collect();
     assert_eq!(during, after);
+}
+
+// ---------------------------------------------------------------------------
+// Burst pruning: a write burst must not defeat MINDIST pruning
+// ---------------------------------------------------------------------------
+
+/// A spatially clustered burst of fresh inserts: `n` tie-free points packed
+/// into a ~4×4 square around (60, 60) — the HTAP failure mode where a flood
+/// of position updates lands in one hot region between compactions.
+fn clustered_burst(n: usize, id_base: u64) -> Vec<WriteOp> {
+    (0..n as u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+            WriteOp::Upsert(Point::new(
+                id_base + i,
+                58.0 + (h % 40_000) as f64 * 0.0001,
+                58.0 + ((h / 40_000) % 40_000) as f64 * 0.0001,
+            ))
+        })
+        .collect()
+}
+
+/// The burst scenario's catalog: a quadtree-backed object relation (so the
+/// post-compaction rebuild adapts its blocks to the cluster) plus two small
+/// relations for the unchained join.
+fn burst_db(overlay: OverlayConfig) -> Database {
+    let mut db = Database::with_store_config(StoreConfig {
+        compaction_threshold: usize::MAX,
+        overlay,
+    });
+    db.register(
+        "Objects",
+        QuadtreeIndex::build(scattered(4_000, 0, 3), 32).unwrap(),
+    );
+    db.register(
+        "A",
+        GridIndex::build(scattered(150, 200_000, 5), 4).unwrap(),
+    );
+    db.register(
+        "C",
+        GridIndex::build(scattered(150, 300_000, 6), 4).unwrap(),
+    );
+    db
+}
+
+/// The queries the burst regression measures: a kNN-select pair focused
+/// inside the burst region and an unchained join over the bursting relation.
+fn burst_queries() -> Vec<(QuerySpec, Strategy)> {
+    vec![
+        (
+            QuerySpec::TwoSelects {
+                relation: "Objects".into(),
+                query: TwoSelectsQuery::new(
+                    8,
+                    Point::anonymous(60.0, 60.0),
+                    8,
+                    Point::anonymous(60.4, 60.4),
+                ),
+            },
+            Strategy::TwoSelects(TwoSelectsStrategy::TwoKnnSelect),
+        ),
+        (
+            QuerySpec::UnchainedJoins {
+                a: "A".into(),
+                b: "Objects".into(),
+                c: "C".into(),
+                query: UnchainedJoinQuery::new(2, 2),
+            },
+            Strategy::Unchained(UnchainedStrategy::BlockMarkingStartWithA),
+        ),
+    ]
+}
+
+/// Per-query `(rows, points_scanned, blocks_scanned)` under pinned
+/// strategies, so overlay and compacted runs measure identical plans.
+fn run_burst_queries(db: &Database) -> Vec<(Vec<Vec<u64>>, u64, u64)> {
+    burst_queries()
+        .iter()
+        .map(|(spec, strategy)| {
+            let result = db.execute_with(spec, *strategy).unwrap();
+            let m = result.metrics();
+            (id_rows(&result), m.points_scanned, m.blocks_scanned)
+        })
+        .collect()
+}
+
+#[test]
+fn clustered_burst_keeps_block_pruning_within_a_constant_factor() {
+    const BURST: usize = 10_000;
+    let burst = clustered_burst(BURST, 500_000);
+
+    // The partitioned (grid) overlay and the old single-block overlay
+    // (fanout cap 1), fed the identical burst with no compaction.
+    let grid_db = burst_db(OverlayConfig::default());
+    grid_db.ingest("Objects", &burst).unwrap();
+    let single_db = burst_db(OverlayConfig {
+        max_cells_per_axis: 1,
+        ..OverlayConfig::default()
+    });
+    single_db.ingest("Objects", &burst).unwrap();
+
+    let grid_snap = grid_db.relation("Objects").unwrap();
+    assert!(
+        grid_snap.overlay_block_count() > 1,
+        "the burst must partition into multiple overlay blocks"
+    );
+    grid_snap.check_overlay_invariants().unwrap();
+    assert_eq!(
+        single_db.relation("Objects").unwrap().overlay_block_count(),
+        1,
+        "fanout cap 1 must reproduce the single-block overlay"
+    );
+
+    let grid = run_burst_queries(&grid_db);
+    let single = run_burst_queries(&single_db);
+
+    // The compacted equivalent: fold the burst into a rebuilt base.
+    grid_db
+        .compact_now("Objects")
+        .unwrap()
+        .expect("delta is non-empty");
+    assert_eq!(grid_db.relation("Objects").unwrap().delta_len(), 0);
+    let compacted = run_burst_queries(&grid_db);
+
+    for (i, ((g_rows, g_pts, g_blocks), ((s_rows, s_pts, _), (c_rows, c_pts, c_blocks)))) in grid
+        .iter()
+        .zip(single.iter().zip(compacted.iter()))
+        .enumerate()
+    {
+        assert_eq!(
+            g_rows, s_rows,
+            "query {i}: overlay layout must not change results"
+        );
+        assert_eq!(
+            g_rows, c_rows,
+            "query {i}: compaction must not change results"
+        );
+        // The acceptance bound: with the partitioned overlay, block-visit
+        // work during the un-compacted burst stays within a constant factor
+        // of the freshly compacted index.
+        assert!(
+            *g_pts <= 3 * c_pts,
+            "query {i}: grid overlay scanned {g_pts} points vs {c_pts} compacted (> 3x)"
+        );
+        assert!(
+            *g_blocks <= 3 * c_blocks,
+            "query {i}: grid overlay scanned {g_blocks} blocks vs {c_blocks} compacted (> 3x)"
+        );
+        // The regression this PR fixes: the single-block overlay funnels
+        // the whole burst into every locality that touches the hot region.
+        // The in-cluster kNN-select blows straight through the 3x bound
+        // (~37x when this was written); the unchained join's outer points
+        // are scattered, so its penalty is diluted but still ≥ 2x the
+        // partitioned overlay's work.
+        if i == 0 {
+            assert!(
+                *s_pts > 3 * c_pts,
+                "query {i}: single-block overlay scanned only {s_pts} points vs {c_pts} \
+                 compacted — the regression scenario no longer discriminates"
+            );
+        }
+        assert!(
+            *s_pts >= 2 * g_pts,
+            "query {i}: single-block overlay ({s_pts} points) must cost ≥ 2x the \
+             partitioned overlay ({g_pts} points)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental overlay maintenance never drifts from a from-scratch rebuild
+// ---------------------------------------------------------------------------
+
+#[test]
+fn incremental_overlay_maintenance_matches_from_scratch_rebuilds() {
+    // Many small batches of mixed inserts / moves / removes, applied through
+    // the incremental copy-on-write path. After every batch the published
+    // snapshot must uphold the exact-count/tight-MBR overlay invariants
+    // (counts or MBRs drifting from the true cell contents is precisely the
+    // bug class this guards), and reads must equal a from-scratch database
+    // over the same visible points.
+    let mut db = Database::with_store_config(StoreConfig {
+        compaction_threshold: usize::MAX,
+        overlay: OverlayConfig {
+            cell_target: 8,
+            max_cells_per_axis: 16,
+        },
+    });
+    db.register(
+        "Objects",
+        GridIndex::build(scattered(600, 0, 21), 6).unwrap(),
+    );
+
+    let spec = QuerySpec::TwoSelects {
+        relation: "Objects".into(),
+        query: TwoSelectsQuery::new(
+            5,
+            Point::anonymous(40.0, 40.0),
+            25,
+            Point::anonymous(70.0, 30.0),
+        ),
+    };
+    for round in 0u64..12 {
+        let mut ops = Vec::new();
+        // Fresh clustered inserts drifting across the space round by round.
+        for (i, p) in scattered(40, 10_000 + round * 1_000, round + 1)
+            .into_iter()
+            .enumerate()
+        {
+            ops.push(WriteOp::Upsert(Point::new(
+                p.id,
+                p.x * 0.3 + round as f64 * 7.0,
+                p.y * 0.3 + round as f64 * 5.0,
+            )));
+            if i % 4 == 0 {
+                // Move a point inserted in an earlier round (if present).
+                ops.push(WriteOp::Upsert(Point::new(
+                    10_000 + round.saturating_sub(1) * 1_000 + i as u64,
+                    p.y * 0.3,
+                    p.x * 0.3,
+                )));
+            }
+            if i % 5 == 0 {
+                ops.push(WriteOp::Remove(
+                    10_000 + round.saturating_sub(1) * 1_000 + i as u64,
+                ));
+                ops.push(WriteOp::Remove(i as u64 * 11)); // base tombstones
+            }
+        }
+        db.ingest("Objects", &ops).unwrap();
+
+        let snap = db.relation("Objects").unwrap();
+        snap.check_overlay_invariants()
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+
+        // A from-scratch database over the merged visible points must agree.
+        let mut fresh = Database::new();
+        fresh.register(
+            "Objects",
+            GridIndex::build_with_bounds(snap.merged_points(), snap.bounds(), 6).unwrap(),
+        );
+        assert_eq!(
+            id_rows(&db.execute(&spec).unwrap()),
+            id_rows(&fresh.execute(&spec).unwrap()),
+            "round {round}: incremental overlay reads drifted from a rebuild"
+        );
+    }
+    assert!(
+        db.relation("Objects").unwrap().overlay_block_count() > 1,
+        "the workload must have exercised a partitioned overlay"
+    );
 }
