@@ -25,6 +25,12 @@ pub enum QueryError {
         /// Human-readable description of the offending shape.
         description: String,
     },
+    /// A continuous-query call referenced a subscription id that was never
+    /// issued or has been unsubscribed.
+    UnknownSubscription {
+        /// The raw subscription id.
+        id: u64,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -39,6 +45,9 @@ impl std::fmt::Display for QueryError {
             QueryError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
             QueryError::UnsupportedPlanShape { description } => {
                 write!(f, "unsupported plan shape: {description}")
+            }
+            QueryError::UnknownSubscription { id } => {
+                write!(f, "unknown subscription `sub#{id}`")
             }
         }
     }
@@ -68,5 +77,8 @@ mod tests {
         }
         .to_string()
         .contains("three joins"));
+        assert!(QueryError::UnknownSubscription { id: 9 }
+            .to_string()
+            .contains("sub#9"));
     }
 }

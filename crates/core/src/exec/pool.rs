@@ -66,6 +66,37 @@ struct Queue {
 struct PoolShared {
     queue: Mutex<Queue>,
     job_ready: Condvar,
+    /// Detached ([`WorkerPool::spawn`]) jobs submitted and not yet finished.
+    /// `broadcast` scopes are synchronous and never counted here.
+    detached: Mutex<usize>,
+    /// Signalled whenever `detached` drops to zero — what
+    /// [`WorkerPool::wait_idle`] parks on.
+    idle: Condvar,
+}
+
+/// Counts one detached job as in-flight for its whole lifetime. Decrements on
+/// drop, so a panicking job (unwound under `catch_unwind`) still checks out.
+struct DetachedToken {
+    shared: Arc<PoolShared>,
+}
+
+impl DetachedToken {
+    fn check_in(shared: &Arc<PoolShared>) -> Self {
+        *lock_ignore_poison(&shared.detached) += 1;
+        Self {
+            shared: Arc::clone(shared),
+        }
+    }
+}
+
+impl Drop for DetachedToken {
+    fn drop(&mut self) {
+        let mut in_flight = lock_ignore_poison(&self.shared.detached);
+        *in_flight -= 1;
+        if *in_flight == 0 {
+            self.shared.idle.notify_all();
+        }
+    }
 }
 
 /// Completion tracking for one `broadcast` call.
@@ -158,6 +189,8 @@ impl WorkerPool {
                     shutdown: false,
                 }),
                 job_ready: Condvar::new(),
+                detached: Mutex::new(0),
+                idle: Condvar::new(),
             }),
             parallelism: parallelism.max(1),
             spawn: Once::new(),
@@ -329,11 +362,13 @@ impl WorkerPool {
     /// * a panic in a detached job is caught and **discarded** (the worker
     ///   survives); jobs that must react to failure catch it themselves.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let token = DetachedToken::check_in(&self.shared);
         if self.parallelism == 1 {
             // No workers exist; bind so nested Pooled-mode work still
             // budgets against this pool.
             let _bind = CurrentPoolGuard::enter(self.self_ref.clone());
             let _ = catch_unwind(AssertUnwindSafe(job));
+            drop(token);
             return;
         }
         self.ensure_workers();
@@ -351,10 +386,38 @@ impl WorkerPool {
             let mut queue = lock_ignore_poison(&self.shared.queue);
             queue.jobs.push_back(QueuedJob {
                 scope,
-                job: Box::new(job),
+                // The token moves into the job: it checks out when the job
+                // body returns — or unwinds — on whichever worker ran it.
+                job: Box::new(move || {
+                    let _in_flight = token;
+                    job();
+                }),
             });
         }
         self.shared.job_ready.notify_one();
+    }
+
+    /// Blocks until every detached job ([`WorkerPool::spawn`]) submitted to
+    /// this pool has finished — including jobs that other jobs spawn while
+    /// the caller waits (the in-flight count only reaches zero once the
+    /// whole cascade has drained).
+    ///
+    /// This is the deterministic replacement for sleep/poll loops around
+    /// background compaction and continuous-query maintenance: after
+    /// `wait_idle` returns, every maintenance effect scheduled so far is
+    /// published. `broadcast` work is synchronous and never waited on here.
+    ///
+    /// Must not be called from inside a detached job of the same pool (the
+    /// caller would wait for itself).
+    pub fn wait_idle(&self) {
+        let mut in_flight = lock_ignore_poison(&self.shared.detached);
+        while *in_flight > 0 {
+            in_flight = self
+                .shared
+                .idle
+                .wait(in_flight)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
     }
 
     /// Spawns the worker threads exactly once.
@@ -672,6 +735,56 @@ mod tests {
             );
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn wait_idle_waits_for_every_detached_job() {
+        let pool = WorkerPool::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..24 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 24);
+        // Idempotent on an idle pool.
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn wait_idle_covers_jobs_spawned_by_jobs() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let inner_done = Arc::clone(&done);
+        let inner_pool = Arc::clone(&pool);
+        pool.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            // A cascading detached job checked in while the first is still
+            // in flight: wait_idle must cover it too.
+            inner_pool.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                inner_done.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_idle_survives_panicking_detached_jobs() {
+        let pool = WorkerPool::new(2);
+        pool.spawn(|| panic!("intentional detached panic"));
+        pool.wait_idle(); // the panicked job must still check out
+        let ran = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&ran);
+        pool.spawn(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! |---|---|
 //! | [`plan`] | logical plans, statistics, optimizer, physical operators, and the [`plan::Database`] driver |
 //! | [`store`] | versioned relation store: snapshot reads, delta ingest, background index rebuilds on the worker pool |
+//! | [`cq`] | continuous queries: standing two-kNN queries, guard-region registry, incremental maintenance over ingest |
 //! | [`exec`] | execution modes and the persistent [`WorkerPool`] shared by batches, operators, and compactions |
 //! | [`output`] | typed result rows ([`Pair`], [`Triplet`]) and the output container |
 //! | [`error`] | the [`QueryError`] taxonomy |
@@ -73,6 +74,7 @@
 // `#[allow(unsafe_code)]` next to its safety proof.
 #![deny(unsafe_code)]
 
+pub mod cq;
 pub mod error;
 pub mod exec;
 pub mod join;
@@ -84,6 +86,7 @@ pub mod select_join;
 pub mod selects2;
 pub mod store;
 
+pub use cq::{MaintenancePolicy, ResultDelta, SubscriptionId};
 pub use error::QueryError;
 pub use exec::{ExecutionMode, WorkerPool};
 pub use output::{Pair, QueryOutput, Triplet};

@@ -22,11 +22,12 @@
 //! rebuild is scheduled on the same pool. Readers never block on either —
 //! they keep their pinned snapshots.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use twoknn_geometry::{Point, PointId};
 use twoknn_index::Metrics;
 
+use crate::cq::{CqEngine, MaintenancePolicy, ResultDelta, SubscriptionId};
 use crate::error::QueryError;
 use crate::exec::{ExecutionMode, WorkerPool};
 use crate::joins2::{ChainedJoinQuery, UnchainedJoinQuery};
@@ -43,21 +44,26 @@ use crate::store::{
 
 /// A named catalog of versioned, indexed relations.
 pub struct Database {
-    store: RelationStore,
+    store: Arc<RelationStore>,
     optimizer: Optimizer,
     /// The worker pool batch execution **and** background compaction
     /// schedule on. Defaults to the process-wide shared pool, so batch-level
     /// query tasks, operator-level block tasks and store rebuild jobs share
     /// one queue and one thread budget.
     pool: Arc<WorkerPool>,
+    /// The continuous-query engine, created lazily on the first
+    /// subscription so databases that never subscribe pay nothing on the
+    /// ingest path.
+    cq: OnceLock<Arc<CqEngine>>,
 }
 
 impl Default for Database {
     fn default() -> Self {
         Self {
-            store: RelationStore::default(),
+            store: Arc::new(RelationStore::default()),
             optimizer: Optimizer::default(),
             pool: Arc::clone(WorkerPool::global()),
+            cq: OnceLock::new(),
         }
     }
 }
@@ -112,6 +118,21 @@ pub enum QuerySpec {
         /// Query parameters.
         query: TwoSelectsQuery,
     },
+}
+
+impl QuerySpec {
+    /// The names of the relations this query references, in role order
+    /// (duplicates preserved when one relation plays several roles).
+    pub fn relations(&self) -> Vec<&str> {
+        match self {
+            QuerySpec::SelectInnerOfJoin { outer, inner, .. }
+            | QuerySpec::SelectOuterOfJoin { outer, inner, .. } => vec![outer, inner],
+            QuerySpec::UnchainedJoins { a, b, c, .. } | QuerySpec::ChainedJoins { a, b, c, .. } => {
+                vec![a, b, c]
+            }
+            QuerySpec::TwoSelects { relation, .. } => vec![relation],
+        }
+    }
 }
 
 /// The result of executing a [`QuerySpec`], tagged by its row type, together
@@ -218,7 +239,7 @@ impl Database {
     /// compaction threshold for ingest-heavy tests).
     pub fn with_store_config(config: StoreConfig) -> Self {
         Self {
-            store: RelationStore::new(config),
+            store: Arc::new(RelationStore::new(config)),
             ..Self::default()
         }
     }
@@ -227,7 +248,7 @@ impl Database {
     /// store tuning.
     pub fn with_pool_and_store_config(pool: Arc<WorkerPool>, config: StoreConfig) -> Self {
         Self {
-            store: RelationStore::new(config),
+            store: Arc::new(RelationStore::new(config)),
             pool,
             ..Self::default()
         }
@@ -260,7 +281,16 @@ impl Database {
         I: StoredIndex,
     {
         let config = index.rebuild_config();
-        self.store.register(name, Arc::new(index), config)
+        let name = name.into();
+        let replaced = self.store.register(name.clone(), Arc::new(index), config);
+        // A wholesale (re-)registration has no per-write positions to
+        // probe: every standing query on the relation re-evaluates. This
+        // must not be gated on `replaced` — a deregister-then-register
+        // cycle replaces the data just as much as an in-place replacement.
+        if let Some(cq) = self.cq.get() {
+            cq.reevaluate_all_on(&name);
+        }
+        replaced
     }
 
     /// Registers (or replaces) a relation with an explicit compaction
@@ -276,7 +306,12 @@ impl Database {
     where
         I: twoknn_index::SpatialIndex + Send + Sync + 'static,
     {
-        self.store.register(name, Arc::new(index), config)
+        let name = name.into();
+        let replaced = self.store.register(name.clone(), Arc::new(index), config);
+        if let Some(cq) = self.cq.get() {
+            cq.reevaluate_all_on(&name);
+        }
+        replaced
     }
 
     /// Removes a relation from the catalog, returning its last published
@@ -321,8 +356,29 @@ impl Database {
     /// threshold, a background rebuild is scheduled on this database's
     /// [`WorkerPool`] (on a parallelism-1 pool the rebuild runs inline —
     /// see [`WorkerPool::spawn`]).
+    ///
+    /// If standing queries are registered ([`Database::subscribe`]), the
+    /// published batch is handed to the continuous-query maintainer: it
+    /// probes the guard registry with the batch's effective write positions
+    /// and re-evaluates only the subscriptions a write could actually
+    /// affect (the rest are counted as `cq_skips`).
     pub fn ingest(&self, name: &str, ops: &[WriteOp]) -> Result<(usize, u64), QueryError> {
-        self.store.ingest(name, ops, &self.pool)
+        let receipt = self.ingest_receipt(name, ops)?;
+        Ok((receipt.effective, receipt.version))
+    }
+
+    /// The shared ingest step: applies the batch through the store, then
+    /// notifies the continuous-query maintainer (if any) of the publish.
+    fn ingest_receipt(
+        &self,
+        name: &str,
+        ops: &[WriteOp],
+    ) -> Result<crate::store::IngestReceipt, QueryError> {
+        let receipt = self.store.ingest_with_receipt(name, ops, &self.pool)?;
+        if let Some(cq) = self.cq.get() {
+            cq.on_publish(name, ops, &receipt);
+        }
+        Ok(receipt)
     }
 
     /// Inserts a point (replacing any existing point with the same id).
@@ -341,10 +397,8 @@ impl Database {
     /// first insert. The answer is computed under the relation's writer
     /// lock, so it is exact even with concurrent writers.
     pub fn update(&self, name: &str, point: Point) -> Result<bool, QueryError> {
-        let (_, _, visible) =
-            self.store
-                .ingest_with_visibility(name, &[WriteOp::Upsert(point)], &self.pool)?;
-        Ok(visible[0])
+        let receipt = self.ingest_receipt(name, &[WriteOp::Upsert(point)])?;
+        Ok(receipt.visible_before[0])
     }
 
     /// Synchronously compacts a relation on the calling thread (the gather
@@ -356,9 +410,84 @@ impl Database {
     }
 
     /// The store's cumulative work counters: `ingest_ops`, `compactions`
-    /// (the epoch counter) and rebuild scan work.
+    /// (the epoch counter), rebuild scan work, and continuous-query
+    /// maintenance (`cq_reevals` / `cq_skips`, plus the kNN/block work the
+    /// maintainer's re-evaluations performed).
     pub fn store_metrics(&self) -> Metrics {
         self.store.metrics()
+    }
+
+    // -----------------------------------------------------------------
+    // Continuous queries
+    // -----------------------------------------------------------------
+
+    /// The lazily-created continuous-query engine.
+    fn cq(&self) -> &Arc<CqEngine> {
+        self.cq.get_or_init(|| {
+            Arc::new(CqEngine::new(
+                Arc::clone(&self.store),
+                Arc::clone(&self.pool),
+                Arc::clone(self.store.metrics_handle()),
+            ))
+        })
+    }
+
+    /// Registers a **standing query**: compiles it once (with `strategy`,
+    /// or the optimizer's current choice when `None`), evaluates it against
+    /// the current snapshot, and registers a guard region per referenced
+    /// relation so subsequent [`Database::ingest`] batches re-evaluate it
+    /// only when a write could actually change its answer.
+    ///
+    /// The initial evaluation is emitted as the subscription's first
+    /// [`ResultDelta`] (all rows `added`), so folding every polled delta in
+    /// order reconstructs the standing query's current result from nothing.
+    /// Re-evaluations run as detached jobs on this database's
+    /// [`WorkerPool`]; [`WorkerPool::wait_idle`] deterministically awaits
+    /// them (on a parallelism-1 pool they run inline in `ingest`).
+    ///
+    /// The pinned strategy is not re-optimized as the data drifts;
+    /// re-subscribe to re-plan. Deltas are keyed by row point-ids — a
+    /// retained row whose points merely moved is not re-reported.
+    pub fn subscribe(
+        &self,
+        spec: &QuerySpec,
+        strategy: Option<Strategy>,
+    ) -> Result<SubscriptionId, QueryError> {
+        let strategy = match strategy {
+            Some(s) => s,
+            None => self.plan(spec)?,
+        };
+        self.cq().subscribe(spec.clone(), strategy)
+    }
+
+    /// Drains a subscription's emitted-and-unpolled [`ResultDelta`]s, in
+    /// emission order. Empty when nothing changed since the last poll.
+    pub fn poll(&self, id: SubscriptionId) -> Result<Vec<ResultDelta>, QueryError> {
+        self.cq().poll(id)
+    }
+
+    /// Drops a standing query; its pending deltas are discarded.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> Result<(), QueryError> {
+        self.cq().unsubscribe(id)
+    }
+
+    /// A subscription's current maintained result (rows sorted by id
+    /// tuple) and the highest relation version it reflects — what folding
+    /// all its deltas reconstructs.
+    pub fn subscription_result(&self, id: SubscriptionId) -> Result<(Vec<Row>, u64), QueryError> {
+        self.cq().result(id)
+    }
+
+    /// Number of registered standing queries.
+    pub fn subscription_count(&self) -> usize {
+        self.cq.get().map(|cq| cq.len()).unwrap_or(0)
+    }
+
+    /// Switches the maintainer between guarded maintenance (the default)
+    /// and the naive re-evaluate-all baseline — the ablation knob
+    /// `ablation_cq` sweeps.
+    pub fn set_cq_policy(&self, policy: MaintenancePolicy) {
+        self.cq().set_policy(policy);
     }
 
     /// Executes a query, letting the optimizer pick the strategy and using

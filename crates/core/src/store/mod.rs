@@ -52,6 +52,8 @@ pub use overlay::OverlayConfig;
 pub use snapshot::{BaseIndex, IndexConfig, RelationSnapshot, StoredIndex};
 pub use version::VersionedRelation;
 
+pub(crate) use version::IngestReceipt;
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
@@ -211,27 +213,28 @@ impl RelationStore {
         ops: &[WriteOp],
         pool: &Arc<WorkerPool>,
     ) -> Result<(usize, u64), QueryError> {
-        let (effective, version, _) = self.ingest_with_visibility(name, ops, pool)?;
-        Ok((effective, version))
+        let receipt = self.ingest_with_receipt(name, ops, pool)?;
+        Ok((receipt.effective, receipt.version))
     }
 
-    /// [`RelationStore::ingest`], additionally reporting — per op, race-free
-    /// under the relation's writer lock — whether the op's id was visible
-    /// immediately before it.
-    pub(crate) fn ingest_with_visibility(
+    /// [`RelationStore::ingest`], additionally reporting — race-free under
+    /// the relation's writer lock — the full [`IngestReceipt`]: per-op
+    /// visibility/effectiveness and the pre/post snapshots the
+    /// continuous-query maintainer probes guards with.
+    pub(crate) fn ingest_with_receipt(
         &self,
         name: &str,
         ops: &[WriteOp],
         pool: &Arc<WorkerPool>,
-    ) -> Result<(usize, u64, Vec<bool>), QueryError> {
+    ) -> Result<IngestReceipt, QueryError> {
         let rel = self.get(name)?;
-        let (effective, version, visible_before) = rel.ingest_with_visibility(ops);
+        let receipt = rel.ingest_with_receipt(ops);
         {
             let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
-            m.ingest_ops += effective as u64;
+            m.ingest_ops += receipt.effective as u64;
         }
         compact::schedule_compaction(&rel, pool, &self.metrics);
-        Ok((effective, version, visible_before))
+        Ok(receipt)
     }
 
     /// Synchronously compacts `name` on the calling thread (the gather phase
@@ -243,8 +246,36 @@ impl RelationStore {
         Ok(compact::compact_relation(&rel, pool, &self.metrics))
     }
 
+    /// Pins the current snapshot of the named relations only — what a
+    /// standing-query re-evaluation needs, without paying for the whole
+    /// catalog. Same per-relation (not cross-relation-instant) guarantee as
+    /// [`RelationStore::pin`].
+    pub(crate) fn pin_many(&self, names: &[&str]) -> Result<DbSnapshot, QueryError> {
+        let relations = self
+            .relations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut pinned = HashMap::with_capacity(names.len());
+        for &name in names {
+            let rel = relations
+                .get(name)
+                .ok_or_else(|| QueryError::UnknownRelation {
+                    name: name.to_string(),
+                })?;
+            pinned.insert(name.to_string(), rel.load());
+        }
+        Ok(DbSnapshot { relations: pinned })
+    }
+
+    /// The shared handle to the store's cumulative counters — the
+    /// continuous-query maintainer merges its `cq_reevals` / `cq_skips`
+    /// into the same record [`RelationStore::metrics`] reports.
+    pub(crate) fn metrics_handle(&self) -> &Arc<Mutex<Metrics>> {
+        &self.metrics
+    }
+
     /// A copy of the store's cumulative work counters (`ingest_ops`,
-    /// `compactions`, rebuild scan work).
+    /// `compactions`, rebuild scan work, continuous-query maintenance).
     pub fn metrics(&self) -> Metrics {
         *self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
     }

@@ -287,6 +287,26 @@ impl RelationSnapshot {
             || (self.base_ids.contains_key(&id) && !self.delta.is_deleted(id))
     }
 
+    /// The visible position of the point with `id`, if any — an O(block)
+    /// lookup (overlay inserts by binary search, base points via the
+    /// id → block map). The continuous-query maintainer uses this on the
+    /// pre-ingest snapshot to recover the *old* position of moved or
+    /// removed points for guard probing.
+    pub fn position_of(&self, id: PointId) -> Option<Point> {
+        if let Some(p) = self.delta.inserted(id) {
+            return Some(*p);
+        }
+        if self.delta.is_deleted(id) {
+            return None;
+        }
+        let block = *self.base_ids.get(&id)?;
+        self.base
+            .block_points(block)
+            .iter()
+            .find(|p| p.id == id)
+            .copied()
+    }
+
     /// Number of overlay blocks (occupied overlay-grid cells) this snapshot
     /// exposes after its base blocks.
     pub fn overlay_block_count(&self) -> usize {

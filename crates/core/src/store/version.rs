@@ -37,6 +37,29 @@ struct WriterState {
     log: Vec<WriteOp>,
 }
 
+/// Everything one ingest batch produced, captured race-free under the
+/// relation's writer lock: per-op outcomes plus the snapshots on either side
+/// of the publish. The continuous-query maintainer consumes `prev` (to
+/// recover old positions of moved/removed points) and `published` (the
+/// version standing queries re-evaluate against).
+pub(crate) struct IngestReceipt {
+    /// Number of ops that changed the visible point set.
+    pub effective: usize,
+    /// The published snapshot's version.
+    pub version: u64,
+    /// Per op: whether it changed the visible point set.
+    pub changed: Vec<bool>,
+    /// Per op: whether the op's id was visible immediately before it
+    /// (within the batch: earlier ops of the same batch count).
+    pub visible_before: Vec<bool>,
+    /// The snapshot the batch was applied to — the pre-publish state the
+    /// maintainer recovers old positions from. (Re-evaluations deliberately
+    /// pin the *current* snapshot rather than the published one, so later
+    /// evaluations always cover earlier publishes; the receipt therefore
+    /// does not carry the published snapshot itself.)
+    pub prev: Arc<RelationSnapshot>,
+}
+
 /// A relation whose current snapshot is replaced, never mutated.
 pub struct VersionedRelation {
     name: String,
@@ -106,15 +129,16 @@ impl VersionedRelation {
     /// [`VersionedRelation::ingest_with_visibility`], which this wraps.)
     #[cfg(test)]
     pub(crate) fn ingest(&self, ops: &[WriteOp]) -> (usize, u64) {
-        let (effective, version, _) = self.ingest_with_visibility(ops);
-        (effective, version)
+        let receipt = self.ingest_with_receipt(ops);
+        (receipt.effective, receipt.version)
     }
 
     /// [`VersionedRelation::ingest`], additionally reporting — per op,
-    /// race-free under the writer lock — whether the op's id was visible
-    /// immediately before it (`Database::update` uses this for its return
-    /// value).
-    pub(crate) fn ingest_with_visibility(&self, ops: &[WriteOp]) -> (usize, u64, Vec<bool>) {
+    /// race-free under the writer lock — the full [`IngestReceipt`]:
+    /// visibility before each op (`Database::update` uses this for its
+    /// return value) and the pre/post snapshots (the continuous-query
+    /// maintainer uses these for guard probing).
+    pub(crate) fn ingest_with_receipt(&self, ops: &[WriteOp]) -> IngestReceipt {
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let prev = self.load();
         let version = prev.version() + 1;
@@ -136,7 +160,13 @@ impl VersionedRelation {
         }
         let effective = outcome.effective();
         self.publish(snapshot);
-        (effective, version, outcome.visible_before)
+        IngestReceipt {
+            effective,
+            version,
+            changed: outcome.changed,
+            visible_before: outcome.visible_before,
+            prev,
+        }
     }
 
     /// Whether the current delta has outgrown the compaction threshold and
@@ -310,13 +340,15 @@ mod tests {
         assert_eq!(rel.load().delta_len(), 0);
         assert_eq!(log_len(&rel), 0);
         // visible_before is exact, including within one batch.
-        let (_, _, visible) = rel.ingest_with_visibility(&[
+        let receipt = rel.ingest_with_receipt(&[
             WriteOp::Upsert(Point::new(888, 2.0, 2.0)), // fresh id
             WriteOp::Upsert(Point::new(888, 3.0, 3.0)), // now visible
             WriteOp::Remove(888),
             WriteOp::Upsert(Point::new(0, 4.0, 4.0)), // base id: visible
         ]);
-        assert_eq!(visible, vec![false, true, true, true]);
+        assert_eq!(receipt.visible_before, vec![false, true, true, true]);
+        assert_eq!(receipt.changed.len(), 4);
+        assert_eq!(receipt.prev.version() + 1, receipt.version);
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub struct Metrics {
     /// Number of background index rebuilds (compactions) published — each one
     /// advances a relation's snapshot epoch.
     pub compactions: u64,
+    /// Number of standing-query re-evaluations scheduled by the
+    /// continuous-query maintainer (a publish intersected the subscription's
+    /// guard region, or the engine runs in re-evaluate-all mode).
+    pub cq_reevals: u64,
+    /// Number of standing-query re-evaluations *skipped* because the publish
+    /// provably could not change the subscription's result (every write fell
+    /// outside its guard region) — the guard's pruning power, observable.
+    pub cq_skips: u64,
 }
 
 impl Metrics {
@@ -82,6 +90,8 @@ impl std::ops::AddAssign for Metrics {
         self.points_pruned += rhs.points_pruned;
         self.ingest_ops += rhs.ingest_ops;
         self.compactions += rhs.compactions;
+        self.cq_reevals += rhs.cq_reevals;
+        self.cq_skips += rhs.cq_skips;
     }
 }
 
@@ -99,7 +109,7 @@ impl std::fmt::Display for Metrics {
         write!(
             f,
             "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} cache={}/{} \
-             ingest={} compactions={}",
+             ingest={} compactions={} cq={}/{}",
             self.neighborhoods_computed,
             self.blocks_scanned,
             self.points_scanned,
@@ -111,6 +121,8 @@ impl std::fmt::Display for Metrics {
             self.cache_hits + self.cache_misses,
             self.ingest_ops,
             self.compactions,
+            self.cq_reevals,
+            self.cq_reevals + self.cq_skips,
         )
     }
 }
@@ -134,12 +146,16 @@ mod tests {
             points_pruned: 10,
             ingest_ops: 11,
             compactions: 12,
+            cq_reevals: 13,
+            cq_skips: 14,
         };
         a += a;
         assert_eq!(a.neighborhoods_computed, 2);
         assert_eq!(a.points_pruned, 20);
         assert_eq!(a.ingest_ops, 22);
         assert_eq!(a.compactions, 24);
+        assert_eq!(a.cq_reevals, 26);
+        assert_eq!(a.cq_skips, 28);
         assert_eq!(a.work(), 2 + 4);
     }
 

@@ -8,10 +8,19 @@
 //! the compaction threshold, a background rebuild of the index is scheduled
 //! on the shared worker pool and the fresh base is atomically published.
 //!
+//! The dispatch query also runs as a **standing query**
+//! ([`Database::subscribe`]): instead of re-running it from scratch every
+//! tick, the continuous-query maintainer probes each published batch
+//! against the subscription's guard region, re-evaluates only when a
+//! vehicle movement could actually change the answer, and emits the
+//! changed rows as [`ResultDelta`]s — the streaming monitor below just
+//! polls and prints them.
+//!
 //! Run with: `cargo run --release --features parallel --example moving_objects`
 
 use two_knn::core::plan::{Database, QuerySpec};
 use two_knn::core::select_join::SelectInnerJoinQuery;
+use two_knn::core::selects2::TwoSelectsQuery;
 use two_knn::core::store::{StoreConfig, WriteOp};
 use two_knn::datagen::{berlinmod, BerlinModConfig};
 use two_knn::{GridIndex, Point, SpatialIndex};
@@ -46,6 +55,25 @@ fn main() {
         query: SelectInnerJoinQuery::new(2, 32, hotspot),
     };
 
+    // Standing queries: the dispatch query itself, plus an accident-hotspot
+    // monitor. Both are evaluated once here; afterwards the maintainer
+    // re-evaluates them only when a published batch intersects their guard
+    // regions (cq_reevals vs cq_skips below).
+    let dispatch = db.subscribe(&spec, None).expect("subscribe dispatch");
+    let monitor_spec = QuerySpec::TwoSelects {
+        relation: "Vehicles".into(),
+        query: TwoSelectsQuery::new(6, hotspot, 48, Point::anonymous(50_600.0, 48_900.0)),
+    };
+    let monitor = db
+        .subscribe(&monitor_spec, None)
+        .expect("subscribe monitor");
+    let initial = db.poll(monitor).expect("initial monitor delta");
+    println!(
+        "standing queries registered: dispatch {dispatch}, hotspot monitor {monitor} \
+         ({} vehicles initially on watch)\n",
+        initial.iter().map(|d| d.added.len()).sum::<usize>(),
+    );
+
     println!(
         "{} vehicles streaming positions, {} stations, compaction threshold {}\n",
         db.relation("Vehicles").unwrap().num_points(),
@@ -53,8 +81,8 @@ fn main() {
         db.store().config().compaction_threshold,
     );
     println!(
-        "{:>5} {:>10} {:>9} {:>12} {:>12} {:>8}",
-        "tick", "version", "delta", "compactions", "rows", "ms"
+        "{:>5} {:>10} {:>9} {:>12} {:>12} {:>8} {:>14} {:>14}",
+        "tick", "version", "delta", "compactions", "rows", "ms", "cq re/skip", "monitor Δ"
     );
 
     // Ten ticks of the position stream: every tick, 1500 vehicles report a
@@ -76,16 +104,34 @@ fn main() {
         let result = db.execute(&spec).unwrap();
         let ms = start.elapsed().as_secs_f64() * 1e3;
 
+        // Drain this tick's maintenance, then poll the monitor's deltas —
+        // the push-style view of the same data the query above recomputed.
+        db.pool().wait_idle();
+        let deltas = db.poll(monitor).unwrap();
+        let (entered, left) = deltas.iter().fold((0usize, 0usize), |(a, r), d| {
+            (a + d.added.len(), r + d.removed.len())
+        });
+
         let snap = db.relation("Vehicles").unwrap();
+        let m = db.store_metrics();
         println!(
-            "{tick:>5} {:>10} {:>9} {:>12} {:>12} {:>8.1}",
+            "{tick:>5} {:>10} {:>9} {:>12} {:>12} {:>8.1} {:>14} {:>14}",
             snap.version(),
             snap.delta_len(),
-            db.store_metrics().compactions,
+            m.compactions,
             result.num_rows(),
-            ms
+            ms,
+            format!("{}/{}", m.cq_reevals, m.cq_skips),
+            format!("+{entered}/-{left}"),
         );
     }
+
+    let (dispatch_rows, dispatch_version) = db.subscription_result(dispatch).unwrap();
+    println!(
+        "\ndispatch standing query: {} maintained rows at version {dispatch_version} \
+         (no re-execution needed to read them)",
+        dispatch_rows.len(),
+    );
 
     // Drain whatever delta remains and show the final, fully compacted state.
     while db.relation("Vehicles").unwrap().delta_len() > 0 {

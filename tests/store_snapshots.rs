@@ -373,19 +373,12 @@ fn snapshot_isolation_holds_under_concurrent_ingest_and_compaction() {
         assert!(batches > 0, "the reader must have raced the writer");
     });
 
-    // Quiesce: wait for any in-flight background rebuild to publish, then
-    // drain the remaining delta synchronously and verify the final state.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
-    loop {
+    // Quiesce deterministically: `wait_idle` blocks until every detached
+    // rebuild job has published (no sleep/poll loop), then the remaining
+    // delta drains synchronously.
+    db.pool().wait_idle();
+    while db.relation("Objects").unwrap().delta_len() > 0 {
         db.compact_now("Objects").unwrap();
-        if db.relation("Objects").unwrap().delta_len() == 0 {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "store did not quiesce: delta never drained"
-        );
-        std::thread::yield_now();
     }
     let final_result = db.execute(&spec).unwrap();
     assert_eq!(
@@ -445,16 +438,15 @@ fn background_rebuild_runs_on_the_shared_pool_without_blocking_batches() {
         .map(|r| id_rows(&r.unwrap()))
         .collect();
 
-    // The rebuild eventually publishes without any further nudging (on a
-    // 1-thread pool it already ran inline during `ingest`).
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
-    while db.relation("Objects").unwrap().delta_len() > 0 {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "background rebuild never published"
-        );
-        std::thread::yield_now();
-    }
+    // The rebuild publishes without any further nudging (on a 1-thread
+    // pool it already ran inline during `ingest`): `wait_idle` awaits the
+    // detached rebuild job deterministically — no sleep/poll loop.
+    db.pool().wait_idle();
+    assert_eq!(
+        db.relation("Objects").unwrap().delta_len(),
+        0,
+        "the scheduled rebuild must have published by the time the pool is idle"
+    );
     assert!(db.store_metrics().compactions >= 1);
 
     // Same logical content before and after the swap → same results.
