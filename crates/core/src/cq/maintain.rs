@@ -30,6 +30,12 @@
 //! A re-evaluation diffs the fresh rows against the last emitted state by
 //! row id-tuple and appends a [`ResultDelta`] only when something changed;
 //! [`Database::poll`](crate::plan::Database::poll) drains the queue.
+//!
+//! Re-evaluations run the plain kNN entry points, so every query a worker
+//! (or the inline path) executes shares that thread's
+//! [`ScratchSpace`](twoknn_index::ScratchSpace) via
+//! [`with_thread_scratch`](twoknn_index::with_thread_scratch) — a publish
+//! burst's worth of re-evaluations re-allocates no per-query kNN state.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};

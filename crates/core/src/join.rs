@@ -46,9 +46,9 @@ where
     let rows =
         crate::exec::run_over_blocks(outer.blocks(), mode, metrics, |block, pairs, metrics| {
             for e1 in outer.block_points(block.id) {
-                let nbr = get_knn(inner, e1, k, metrics);
+                let nbr = get_knn(inner, &e1, k, metrics);
                 for n in nbr.members() {
-                    pairs.push(Pair::new(*e1, n.point));
+                    pairs.push(Pair::new(e1, n.point));
                 }
             }
         });
@@ -70,9 +70,9 @@ where
     let mut pairs = Vec::new();
     for block in outer.blocks() {
         for e1 in outer.block_points(block.id) {
-            let nbr = get_knn(inner, e1, k, metrics);
+            let nbr = get_knn(inner, &e1, k, metrics);
             for n in nbr.members() {
-                pairs.push(Pair::new(*e1, n.point));
+                pairs.push(Pair::new(e1, n.point));
             }
         }
     }

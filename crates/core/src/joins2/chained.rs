@@ -87,11 +87,11 @@ where
     // Outer join: A against B, then look b up in the materialized result.
     let rows = run_over_blocks(a.blocks(), mode, &mut metrics, |block, rows, metrics| {
         for a_point in a.block_points(block.id) {
-            let nbr_a = get_knn(b, a_point, query.k_ab, metrics);
+            let nbr_a = get_knn(b, &a_point, query.k_ab, metrics);
             for n in nbr_a.members() {
                 if let Some(cs) = bc_by_b.get(&n.point.id) {
                     for c_point in cs {
-                        rows.push(Triplet::new(*a_point, n.point, *c_point));
+                        rows.push(Triplet::new(a_point, n.point, *c_point));
                     }
                 }
             }
@@ -259,7 +259,7 @@ where
         let mut cache: HashMap<PointId, Neighborhood> = HashMap::new();
         for block in *chunk {
             for a_point in a.block_points(block.id) {
-                let nbr_a = get_knn(b, a_point, query.k_ab, metrics);
+                let nbr_a = get_knn(b, &a_point, query.k_ab, metrics);
                 for n in nbr_a.members() {
                     let nbr_b = if use_cache {
                         if let Some(hit) = cache.get(&n.point.id) {
@@ -275,7 +275,7 @@ where
                         get_knn(c, &n.point, query.k_bc, metrics)
                     };
                     for m in nbr_b.members() {
-                        rows.push(Triplet::new(*a_point, n.point, m.point));
+                        rows.push(Triplet::new(a_point, n.point, m.point));
                     }
                 }
             }

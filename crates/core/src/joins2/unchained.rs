@@ -203,11 +203,11 @@ where
         // Lines 25–34: join the points of the Contributing block and
         // intersect on B.
         for c_point in c.block_points(c_block.id) {
-            let nbr_c = get_knn(b, c_point, query.k_cb, metrics);
+            let nbr_c = get_knn(b, &c_point, query.k_cb, metrics);
             for n in nbr_c.members() {
                 if let Some(ab) = ab_by_b.get(&n.point.id) {
                     for a_point in ab {
-                        rows.push(Triplet::new(*a_point, n.point, *c_point));
+                        rows.push(Triplet::new(*a_point, n.point, c_point));
                     }
                 }
             }
@@ -278,7 +278,7 @@ where
                     .then(a.1.id.cmp(&b.1.id))
             });
             for (_, q) in ranked.into_iter().take(k) {
-                pairs.push(Pair::new(*e, q));
+                pairs.push(Pair::new(e, q));
             }
         }
     }

@@ -530,6 +530,13 @@ impl Database {
     /// the pool's parallelism — the two layers can never oversubscribe the
     /// machine. Results come back in input order. Without the feature this
     /// is a plain sequential loop with identical results.
+    ///
+    /// Each worker thread drains its share of the batch in place, so all
+    /// kNN calls it issues reuse that thread's
+    /// [`ScratchSpace`](twoknn_index::ScratchSpace) (via
+    /// [`with_thread_scratch`](twoknn_index::with_thread_scratch)): after
+    /// the first query warms a worker up, the select hot path allocates
+    /// nothing per query beyond the returned neighborhoods.
     pub fn execute_batch(&self, specs: &[QuerySpec]) -> Vec<Result<QueryResult, QueryError>> {
         let snapshot = self.snapshot();
         if !cfg!(feature = "parallel") {

@@ -112,9 +112,9 @@ where
     // partitioned across workers.
     let rows = run_partitioned(&contributing, mode, &mut metrics, |block, rows, metrics| {
         for e1 in outer.block_points(block.id) {
-            let nbr_e1 = get_knn(inner, e1, query.k_join, metrics);
+            let nbr_e1 = get_knn(inner, &e1, query.k_join, metrics);
             for i in nbr_e1.intersect(&nbr_f) {
-                rows.push(Pair::new(*e1, i));
+                rows.push(Pair::new(e1, i));
             }
         }
     });

@@ -85,7 +85,7 @@ where
                     .then(a.1.id.cmp(&b.1.id))
             });
             for (_, p) in candidates.into_iter().take(query.k_join) {
-                rows.push(Pair::new(*e1, p));
+                rows.push(Pair::new(e1, p));
             }
         }
     }

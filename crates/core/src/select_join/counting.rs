@@ -67,7 +67,7 @@ where
         &mut metrics,
         |block, rows, metrics| {
             for e1 in outer.block_points(block.id) {
-                counting_test_point(e1, inner, &nbr_f, query, rows, metrics);
+                counting_test_point(&e1, inner, &nbr_f, query, rows, metrics);
             }
         },
     );

@@ -90,8 +90,8 @@ where
         metrics.blocks_scanned += 1;
         for p in inner.block_points(block.id) {
             metrics.points_scanned += 1;
-            if query.range.contains(p) {
-                selected.push(*p);
+            if query.range.contains(&p) {
+                selected.push(p);
             }
         }
     }
@@ -111,7 +111,7 @@ where
                     .then(a.1.id.cmp(&b.1.id))
             });
             for (_, q) in ranked.into_iter().take(query.k_join) {
-                rows.push(Pair::new(*e1, q));
+                rows.push(Pair::new(e1, q));
             }
         }
     }
@@ -135,9 +135,9 @@ where
     let mut rows = Vec::new();
     for block in outer.blocks() {
         for e1 in outer.block_points(block.id) {
-            let search_threshold = mindist(e1, &query.range);
+            let search_threshold = mindist(&e1, &query.range);
             let mut count = 0usize;
-            let mut max_order = inner.maxdist_order(e1);
+            let mut max_order = inner.maxdist_order(&e1);
             while count <= query.k_join {
                 let Some(ob) = max_order.next() else {
                     break;
@@ -149,10 +149,10 @@ where
                 count += ob.block.count;
             }
             if count <= query.k_join {
-                let nbr = get_knn(inner, e1, query.k_join, &mut metrics);
+                let nbr = get_knn(inner, &e1, query.k_join, &mut metrics);
                 for n in nbr.members() {
                     if query.range.contains(&n.point) {
-                        rows.push(Pair::new(*e1, n.point));
+                        rows.push(Pair::new(e1, n.point));
                     }
                 }
             } else {
@@ -198,10 +198,10 @@ where
             continue;
         }
         for e1 in outer.block_points(block.id) {
-            let nbr = get_knn(inner, e1, query.k_join, &mut metrics);
+            let nbr = get_knn(inner, &e1, query.k_join, &mut metrics);
             for n in nbr.members() {
                 if query.range.contains(&n.point) {
-                    rows.push(Pair::new(*e1, n.point));
+                    rows.push(Pair::new(e1, n.point));
                 }
             }
         }

@@ -52,7 +52,7 @@ pub(crate) fn gather_points_sharded(snapshot: &RelationSnapshot, pool: &WorkerPo
     run_partitioned_on(&shards, pool, &mut scratch, |shard, out, metrics| {
         for id in shard.clone() {
             metrics.blocks_scanned += 1;
-            out.extend_from_slice(snapshot.block_points(id as BlockId));
+            out.extend(snapshot.block_points(id as BlockId));
         }
     })
 }

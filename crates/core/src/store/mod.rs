@@ -13,7 +13,10 @@
 //!   ([`OverlayConfig`]) of copy-on-write cells, one tight-MBR overlay
 //!   block per occupied cell, so per-block MINDIST pruning keeps working
 //!   during write bursts instead of collapsing against one giant overlay
-//!   block;
+//!   block. Overlay cells and tombstone-filtered base blocks are
+//!   materialized as SoA [`PointBlock`](twoknn_index::PointBlock) columns —
+//!   the same layout the indexes use — so snapshot reads go through the
+//!   batched block-scan kernels unchanged;
 //! * [`VersionedRelation`] — the `Arc`-swapped current snapshot of one
 //!   relation, a serialized writer path for atomic ingest batches, and the
 //!   write log that lets compaction publish without losing concurrent

@@ -39,6 +39,7 @@
 use std::sync::Arc;
 
 use twoknn_geometry::{Point, Rect};
+use twoknn_index::{BlockPoints, PointBlock};
 
 /// Tuning knobs of the partitioned delta overlay, part of
 /// [`StoreConfig`](super::StoreConfig).
@@ -71,12 +72,14 @@ impl OverlayConfig {
     }
 }
 
-/// One overlay cell: its bucketed points plus their tight bounding box.
+/// One overlay cell: its bucketed points (in SoA layout, so overlay blocks
+/// feed the batched distance kernels exactly like base blocks) plus their
+/// tight bounding box.
 #[derive(Debug, Clone)]
 struct Cell {
     /// The cell's points, `Arc`-shared with the previous grid version until
     /// a write dirties this cell.
-    points: Arc<Vec<Point>>,
+    points: Arc<PointBlock>,
     /// Tight bounding box of `points`; meaningless while the cell is empty.
     mbr: Rect,
 }
@@ -84,7 +87,7 @@ struct Cell {
 impl Cell {
     fn empty() -> Self {
         Self {
-            points: Arc::new(Vec::new()),
+            points: Arc::new(PointBlock::new()),
             mbr: Rect::new(0.0, 0.0, 0.0, 0.0),
         }
     }
@@ -180,15 +183,14 @@ impl OverlayGrid {
         let cell = &mut self.cells[idx];
         let points = Arc::make_mut(&mut cell.points);
         let at = points
-            .iter()
-            .position(|q| q.id == p.id)
+            .position_by_id(p.id)
             .expect("removed insert must be bucketed in its coordinate cell");
         points.swap_remove(at);
         self.len -= 1;
         if !self.bounds.contains(p) {
             self.outside -= 1;
         }
-        if let Ok(tight) = Rect::bounding(points) {
+        if let Ok(tight) = points.bounding() {
             cell.mbr = tight;
         }
         if self.len == 0 {
@@ -231,17 +233,17 @@ impl OverlayGrid {
 
     /// The occupied cells in ascending cell-index order:
     /// `(cell index, tight MBR, points)`.
-    pub(crate) fn occupied(&self) -> impl Iterator<Item = (usize, Rect, &[Point])> {
+    pub(crate) fn occupied(&self) -> impl Iterator<Item = (usize, Rect, BlockPoints<'_>)> {
         self.cells
             .iter()
             .enumerate()
             .filter(|(_, c)| !c.points.is_empty())
-            .map(|(idx, c)| (idx, c.mbr, c.points.as_slice()))
+            .map(|(idx, c)| (idx, c.mbr, c.points.view()))
     }
 
-    /// The points bucketed in cell `idx`.
-    pub(crate) fn cell_points(&self, idx: usize) -> &[Point] {
-        &self.cells[idx].points
+    /// The points bucketed in cell `idx`, as a SoA column view.
+    pub(crate) fn cell_points(&self, idx: usize) -> BlockPoints<'_> {
+        self.cells[idx].points.view()
     }
 
     /// The cell storing a point at exactly `p`'s coordinates, if any — an
@@ -315,7 +317,7 @@ mod tests {
         let mut covered = 0;
         for (_, mbr, cell_pts) in g.occupied() {
             covered += cell_pts.len();
-            let tight = Rect::bounding(cell_pts).unwrap();
+            let tight = cell_pts.bounding().unwrap();
             assert_eq!(mbr, tight, "cell MBR must be exactly tight");
         }
         assert_eq!(covered, 500, "every insert in exactly one cell");
@@ -381,7 +383,7 @@ mod tests {
         assert!(g.bounds.contains_rect(&anchored));
         assert_eq!(g.outside, 0);
         for (_, mbr, cell_pts) in g.occupied() {
-            assert_eq!(mbr, Rect::bounding(cell_pts).unwrap());
+            assert_eq!(mbr, cell_pts.bounding().unwrap());
         }
     }
 

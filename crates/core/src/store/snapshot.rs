@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use twoknn_geometry::{Point, PointId, Rect};
-use twoknn_index::{BlockId, BlockMeta, SpatialIndex};
+use twoknn_index::{BlockId, BlockMeta, BlockPoints, PointBlock, SpatialIndex};
 
 use crate::plan::stats::RelationProfile;
 
@@ -80,10 +80,10 @@ pub struct RelationSnapshot {
     /// dense block ids the trait exposes back to the grid cells that store
     /// the points.
     overlay_cells: Vec<usize>,
-    /// Filtered point lists of the base blocks that lost points to
-    /// tombstones. `Arc`'d so successive snapshots share the lists of
+    /// Filtered point lists (SoA blocks) of the base blocks that lost points
+    /// to tombstones. `Arc`'d so successive snapshots share the lists of
     /// blocks an ingest batch did not touch.
-    tombstoned: HashMap<BlockId, Arc<Vec<Point>>>,
+    tombstoned: HashMap<BlockId, Arc<PointBlock>>,
     bounds: Rect,
     num_points: usize,
     version: u64,
@@ -166,7 +166,6 @@ impl RelationSnapshot {
                         .block_points(block)
                         .iter()
                         .filter(|p| !delta.is_deleted(p.id))
-                        .copied()
                         .collect(),
                 ),
             );
@@ -199,14 +198,13 @@ impl RelationSnapshot {
             .collect();
         affected.sort_unstable();
         affected.dedup();
-        let tombstoned: HashMap<BlockId, Arc<Vec<Point>>> = affected
+        let tombstoned: HashMap<BlockId, Arc<PointBlock>> = affected
             .into_iter()
             .map(|block| {
-                let filtered: Vec<Point> = base
+                let filtered: PointBlock = base
                     .block_points(block)
                     .iter()
                     .filter(|p| !delta.is_deleted(p.id))
-                    .copied()
                     .collect();
                 (block, Arc::new(filtered))
             })
@@ -218,7 +216,7 @@ impl RelationSnapshot {
         base: BaseIndex,
         base_ids: BaseIdMap,
         delta: Delta,
-        tombstoned: HashMap<BlockId, Arc<Vec<Point>>>,
+        tombstoned: HashMap<BlockId, Arc<PointBlock>>,
         version: u64,
     ) -> Self {
         let mut blocks: Vec<BlockMeta> = base.blocks().to_vec();
@@ -300,11 +298,7 @@ impl RelationSnapshot {
             return None;
         }
         let block = *self.base_ids.get(&id)?;
-        self.base
-            .block_points(block)
-            .iter()
-            .find(|p| p.id == id)
-            .copied()
+        self.base.block_points(block).iter().find(|p| p.id == id)
     }
 
     /// Number of overlay blocks (occupied overlay-grid cells) this snapshot
@@ -357,7 +351,7 @@ impl RelationSnapshot {
                     points.len()
                 ));
             }
-            let tight = Rect::bounding(points).expect("cell is non-empty");
+            let tight = points.bounding().expect("cell is non-empty");
             if meta.mbr != tight {
                 return Err(format!(
                     "overlay block {} MBR {} is not the tight bounding box {tight}",
@@ -365,7 +359,7 @@ impl RelationSnapshot {
                 ));
             }
             for p in points {
-                if self.delta.inserted(p.id) != Some(p) {
+                if self.delta.inserted(p.id) != Some(&p) {
                     return Err(format!(
                         "overlay block {} holds {p}, which drifted from the delta's inserts",
                         meta.id
@@ -420,12 +414,12 @@ impl SpatialIndex for RelationSnapshot {
         &self.blocks
     }
 
-    fn block_points(&self, id: BlockId) -> &[Point] {
+    fn block_points(&self, id: BlockId) -> BlockPoints<'_> {
         if let Some(ordinal) = (id as usize).checked_sub(self.base.num_blocks()) {
             return self.delta.grid().cell_points(self.overlay_cells[ordinal]);
         }
         match self.tombstoned.get(&id) {
-            Some(filtered) => filtered.as_slice(),
+            Some(filtered) => filtered.view(),
             None => self.base.block_points(id),
         }
     }

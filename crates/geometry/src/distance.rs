@@ -15,6 +15,25 @@ pub fn euclidean_sq(a: &Point, b: &Point) -> f64 {
     a.distance_sq(b)
 }
 
+/// Batched squared Euclidean distances from `(px, py)` to a column of points.
+///
+/// `xs`/`ys` are the coordinate columns of an SoA point block; `out[i]`
+/// receives the squared distance to `(xs[i], ys[i])`. The loop is a straight
+/// zip over the three slices — branch-free except for the trip count — so the
+/// compiler can vectorize it, which is the point of storing blocks as columns
+/// instead of `Vec<Point>`. Slices longer than the shortest input are left
+/// untouched.
+#[inline]
+pub fn euclidean_sq_batch(px: f64, py: f64, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(xs.len(), ys.len(), "coordinate columns must match");
+    debug_assert_eq!(xs.len(), out.len(), "output buffer must match columns");
+    for ((d, &x), &y) in out.iter_mut().zip(xs).zip(ys) {
+        let dx = x - px;
+        let dy = y - py;
+        *d = dx * dx + dy * dy;
+    }
+}
+
 /// Euclidean distance between two points.
 #[inline]
 pub fn euclidean(a: &Point, b: &Point) -> f64 {
@@ -54,14 +73,51 @@ pub fn maxdist(p: &Point, r: &Rect) -> f64 {
 }
 
 /// Distance from coordinate `v` to the interval `[lo, hi]` (0 when inside).
+///
+/// Branchless: `max(lo - v, v - hi, 0)` — when `v` is inside the interval
+/// both differences are ≤ 0 and the result clamps to 0; outside, exactly one
+/// difference is positive. Compiles to two `maxsd`s instead of two compare
+/// branches, so MINDIST scans over many blocks stay pipelined.
 #[inline]
 fn axis_gap(v: f64, lo: f64, hi: f64) -> f64 {
-    if v < lo {
-        lo - v
-    } else if v > hi {
-        v - hi
-    } else {
-        0.0
+    (lo - v).max(v - hi).max(0.0)
+}
+
+/// Scalar/branchy reference implementations retained for the `kernel_micro`
+/// ablation bench and the equivalence property tests. These are the pre-SoA
+/// kernels; production code must use the batched/branchless variants above.
+pub mod baseline {
+    use crate::{Point, Rect};
+
+    /// The branchy `axis_gap` the branchless clamp replaced.
+    #[inline]
+    pub fn axis_gap_branchy(v: f64, lo: f64, hi: f64) -> f64 {
+        if v < lo {
+            lo - v
+        } else if v > hi {
+            v - hi
+        } else {
+            0.0
+        }
+    }
+
+    /// Squared MINDIST via the branchy axis gap.
+    #[inline]
+    pub fn mindist_sq_branchy(p: &Point, r: &Rect) -> f64 {
+        let dx = axis_gap_branchy(p.x, r.min_x, r.max_x);
+        let dy = axis_gap_branchy(p.y, r.min_y, r.max_y);
+        dx * dx + dy * dy
+    }
+
+    /// Per-point squared distances over an AoS `&[Point]` block — the scan
+    /// loop the columnar [`euclidean_sq_batch`](super::euclidean_sq_batch)
+    /// replaced. The 24-byte row stride defeats vectorization, which is what
+    /// the ablation measures.
+    #[inline]
+    pub fn euclidean_sq_scalar(q: &Point, points: &[Point], out: &mut [f64]) {
+        for (d, p) in out.iter_mut().zip(points) {
+            *d = q.distance_sq(p);
+        }
     }
 }
 
@@ -117,6 +173,72 @@ mod tests {
         let p = Point::anonymous(-1.0, 8.0);
         assert!((mindist_sq(&p, &r).sqrt() - mindist(&p, &r)).abs() < 1e-12);
         assert!((maxdist_sq(&p, &r).sqrt() - maxdist(&p, &r)).abs() < 1e-12);
+    }
+
+    /// The branchless clamp-based `axis_gap` must agree with the branchy
+    /// reference on every region: inside, outside each side, and exactly on
+    /// the boundaries and corners (where `<` vs `<=` bugs would hide).
+    #[test]
+    fn branchless_mindist_matches_branchy_on_boundaries_and_corners() {
+        let r = block(); // [2,4] x [2,6]
+        let edge_values = [
+            1.0, 1.999999, 2.0, 2.000001, 3.0, 4.0, 4.000001, 5.9, 6.0, 6.1, -7.0, 100.0,
+        ];
+        for &x in &edge_values {
+            for &y in &edge_values {
+                let p = Point::anonymous(x, y);
+                assert_eq!(
+                    mindist_sq(&p, &r),
+                    baseline::mindist_sq_branchy(&p, &r),
+                    "mismatch at ({x}, {y})"
+                );
+            }
+        }
+        // Degenerate rect (a single point): gap is a plain |v - c| distance.
+        let degenerate = Rect::new(3.0, 3.0, 3.0, 3.0);
+        for &x in &edge_values {
+            let p = Point::anonymous(x, 3.0);
+            assert_eq!(
+                mindist_sq(&p, &degenerate),
+                baseline::mindist_sq_branchy(&p, &degenerate)
+            );
+        }
+        // Pseudo-random sweep over a wider range, including negative zeros.
+        for i in 0..4096u64 {
+            let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+            let x = ((h % 2_000) as f64 - 1_000.0) * 0.01;
+            let y = (((h >> 20) % 2_000) as f64 - 1_000.0) * 0.01;
+            let p = Point::anonymous(x, y);
+            assert_eq!(mindist_sq(&p, &r), baseline::mindist_sq_branchy(&p, &r));
+        }
+        assert_eq!(mindist_sq(&Point::anonymous(-0.0, 3.0), &r), 4.0);
+    }
+
+    /// The batched column kernel computes exactly the same squared distances
+    /// as the per-point scalar loop (identical expression, identical results).
+    #[test]
+    fn batched_distances_equal_scalar_distances() {
+        let q = Point::anonymous(3.7, -1.2);
+        let points: Vec<Point> = (0..257)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x2545F4914F6CDD1D);
+                Point::new(
+                    i as u64,
+                    (h % 1000) as f64 * 0.07 - 30.0,
+                    ((h >> 24) % 1000) as f64 * 0.07 - 30.0,
+                )
+            })
+            .collect();
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+        let mut batched = vec![0.0; points.len()];
+        let mut scalar = vec![0.0; points.len()];
+        euclidean_sq_batch(q.x, q.y, &xs, &ys, &mut batched);
+        baseline::euclidean_sq_scalar(&q, &points, &mut scalar);
+        assert_eq!(batched, scalar, "bit-identical distances");
+        for (d, p) in batched.iter().zip(&points) {
+            assert_eq!(*d, q.distance_sq(p));
+        }
     }
 
     #[test]

@@ -25,7 +25,9 @@ mod distance;
 mod point;
 mod rect;
 
-pub use distance::{euclidean, euclidean_sq, maxdist, maxdist_sq, mindist, mindist_sq};
+pub use distance::{
+    baseline, euclidean, euclidean_sq, euclidean_sq_batch, maxdist, maxdist_sq, mindist, mindist_sq,
+};
 pub use point::{Point, PointId};
 pub use rect::Rect;
 

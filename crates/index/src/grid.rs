@@ -9,6 +9,7 @@
 use twoknn_geometry::{GeomResult, GeometryError, Point, Rect};
 
 use crate::block::{BlockId, BlockMeta};
+use crate::points::{BlockPoints, PointBlock};
 use crate::traits::SpatialIndex;
 
 /// A uniform `n × n` grid over the bounding rectangle of the indexed points.
@@ -19,8 +20,8 @@ pub struct GridIndex {
     cell_w: f64,
     cell_h: f64,
     blocks: Vec<BlockMeta>,
-    /// Points of each cell, indexed by block id.
-    cell_points: Vec<Vec<Point>>,
+    /// Points of each cell in SoA layout, indexed by block id.
+    cell_points: Vec<PointBlock>,
     num_points: usize,
 }
 
@@ -79,7 +80,7 @@ impl GridIndex {
         let cell_h = bounds.height() / cells_per_axis as f64;
 
         let n_cells = cells_per_axis * cells_per_axis;
-        let mut cell_points: Vec<Vec<Point>> = vec![Vec::new(); n_cells];
+        let mut cell_points: Vec<PointBlock> = vec![PointBlock::new(); n_cells];
         let num_points = points.len();
         for p in points {
             let (ix, iy) = cell_of(&bounds, cell_w, cell_h, cells_per_axis, &p);
@@ -176,8 +177,8 @@ impl SpatialIndex for GridIndex {
         &self.blocks
     }
 
-    fn block_points(&self, id: BlockId) -> &[Point] {
-        &self.cell_points[id as usize]
+    fn block_points(&self, id: BlockId) -> BlockPoints<'_> {
+        self.cell_points[id as usize].view()
     }
 
     fn locate(&self, p: &Point) -> Option<BlockId> {

@@ -9,20 +9,33 @@
 //! Three implementations are provided:
 //!
 //! * [`get_knn`] — the locality-based algorithm used throughout the paper
-//!   (and throughout this workspace).
+//!   (and throughout this workspace), now running the batched SoA block-scan
+//!   kernel: per locality block, one vectorizable column pass fills the
+//!   distance buffer, then the buffer folds into a bounded k-heap whose root
+//!   is the running k-th distance τ. Blocks with MINDIST strictly greater
+//!   than τ are skipped (counted as `blocks_pruned`), which the plain
+//!   gather-everything implementation could not do.
 //! * [`get_knn_best_first`] — the classic best-first (Hjaltason–Samet)
 //!   incremental kNN, used for cross-checking and index ablations.
 //! * [`brute_force_knn`] — an `O(n log n)` scan, the ground truth for tests.
+//!
+//! Every entry point has an `*_in` variant taking an explicit
+//! [`ScratchSpace`]; the plain variants borrow the calling thread's shared
+//! scratch (see [`crate::scratch`]), so a batch of queries on one worker
+//! thread allocates the transient heaps and buffers once, not per query.
+//! [`get_knn_scalar`] retains the pre-SoA gather-and-sort path as the
+//! ablation baseline the `kernel_micro` bench measures speedups against.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
 use twoknn_geometry::Point;
 
-use crate::locality::Locality;
+use crate::locality::{collect_locality_blocks, Locality};
 use crate::metrics::Metrics;
 use crate::neighborhood::{Neighbor, Neighborhood};
 use crate::ordering::OrderedF64;
+use crate::scratch::{with_thread_scratch, ScratchSpace};
 use crate::traits::SpatialIndex;
 
 /// Computes the neighborhood (the `k` nearest neighbors) of `p` using the
@@ -32,18 +45,32 @@ use crate::traits::SpatialIndex;
 /// *not* excluded: the paper's operators query focal points and outer-relation
 /// points against *other* relations, so self-exclusion is handled by callers
 /// that need it.
+///
+/// Uses the calling thread's shared [`ScratchSpace`]; pass one explicitly
+/// through [`get_knn_in`] to control the reuse scope yourself.
 pub fn get_knn<I: SpatialIndex + ?Sized>(
     index: &I,
     p: &Point,
     k: usize,
     metrics: &mut Metrics,
 ) -> Neighborhood {
+    with_thread_scratch(|scratch| get_knn_in(index, p, k, metrics, scratch))
+}
+
+/// [`get_knn`] with an explicit, reusable [`ScratchSpace`].
+pub fn get_knn_in<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    metrics: &mut Metrics,
+    scratch: &mut ScratchSpace,
+) -> Neighborhood {
     metrics.neighborhoods_computed += 1;
     if k == 0 || index.num_points() == 0 {
         return Neighborhood::empty(*p, k);
     }
-    let locality = Locality::build(index, p, k, metrics);
-    neighborhood_from_locality(index, p, k, &locality, metrics)
+    collect_locality_blocks(index, p, k, None, metrics, &mut scratch.locality);
+    scan_locality_blocks(index, p, k, metrics, scratch)
 }
 
 /// Computes the neighborhood of `p` restricted to a search threshold: only
@@ -57,15 +84,71 @@ pub fn get_knn_bounded<I: SpatialIndex + ?Sized>(
     threshold: f64,
     metrics: &mut Metrics,
 ) -> Neighborhood {
+    with_thread_scratch(|scratch| get_knn_bounded_in(index, p, k, threshold, metrics, scratch))
+}
+
+/// [`get_knn_bounded`] with an explicit, reusable [`ScratchSpace`].
+pub fn get_knn_bounded_in<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    threshold: f64,
+    metrics: &mut Metrics,
+    scratch: &mut ScratchSpace,
+) -> Neighborhood {
     metrics.neighborhoods_computed += 1;
     if k == 0 || index.num_points() == 0 {
         return Neighborhood::empty(*p, k);
     }
-    let locality = Locality::build_bounded(index, p, k, threshold, metrics);
-    neighborhood_from_locality(index, p, k, &locality, metrics)
+    collect_locality_blocks(index, p, k, Some(threshold), metrics, &mut scratch.locality);
+    scan_locality_blocks(index, p, k, metrics, scratch)
+}
+
+/// The fused block-scan phase shared by the `get_knn*` entry points: runs
+/// the batched kth-distance kernel over the blocks collected in
+/// `scratch.locality`, pruning blocks whose MINDIST exceeds the running τ.
+///
+/// τ-pruning is exact: once the heap holds `k` candidates, every candidate's
+/// distance is ≤ τ, so a block with MINDIST **strictly** greater than τ
+/// cannot contribute a closer point — and points *at* distance τ (which may
+/// still win on id tie-break) live in blocks with MINDIST ≤ τ, which are
+/// always scanned. Results are therefore identical to the gather-everything
+/// baseline, including tie resolution.
+fn scan_locality_blocks<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    metrics: &mut Metrics,
+    scratch: &mut ScratchSpace,
+) -> Neighborhood {
+    scratch.kth.reset(k);
+    let ScratchSpace {
+        dist,
+        kth,
+        locality,
+        ..
+    } = scratch;
+    for block in &locality.blocks {
+        if kth.is_full() && block.mindist_sq(p) > kth.threshold_sq() {
+            metrics.blocks_pruned += 1;
+            continue;
+        }
+        let points = index.block_points(block.id);
+        metrics.points_scanned += points.len() as u64;
+        metrics.distance_computations += points.len() as u64;
+        kth.scan_block(p, points, dist);
+    }
+    kth.finish(*p, k)
 }
 
 /// Extracts the `k` nearest points of `p` from the blocks of a locality.
+///
+/// This is the retained **scalar (pre-SoA) gather path**: every point of
+/// every locality block is materialized as a [`Neighbor`] and the list is
+/// sorted and truncated at the end. [`get_knn`] replaced it with the batched
+/// kth-distance kernel; it stays public as the ablation baseline for the
+/// `kernel_micro` bench and the SoA-equivalence property tests, and for
+/// callers that hold a pre-built [`Locality`].
 pub fn neighborhood_from_locality<I: SpatialIndex + ?Sized>(
     index: &I,
     p: &Point,
@@ -79,12 +162,67 @@ pub fn neighborhood_from_locality<I: SpatialIndex + ?Sized>(
             metrics.points_scanned += 1;
             metrics.distance_computations += 1;
             members.push(Neighbor {
-                point: *q,
-                distance: p.distance(q),
+                point: q,
+                distance: p.distance(&q),
             });
         }
     }
     Neighborhood::from_unsorted(*p, k, members)
+}
+
+/// The complete pre-SoA `getkNN`: locality construction followed by the
+/// scalar gather of [`neighborhood_from_locality`], with no τ-pruning and no
+/// scratch reuse. Kept as the end-to-end ablation baseline so `kernel_micro`
+/// can report the batched-vs-scalar speedup of the whole select hot path.
+pub fn get_knn_scalar<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    metrics: &mut Metrics,
+) -> Neighborhood {
+    metrics.neighborhoods_computed += 1;
+    if k == 0 || index.num_points() == 0 {
+        return Neighborhood::empty(*p, k);
+    }
+    let locality = Locality::build(index, p, k, metrics);
+    neighborhood_from_locality(index, p, k, &locality, metrics)
+}
+
+#[derive(Debug)]
+enum BestFirstItem {
+    Block(u32),
+    Point(Point),
+}
+
+/// A prioritized entry of the best-first search queue. Public within the
+/// crate so [`ScratchSpace`] can own the queue's storage between queries.
+#[derive(Debug)]
+pub(crate) struct BestFirstEntry {
+    dist: OrderedF64,
+    seq: u64,
+    item: BestFirstItem,
+}
+
+impl PartialEq for BestFirstEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.seq == other.seq
+    }
+}
+impl Eq for BestFirstEntry {}
+impl PartialOrd for BestFirstEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BestFirstEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Min-heap by distance; ties broken by insertion sequence so that
+        // blocks at distance 0 are expanded before points at distance 0.
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 /// Best-first incremental nearest-neighbor search (Hjaltason & Samet).
@@ -99,73 +237,57 @@ pub fn get_knn_best_first<I: SpatialIndex + ?Sized>(
     k: usize,
     metrics: &mut Metrics,
 ) -> Neighborhood {
+    with_thread_scratch(|scratch| get_knn_best_first_in(index, p, k, metrics, scratch))
+}
+
+/// [`get_knn_best_first`] with an explicit, reusable [`ScratchSpace`]: the
+/// priority queue's storage is borrowed from (and returned to) the scratch,
+/// replacing the old per-query `BinaryHeap::with_capacity(num_blocks)`.
+pub fn get_knn_best_first_in<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    metrics: &mut Metrics,
+    scratch: &mut ScratchSpace,
+) -> Neighborhood {
     metrics.neighborhoods_computed += 1;
     if k == 0 || index.num_points() == 0 {
         return Neighborhood::empty(*p, k);
     }
 
-    enum Entry {
-        Block(u32),
-        Point(Point),
-    }
-    struct Queued {
-        dist: OrderedF64,
-        seq: u64,
-        entry: Entry,
-    }
-    impl PartialEq for Queued {
-        fn eq(&self, other: &Self) -> bool {
-            self.dist == other.dist && self.seq == other.seq
-        }
-    }
-    impl Eq for Queued {}
-    impl PartialOrd for Queued {
-        fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Queued {
-        fn cmp(&self, other: &Self) -> CmpOrdering {
-            // Min-heap by distance; ties broken by insertion sequence so that
-            // blocks at distance 0 are expanded before points at distance 0.
-            other
-                .dist
-                .cmp(&self.dist)
-                .then_with(|| other.seq.cmp(&self.seq))
-        }
-    }
-
-    let mut heap: BinaryHeap<Queued> = BinaryHeap::with_capacity(index.num_blocks());
+    let mut storage = std::mem::take(&mut scratch.best_first);
+    storage.clear();
+    let mut heap: BinaryHeap<BestFirstEntry> = BinaryHeap::from(storage);
     let mut seq = 0u64;
     for b in index.blocks() {
         if b.count == 0 {
             continue;
         }
-        heap.push(Queued {
+        heap.push(BestFirstEntry {
             dist: OrderedF64(b.mindist(p)),
             seq,
-            entry: Entry::Block(b.id),
+            item: BestFirstItem::Block(b.id),
         });
         seq += 1;
     }
 
     let mut members = Vec::with_capacity(k);
     while let Some(q) = heap.pop() {
-        match q.entry {
-            Entry::Block(id) => {
+        match q.item {
+            BestFirstItem::Block(id) => {
                 metrics.blocks_scanned += 1;
                 for pt in index.block_points(id) {
                     metrics.points_scanned += 1;
                     metrics.distance_computations += 1;
-                    heap.push(Queued {
-                        dist: OrderedF64(p.distance(pt)),
+                    heap.push(BestFirstEntry {
+                        dist: OrderedF64(p.distance(&pt)),
                         seq,
-                        entry: Entry::Point(*pt),
+                        item: BestFirstItem::Point(pt),
                     });
                     seq += 1;
                 }
             }
-            Entry::Point(pt) => {
+            BestFirstItem::Point(pt) => {
                 members.push(Neighbor {
                     point: pt,
                     distance: q.dist.0,
@@ -176,6 +298,7 @@ pub fn get_knn_best_first<I: SpatialIndex + ?Sized>(
             }
         }
     }
+    scratch.best_first = heap.into_vec();
     Neighborhood::from_unsorted(*p, k, members)
 }
 
@@ -262,6 +385,32 @@ mod tests {
         }
     }
 
+    /// The batched τ-pruning path and the retained scalar gather must return
+    /// identical neighborhoods — members, order, distances, and tie choices.
+    #[test]
+    fn batched_knn_is_identical_to_scalar_baseline() {
+        let g = GridIndex::build(pts(2000), 12).unwrap();
+        let mut scratch = ScratchSpace::new();
+        for (x, y, k) in [
+            (10.0, 20.0, 1),
+            (55.0, 64.0, 7),
+            (0.0, 0.0, 25),
+            (111.0, 1.0, 64),
+            (-30.0, 200.0, 5),
+        ] {
+            let q = Point::anonymous(x, y);
+            let mut m1 = Metrics::default();
+            let mut m2 = Metrics::default();
+            let batched = get_knn_in(&g, &q, k, &mut m1, &mut scratch);
+            let scalar = get_knn_scalar(&g, &q, k, &mut m2);
+            assert_eq!(batched, scalar, "query ({x},{y}) k={k}");
+            assert!(
+                m1.points_scanned <= m2.points_scanned,
+                "τ-pruning must never scan more points than the full gather"
+            );
+        }
+    }
+
     #[test]
     fn k_zero_and_empty_relation_yield_empty_neighborhoods() {
         let g = GridIndex::build(pts(100), 5).unwrap();
@@ -323,5 +472,21 @@ mod tests {
         assert_eq!(m.neighborhoods_computed, 2);
         assert!(m.points_scanned > 0);
         assert!(m.distance_computations >= m.points_scanned);
+    }
+
+    /// Reusing one scratch across queries must not leak state between them.
+    #[test]
+    fn scratch_reuse_does_not_leak_state_across_queries() {
+        let g = GridIndex::build(pts(800), 9).unwrap();
+        let mut scratch = ScratchSpace::new();
+        let mut m = Metrics::default();
+        let queries = [(3.0, 3.0, 9), (90.0, 90.0, 2), (40.0, 11.0, 30)];
+        for &(x, y, k) in &queries {
+            let q = Point::anonymous(x, y);
+            let shared = get_knn_in(&g, &q, k, &mut m, &mut scratch);
+            let fresh = get_knn_in(&g, &q, k, &mut m, &mut ScratchSpace::new());
+            assert_eq!(shared, fresh);
+            assert_same_ids(&shared, &brute_force_knn(&g, &q, k));
+        }
     }
 }

@@ -13,13 +13,29 @@
 //! * [`GridIndex`] — the simple grid used in the paper's evaluation (§6);
 //! * [`QuadtreeIndex`] — a PR-quadtree;
 //! * [`StrRTree`] — an STR bulk-loaded R-tree whose leaves act as blocks;
+//! * [`PointBlock`] / [`BlockPoints`] — structure-of-arrays block storage
+//!   (parallel `ids`/`xs`/`ys` columns) shared by every index, so per-block
+//!   distance scans run over contiguous `&[f64]` slices;
 //! * [`BlockOrder`] — lazy MINDIST/MAXDIST orderings;
 //! * [`Locality`] / [`get_knn`] — the locality-based kNN algorithm of
-//!   Sankaranarayanan, Samet & Varshney used by the paper for `getkNN`;
+//!   Sankaranarayanan, Samet & Varshney used by the paper for `getkNN`,
+//!   running the batched kth-distance kernel of [`KthHeap`];
+//! * [`ScratchSpace`] — reusable per-query transient state (candidate heap,
+//!   order heaps, distance buffer); the plain kNN entry points borrow a
+//!   thread-local one via [`with_thread_scratch`], the `*_in` variants
+//!   ([`get_knn_in`] etc.) take one explicitly;
 //! * [`Neighborhood`] — the k-nearest-neighbor set with the accessors the
 //!   two-predicate algorithms need (nearest/farthest member, intersection);
 //! * [`Metrics`] — machine-independent work counters used by the benchmark
 //!   harness alongside wall-clock time.
+//!
+//! ## SoA layout
+//!
+//! Blocks store points as three parallel columns instead of `Vec<Point>`:
+//! the distance kernels ([`twoknn_geometry::euclidean_sq_batch`]) then see a
+//! contiguous 8-byte stride per column and auto-vectorize. [`BlockPoints`]
+//! (what [`SpatialIndex::block_points`] returns) still iterates as `Point`s
+//! by value, so row-oriented consumers are unaffected by the layout.
 //!
 //! ## Example
 //!
@@ -47,21 +63,26 @@ mod locality;
 mod metrics;
 mod neighborhood;
 mod ordering;
+mod points;
 mod quadtree;
 mod rtree;
+mod scratch;
 mod traits;
 
 pub use block::{BlockId, BlockMeta};
 pub use grid::GridIndex;
 pub use knn::{
-    brute_force_knn, get_knn, get_knn_best_first, get_knn_bounded, neighborhood_from_locality,
+    brute_force_knn, get_knn, get_knn_best_first, get_knn_best_first_in, get_knn_bounded,
+    get_knn_bounded_in, get_knn_in, get_knn_scalar, neighborhood_from_locality,
 };
 pub use locality::Locality;
 pub use metrics::Metrics;
 pub use neighborhood::{Neighbor, Neighborhood};
-pub use ordering::{BlockOrder, OrderMetric, OrderedBlock, OrderedF64};
+pub use ordering::{BlockOrder, OrderMetric, OrderStorage, OrderedBlock, OrderedF64};
+pub use points::{BlockPoints, BlockPointsIter, PointBlock};
 pub use quadtree::{QuadtreeIndex, DEFAULT_MAX_DEPTH};
 pub use rtree::StrRTree;
+pub use scratch::{with_thread_scratch, KthHeap, ScratchSpace};
 pub use traits::{check_index_invariants, SpatialIndex};
 
 // The parallel executors in `twoknn-core` share index references across
@@ -77,4 +98,6 @@ const _: () = {
     assert_send_sync::<Metrics>();
     assert_send_sync::<Neighborhood>();
     assert_send_sync::<BlockMeta>();
+    assert_send_sync::<PointBlock>();
+    assert_send_sync::<ScratchSpace>();
 };

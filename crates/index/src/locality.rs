@@ -24,6 +24,7 @@ use twoknn_geometry::Point;
 use crate::block::BlockMeta;
 use crate::metrics::Metrics;
 use crate::ordering::BlockOrder;
+use crate::scratch::LocalityScratch;
 use crate::traits::SpatialIndex;
 
 /// The set of blocks guaranteed to contain the `k` nearest neighbors of a
@@ -78,66 +79,12 @@ impl Locality {
         threshold: Option<f64>,
         metrics: &mut Metrics,
     ) -> Self {
-        let all_blocks = index.blocks();
-        let mut in_locality = vec![false; all_blocks.len()];
-        let mut blocks = Vec::new();
-        let passes_threshold = |b: &BlockMeta| match threshold {
-            Some(t) => b.mindist(p) <= t,
-            None => true,
-        };
-
-        // Phase 1: MAXDIST order until `k` points have been accumulated.
-        let mut count = 0usize;
-        let mut maxdist_bound = f64::INFINITY;
-        let mut max_order = BlockOrder::maxdist(all_blocks, p);
-        let mut seen_maxdist: f64 = 0.0;
-        while count < k {
-            let Some(ob) = max_order.next() else {
-                break; // Fewer than k points in the whole index.
-            };
-            metrics.blocks_scanned += 1;
-            seen_maxdist = seen_maxdist.max(ob.distance);
-            if ob.block.count == 0 {
-                continue;
-            }
-            count += ob.block.count;
-            if passes_threshold(&ob.block) {
-                in_locality[ob.block.id as usize] = true;
-                blocks.push(ob.block);
-                metrics.locality_blocks += 1;
-            }
-        }
-        if count >= k {
-            maxdist_bound = seen_maxdist;
-        }
-
-        // Phase 2: remaining blocks in MINDIST order while MINDIST <= M.
-        let mut min_order = BlockOrder::mindist(all_blocks, p);
-        while let Some(ob) = min_order.next() {
-            if ob.distance > maxdist_bound {
-                break;
-            }
-            if let Some(t) = threshold {
-                if ob.distance > t {
-                    break;
-                }
-            }
-            if in_locality[ob.block.id as usize] {
-                continue;
-            }
-            metrics.blocks_scanned += 1;
-            if ob.block.count == 0 {
-                continue;
-            }
-            in_locality[ob.block.id as usize] = true;
-            blocks.push(ob.block);
-            metrics.locality_blocks += 1;
-        }
-
+        let mut scratch = LocalityScratch::default();
+        let maxdist_bound = collect_locality_blocks(index, p, k, threshold, metrics, &mut scratch);
         Self {
             query: *p,
             k,
-            blocks,
+            blocks: std::mem::take(&mut scratch.blocks),
             maxdist_bound,
             threshold,
         }
@@ -172,6 +119,94 @@ impl Locality {
     pub fn point_count(&self) -> usize {
         self.blocks.iter().map(|b| b.count).sum()
     }
+}
+
+/// The two-phase locality construction, writing the resulting block list
+/// into `scratch.blocks` (in discovery order) and returning the MAXDIST
+/// bound `M`. This is the allocation-free core shared by [`Locality::build`]
+/// (which copies the blocks into an owned `Locality`) and the fused
+/// [`crate::get_knn_in`] hot path (which scans the blocks straight out of
+/// the scratch).
+pub(crate) fn collect_locality_blocks<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    threshold: Option<f64>,
+    metrics: &mut Metrics,
+    scratch: &mut LocalityScratch,
+) -> f64 {
+    let all_blocks = index.blocks();
+    scratch.blocks.clear();
+    scratch.in_locality.clear();
+    scratch.in_locality.resize(all_blocks.len(), false);
+    let in_locality = &mut scratch.in_locality;
+    let blocks = &mut scratch.blocks;
+    let passes_threshold = |b: &BlockMeta| match threshold {
+        Some(t) => b.mindist(p) <= t,
+        None => true,
+    };
+
+    // Phase 1: MAXDIST order until `k` points have been accumulated.
+    let mut count = 0usize;
+    let mut maxdist_bound = f64::INFINITY;
+    let mut max_order = BlockOrder::new_in(
+        all_blocks,
+        p,
+        crate::ordering::OrderMetric::MaxDist,
+        &mut scratch.max_order,
+    );
+    let mut seen_maxdist: f64 = 0.0;
+    while count < k {
+        let Some(ob) = max_order.next() else {
+            break; // Fewer than k points in the whole index.
+        };
+        metrics.blocks_scanned += 1;
+        seen_maxdist = seen_maxdist.max(ob.distance);
+        if ob.block.count == 0 {
+            continue;
+        }
+        count += ob.block.count;
+        if passes_threshold(&ob.block) {
+            in_locality[ob.block.id as usize] = true;
+            blocks.push(ob.block);
+            metrics.locality_blocks += 1;
+        }
+    }
+    max_order.recycle(&mut scratch.max_order);
+    if count >= k {
+        maxdist_bound = seen_maxdist;
+    }
+
+    // Phase 2: remaining blocks in MINDIST order while MINDIST <= M.
+    let mut min_order = BlockOrder::new_in(
+        all_blocks,
+        p,
+        crate::ordering::OrderMetric::MinDist,
+        &mut scratch.min_order,
+    );
+    while let Some(ob) = min_order.next() {
+        if ob.distance > maxdist_bound {
+            break;
+        }
+        if let Some(t) = threshold {
+            if ob.distance > t {
+                break;
+            }
+        }
+        if in_locality[ob.block.id as usize] {
+            continue;
+        }
+        metrics.blocks_scanned += 1;
+        if ob.block.count == 0 {
+            continue;
+        }
+        in_locality[ob.block.id as usize] = true;
+        blocks.push(ob.block);
+        metrics.locality_blocks += 1;
+    }
+    min_order.recycle(&mut scratch.min_order);
+
+    maxdist_bound
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 use twoknn_geometry::{GeomResult, GeometryError, Point, Rect};
 
 use crate::block::{BlockId, BlockMeta};
+use crate::points::{BlockPoints, PointBlock};
 use crate::traits::SpatialIndex;
 
 /// Default maximum tree depth; bounds the tree in the presence of duplicate
@@ -28,7 +29,8 @@ pub struct QuadtreeIndex {
     capacity: usize,
     max_depth: usize,
     blocks: Vec<BlockMeta>,
-    leaf_points: Vec<Vec<Point>>,
+    /// Points of each leaf in SoA layout, indexed by block id.
+    leaf_points: Vec<PointBlock>,
     /// Flattened tree used by [`SpatialIndex::locate`] for O(depth)
     /// descent; node 0 is the root.
     nodes: Vec<QuadNode>,
@@ -169,13 +171,13 @@ fn flatten_tree(
     bounds: &Rect,
     nodes: &mut Vec<QuadNode>,
     blocks: &mut Vec<BlockMeta>,
-    leaf_points: &mut Vec<Vec<Point>>,
+    leaf_points: &mut Vec<PointBlock>,
 ) -> u32 {
     match node {
         BuildNode::Leaf(points) => {
             let id = blocks.len() as BlockId;
             blocks.push(BlockMeta::new(id, *bounds, points.len()));
-            leaf_points.push(points);
+            leaf_points.push(PointBlock::from_points(&points));
             let at = nodes.len() as u32;
             nodes.push(QuadNode::Leaf(id));
             at
@@ -210,8 +212,8 @@ impl SpatialIndex for QuadtreeIndex {
         &self.blocks
     }
 
-    fn block_points(&self, id: BlockId) -> &[Point] {
-        &self.leaf_points[id as usize]
+    fn block_points(&self, id: BlockId) -> BlockPoints<'_> {
+        self.leaf_points[id as usize].view()
     }
 
     fn locate(&self, p: &Point) -> Option<BlockId> {

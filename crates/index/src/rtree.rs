@@ -13,6 +13,7 @@
 use twoknn_geometry::{GeomResult, GeometryError, Point, Rect};
 
 use crate::block::{BlockId, BlockMeta};
+use crate::points::{BlockPoints, PointBlock};
 use crate::traits::SpatialIndex;
 
 /// A bulk-loaded R-tree exposing its leaves as blocks.
@@ -21,7 +22,8 @@ pub struct StrRTree {
     bounds: Rect,
     leaf_capacity: usize,
     blocks: Vec<BlockMeta>,
-    leaf_points: Vec<Vec<Point>>,
+    /// Points of each leaf in SoA layout, indexed by block id.
+    leaf_points: Vec<PointBlock>,
     num_points: usize,
 }
 
@@ -54,7 +56,7 @@ impl StrRTree {
                 let mbr = Rect::bounding(leaf).expect("leaf chunks are non-empty");
                 let id = blocks.len() as BlockId;
                 blocks.push(BlockMeta::new(id, mbr, leaf.len()));
-                leaf_points.push(leaf.to_vec());
+                leaf_points.push(PointBlock::from_points(leaf));
             }
         }
 
@@ -86,8 +88,8 @@ impl SpatialIndex for StrRTree {
         &self.blocks
     }
 
-    fn block_points(&self, id: BlockId) -> &[Point] {
-        &self.leaf_points[id as usize]
+    fn block_points(&self, id: BlockId) -> BlockPoints<'_> {
+        self.leaf_points[id as usize].view()
     }
 
     fn locate(&self, p: &Point) -> Option<BlockId> {

@@ -10,6 +10,7 @@ use twoknn_geometry::{Point, Rect};
 
 use crate::block::{BlockId, BlockMeta};
 use crate::ordering::{BlockOrder, OrderMetric};
+use crate::points::BlockPoints;
 
 /// A block-based, in-memory spatial index over a set of 2-D points.
 ///
@@ -28,12 +29,16 @@ pub trait SpatialIndex {
     /// Block ids are dense in `0..blocks().len()`.
     fn blocks(&self) -> &[BlockMeta];
 
-    /// The points stored in a block.
+    /// The points stored in a block, as a borrowed SoA column view.
+    ///
+    /// Row-oriented consumers iterate the view (it yields [`Point`]s by
+    /// value); the batched distance kernels read the `xs()`/`ys()` columns
+    /// directly.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a valid block id of this index.
-    fn block_points(&self, id: BlockId) -> &[Point];
+    fn block_points(&self, id: BlockId) -> BlockPoints<'_>;
 
     /// The block whose footprint contains `p`, if any.
     ///
@@ -53,7 +58,7 @@ pub trait SpatialIndex {
     fn all_points(&self) -> Vec<Point> {
         let mut out = Vec::with_capacity(self.num_points());
         for b in self.blocks() {
-            out.extend_from_slice(self.block_points(b.id));
+            out.extend(self.block_points(b.id));
         }
         out
     }
@@ -91,10 +96,10 @@ pub fn check_index_invariants<I: SpatialIndex + ?Sized>(index: &I) -> Result<(),
             ));
         }
         for p in pts {
-            if !b.mbr.contains(p) {
+            if !b.mbr.contains(&p) {
                 return Err(format!("point {p} outside block {} mbr {}", b.id, b.mbr));
             }
-            if !index.bounds().contains(p) {
+            if !index.bounds().contains(&p) {
                 return Err(format!("point {p} outside index bounds"));
             }
         }

@@ -1,0 +1,125 @@
+//! Allocation accounting on the select hot path.
+//!
+//! The scratch-space refactor promises that once a thread's (or an explicit)
+//! [`ScratchSpace`] has warmed up, `get_knn_in` allocates nothing beyond the
+//! returned [`Neighborhood`]. This test pins that with a counting
+//! `#[global_allocator]` wrapper: the library itself forbids `unsafe`, but an
+//! integration test is its own crate, so the two `unsafe` trampolines below
+//! (plain delegation to the `System` allocator) are fine here.
+//!
+//! The counter is process-global, so every check runs inside the single
+//! `#[test]` below — Rust runs tests in one process, and a second test's
+//! allocations would race the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use twoknn_geometry::Point;
+use twoknn_index::{
+    get_knn_best_first_in, get_knn_bounded_in, get_knn_in, GridIndex, Metrics, Neighborhood,
+    ScratchSpace, SpatialIndex,
+};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] with an allocation counter in front.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn relation(n: u64) -> GridIndex {
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+            Point::new(
+                i,
+                (h % 100_000) as f64 * 0.01,
+                ((h >> 20) % 100_000) as f64 * 0.01,
+            )
+        })
+        .collect();
+    GridIndex::build(pts, 24).unwrap()
+}
+
+/// Allocations of `queries` warm kNN calls through `run`, after a warm-up
+/// sweep over the same query set has grown the scratch to its working set.
+fn warm_allocations(
+    queries: &[Point],
+    mut run: impl FnMut(&Point) -> Neighborhood,
+) -> (u64, usize) {
+    for q in queries {
+        std::hint::black_box(run(q));
+    }
+    let before = allocations();
+    let mut total_members = 0;
+    for q in queries {
+        total_members += std::hint::black_box(run(q)).len();
+    }
+    (allocations() - before, total_members)
+}
+
+#[test]
+fn warm_knn_queries_allocate_only_the_returned_neighborhood() {
+    let index = relation(20_000);
+    let k = 12;
+    let queries: Vec<Point> = (0..64)
+        .map(|i| Point::anonymous((i * 17 % 1000) as f64, (i * 31 % 1000) as f64))
+        .collect();
+
+    // Locality-based batched path: the worst case is one Vec per returned
+    // Neighborhood (members buffer) — `from_unsorted` may shrink/reallocate,
+    // so allow 2 per query. The old code added two BinaryHeaps, the locality
+    // block list, the bitmap, and per-block gather buffers on top.
+    let mut scratch = ScratchSpace::new();
+    let mut metrics = Metrics::default();
+    let (allocs, members) = warm_allocations(&queries, |q| {
+        get_knn_in(&index, q, k, &mut metrics, &mut scratch)
+    });
+    assert_eq!(members, k * queries.len(), "sanity: full neighborhoods");
+    assert!(
+        allocs <= 2 * queries.len() as u64,
+        "locality path: {allocs} allocations for {} warm queries \
+         (> 2 per returned neighborhood)",
+        queries.len()
+    );
+
+    // Bounded variant shares the same scratch and the same guarantee.
+    let (allocs, _) = warm_allocations(&queries, |q| {
+        get_knn_bounded_in(&index, q, k, 1e6, &mut metrics, &mut scratch)
+    });
+    assert!(
+        allocs <= 2 * queries.len() as u64,
+        "bounded path: {allocs} allocations for {} warm queries",
+        queries.len()
+    );
+
+    // Best-first: the priority-queue storage is borrowed from the scratch,
+    // replacing the old per-query `BinaryHeap::with_capacity(num_blocks)`.
+    let (allocs, _) = warm_allocations(&queries, |q| {
+        get_knn_best_first_in(&index, q, k, &mut metrics, &mut scratch)
+    });
+    assert!(
+        allocs <= 2 * queries.len() as u64,
+        "best-first path: {allocs} allocations for {} warm queries",
+        queries.len()
+    );
+
+    // The three paths stayed on the same index and really did the work.
+    assert!(index.num_points() == 20_000 && metrics.neighborhoods_computed > 0);
+}

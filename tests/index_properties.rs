@@ -3,10 +3,13 @@
 //! locality-based kNN against a brute-force oracle (DESIGN.md §5, 6–9).
 //! Inputs come from the workspace's deterministic RNG instead of `proptest`.
 
+use two_knn::core::plan::Database;
+use two_knn::core::store::{OverlayConfig, StoreConfig, WriteOp};
 use two_knn::datagen::rng::StdRng;
 use two_knn::geometry::{euclidean, maxdist, mindist};
 use two_knn::index::{
-    brute_force_knn, check_index_invariants, get_knn, get_knn_best_first, Locality, Metrics,
+    brute_force_knn, check_index_invariants, get_knn, get_knn_best_first, get_knn_in,
+    get_knn_scalar, Locality, Metrics, ScratchSpace,
 };
 use two_knn::{GridIndex, Point, QuadtreeIndex, Rect, SpatialIndex, StrRTree};
 
@@ -157,6 +160,227 @@ fn locality_covers_knn_and_respects_threshold() {
         let bounded = Locality::build_bounded(&grid, &q, k, threshold, &mut m);
         for b in bounded.blocks() {
             assert!(b.mindist(&q) <= threshold + 1e-9, "case {case}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SoA-vs-AoS equivalence (the columnar block layout and batched kernels)
+// ---------------------------------------------------------------------------
+
+/// The three index families as trait objects over one point set.
+fn build_families(pts: &[Point]) -> [(&'static str, Box<dyn SpatialIndex>); 3] {
+    [
+        (
+            "grid",
+            Box::new(GridIndex::build(pts.to_vec(), 6).unwrap()) as Box<dyn SpatialIndex>,
+        ),
+        (
+            "quadtree",
+            Box::new(QuadtreeIndex::build(pts.to_vec(), 14).unwrap()),
+        ),
+        (
+            "rtree",
+            Box::new(StrRTree::build(pts.to_vec(), 14).unwrap()),
+        ),
+    ]
+}
+
+/// The SoA block columns must reassemble exactly the points the index was
+/// built from: per block, the view's length matches the directory count and
+/// its MBR bounds every reassembled row; globally, the multiset of rows is
+/// the input point set, bit-for-bit.
+#[test]
+fn soa_blocks_reassemble_the_original_points() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4_000 + case);
+        let pts = points(&mut rng, 300);
+        for (family, index) in build_families(&pts) {
+            let mut rows: Vec<Point> = Vec::new();
+            for b in index.blocks() {
+                let view = index.block_points(b.id);
+                assert_eq!(view.len(), b.count, "{family} case {case}");
+                assert_eq!(view.ids().len(), view.xs().len(), "{family} case {case}");
+                assert_eq!(view.ids().len(), view.ys().len(), "{family} case {case}");
+                for (i, p) in view.iter().enumerate() {
+                    // Column accessors and the by-value iterator agree.
+                    assert_eq!(p, view.get(i), "{family} case {case}");
+                    assert!(b.mbr.contains(&p), "{family} case {case}");
+                    rows.push(p);
+                }
+            }
+            let mut expected = pts.clone();
+            expected.sort_by_key(|p| p.id);
+            rows.sort_by_key(|p| p.id);
+            assert_eq!(rows, expected, "{family} case {case}");
+        }
+    }
+}
+
+/// The batched SoA hot path (`get_knn_in`, τ-pruned, shared scratch) returns
+/// *identical* neighborhoods to the retained AoS-style scalar baseline and
+/// matches the brute-force oracle radius, on every index family — with one
+/// `ScratchSpace` reused across all cases, families, and `k`s.
+#[test]
+fn batched_knn_equals_scalar_baseline_on_all_families() {
+    let mut scratch = ScratchSpace::new();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5_000 + case);
+        let pts = points(&mut rng, 280);
+        let q = Point::anonymous(
+            rng.gen_range(-50.0f64..1050.0),
+            rng.gen_range(-50.0f64..1050.0),
+        );
+        let k = rng.gen_range(1..24usize);
+        for (family, index) in build_families(&pts) {
+            let mut m1 = Metrics::default();
+            let mut m2 = Metrics::default();
+            let batched = get_knn_in(index.as_ref(), &q, k, &mut m1, &mut scratch);
+            let scalar = get_knn_scalar(index.as_ref(), &q, k, &mut m2);
+            assert_eq!(batched, scalar, "{family} case {case}");
+            let oracle = brute_force_knn(index.as_ref(), &q, k);
+            assert!(radii_equal(&oracle, &batched), "{family} case {case}");
+            // τ-pruning may only ever *reduce* the scanned work.
+            assert!(
+                m1.points_scanned <= m2.points_scanned,
+                "{family} case {case}: batched scanned more points than scalar"
+            );
+        }
+    }
+}
+
+/// Mixed write workload: upserts of new ids, upserts moving existing ids,
+/// and removes of base ids.
+fn mixed_batch(rng: &mut StdRng, generation: u64, base_n: u64) -> Vec<WriteOp> {
+    let mut ops = Vec::new();
+    for i in 0..40u64 {
+        let roll = rng.gen_range(0..10usize);
+        if roll < 5 {
+            ops.push(WriteOp::Upsert(Point::new(
+                10_000 + generation * 100 + i,
+                rng.gen_range(0.0f64..1000.0),
+                rng.gen_range(0.0f64..1000.0),
+            )));
+        } else if roll < 8 {
+            ops.push(WriteOp::Upsert(Point::new(
+                rng.gen_range(0..base_n as usize) as u64,
+                rng.gen_range(0.0f64..1000.0),
+                rng.gen_range(0.0f64..1000.0),
+            )));
+        } else {
+            ops.push(WriteOp::Remove(rng.gen_range(0..base_n as usize) as u64));
+        }
+    }
+    ops
+}
+
+/// SoA equivalence through the store: snapshots whose blocks are
+/// tombstone-filtered base blocks plus overlay-grid cells must give the same
+/// batched/scalar/brute-force answers, and never resurrect a removed id.
+#[test]
+fn soa_equivalence_holds_on_tombstone_filtered_overlay_blocks() {
+    let mut scratch = ScratchSpace::new();
+    for (family, build) in [("grid", 0usize), ("quadtree", 1usize), ("rtree", 2usize)] {
+        let mut rng = StdRng::seed_from_u64(6_000 + build as u64);
+        let base = points(&mut rng, 400);
+        let base_n = base.len() as u64;
+        // Huge threshold: nothing compacts, every read goes through the
+        // delta overlay; tiny cells force a partitioned overlay.
+        let mut db = Database::with_store_config(StoreConfig {
+            compaction_threshold: usize::MAX,
+            overlay: OverlayConfig {
+                cell_target: 4,
+                max_cells_per_axis: 8,
+            },
+        });
+        match build {
+            0 => db.register("R", GridIndex::build(base.clone(), 6).unwrap()),
+            1 => db.register("R", QuadtreeIndex::build(base.clone(), 16).unwrap()),
+            _ => db.register("R", StrRTree::build(base.clone(), 16).unwrap()),
+        };
+        let ops = mixed_batch(&mut rng, 0, base_n);
+        db.ingest("R", &ops).unwrap();
+        let snap = db.relation("R").unwrap();
+        assert!(snap.delta_len() > 0, "{family}: delta must be non-empty");
+
+        let removed: std::collections::HashSet<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                WriteOp::Remove(id) if !snap.contains_id(*id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        // Tombstone-filtered base blocks never leak a removed id.
+        for b in snap.blocks() {
+            for p in snap.block_points(b.id) {
+                assert!(!removed.contains(&p.id), "{family}: tombstone leaked");
+            }
+        }
+        for case in 0..16u64 {
+            let q = Point::anonymous(
+                rng.gen_range(-50.0f64..1050.0),
+                rng.gen_range(-50.0f64..1050.0),
+            );
+            let k = rng.gen_range(1..16usize);
+            let mut m = Metrics::default();
+            let batched = get_knn_in(&*snap, &q, k, &mut m, &mut scratch);
+            let scalar = get_knn_scalar(&*snap, &q, k, &mut m);
+            assert_eq!(batched, scalar, "{family} case {case}");
+            let oracle = brute_force_knn(&*snap, &q, k);
+            assert!(radii_equal(&oracle, &batched), "{family} case {case}");
+            for nb in batched.members() {
+                assert!(!removed.contains(&nb.point.id), "{family} case {case}");
+            }
+        }
+    }
+}
+
+/// Drift test: across several mixed ingest batches (and a mid-stream
+/// compaction) the batched kNN over the live snapshot stays identical to a
+/// from-scratch index over the snapshot's merged points — the SoA overlay
+/// and tombstone filtering introduce no generational drift.
+#[test]
+fn batched_knn_does_not_drift_across_mixed_ingest_batches() {
+    let mut rng = StdRng::seed_from_u64(7_000);
+    let base = points(&mut rng, 350);
+    let base_n = base.len() as u64;
+    let mut db = Database::with_store_config(StoreConfig {
+        compaction_threshold: usize::MAX,
+        overlay: OverlayConfig {
+            cell_target: 4,
+            max_cells_per_axis: 8,
+        },
+    });
+    db.register("R", GridIndex::build(base, 6).unwrap());
+    let mut scratch = ScratchSpace::new();
+    for generation in 0..6u64 {
+        db.ingest("R", &mixed_batch(&mut rng, generation, base_n))
+            .unwrap();
+        if generation == 3 {
+            // Fold the accumulated delta mid-stream: later generations run
+            // against a rebuilt base plus a fresh overlay.
+            db.compact_now("R").unwrap();
+        }
+        let snap = db.relation("R").unwrap();
+        snap.check_overlay_invariants()
+            .unwrap_or_else(|e| panic!("generation {generation}: {e}"));
+        let reference = GridIndex::build_with_bounds(snap.merged_points(), snap.bounds(), 6)
+            .expect("snapshot is non-empty");
+        assert_eq!(snap.num_points(), reference.num_points());
+        for case in 0..12u64 {
+            let q = Point::anonymous(rng.gen_range(0.0f64..1000.0), rng.gen_range(0.0f64..1000.0));
+            let k = rng.gen_range(1..12usize);
+            let mut m = Metrics::default();
+            let live = get_knn_in(&*snap, &q, k, &mut m, &mut scratch);
+            let rebuilt = get_knn_in(&reference, &q, k, &mut m, &mut scratch);
+            // The k smallest (distance², id) pairs are a unique selection
+            // over the same logical point set, whatever the block layout —
+            // the overlay/tombstone view and the rebuilt index must agree
+            // exactly, members and all.
+            assert_eq!(
+                live, rebuilt,
+                "generation {generation} case {case}: snapshot kNN drifted"
+            );
         }
     }
 }
