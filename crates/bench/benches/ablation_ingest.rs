@@ -247,6 +247,7 @@ fn main() {
                     StoreConfig {
                         compaction_threshold: usize::MAX,
                         overlay,
+                        ..StoreConfig::default()
                     },
                 );
                 db.register("Objects", workloads::berlin_relation(points, 313));

@@ -43,6 +43,10 @@
 //! detached [`WorkerPool`](crate::exec::WorkerPool) jobs (coalesced per
 //! subscription under an epoch counter, so write bursts cost one
 //! re-evaluation, not one per batch), and emits id-keyed [`ResultDelta`]s.
+//! Re-evaluations pin composed snapshots of spatially sharded relations
+//! (see [`crate::store`]), so a standing kNN query over a sharded relation
+//! prunes whole shards by MINDIST exactly like an ad-hoc one — maintenance
+//! cost tracks the shards a subscription's guard actually overlaps.
 //!
 //! Deltas are **keyed by the rows' point ids**: a retained row whose points
 //! merely moved is not re-reported. Accumulated deltas always reconstruct

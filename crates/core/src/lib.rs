@@ -37,7 +37,7 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`plan`] | logical plans, statistics, optimizer, physical operators, and the [`plan::Database`] driver |
-//! | [`store`] | versioned relation store: snapshot reads, delta ingest, background index rebuilds on the worker pool |
+//! | [`store`] | versioned relation store: spatially sharded relations, snapshot reads, delta ingest, per-shard background rebuilds on the worker pool |
 //! | [`cq`] | continuous queries: standing two-kNN queries, guard-region registry, incremental maintenance over ingest |
 //! | [`exec`] | execution modes and the persistent [`WorkerPool`] shared by batches, operators, and compactions |
 //! | [`output`] | typed result rows ([`Pair`], [`Triplet`]) and the output container |
@@ -90,4 +90,6 @@ pub use cq::{MaintenancePolicy, ResultDelta, SubscriptionId};
 pub use error::QueryError;
 pub use exec::{ExecutionMode, WorkerPool};
 pub use output::{Pair, QueryOutput, Triplet};
-pub use store::{DbSnapshot, IndexConfig, OverlayConfig, RelationStore, StoreConfig, WriteOp};
+pub use store::{
+    DbSnapshot, IndexConfig, OverlayConfig, RelationStore, ShardConfig, StoreConfig, WriteOp,
+};

@@ -17,10 +17,12 @@
 //!
 //! Writes go through [`Database::insert`] / [`Database::remove`] /
 //! [`Database::update`] (or batched [`Database::ingest`]): each call
-//! publishes a new relation version atomically, and when a relation's delta
-//! overlay outgrows the store's compaction threshold a background index
-//! rebuild is scheduled on the same pool. Readers never block on either —
-//! they keep their pinned snapshots.
+//! publishes a new relation version atomically. Relations may be spatially
+//! sharded ([`crate::store::ShardConfig`]): ops are routed to the shard
+//! they fall in, and when a **shard's** delta overlay outgrows the store's
+//! compaction threshold a background rebuild of that shard alone is
+//! scheduled on the same pool. Readers never block on either — they keep
+//! their pinned snapshots.
 
 use std::sync::{Arc, OnceLock};
 
@@ -272,6 +274,11 @@ impl Database {
     /// ([`StoredIndex::rebuild_config`]), so compactions rebuild the same
     /// kind of index. Custom [`SpatialIndex`](twoknn_index::SpatialIndex)
     /// implementations go through [`Database::register_with_config`].
+    ///
+    /// With spatial sharding configured ([`crate::store::ShardConfig`]), the
+    /// registered index's points are re-bucketed into one independently
+    /// versioned shard base per grid cell; the single-shard default keeps
+    /// the index as-is.
     pub fn register<I>(
         &mut self,
         name: impl Into<String>,
@@ -352,10 +359,13 @@ impl Database {
     /// visibility step: queries observe all of the batch or none of it.
     /// Returns `(ops that changed the visible point set, new version)`.
     ///
-    /// When the relation's delta overlay outgrows the store's compaction
-    /// threshold, a background rebuild is scheduled on this database's
-    /// [`WorkerPool`] (on a parallelism-1 pool the rebuild runs inline —
-    /// see [`WorkerPool::spawn`]).
+    /// Each op is routed to the spatial shard its coordinates map to
+    /// ([`crate::store::ShardConfig`]); a shard whose delta overlay outgrows
+    /// the store's compaction threshold gets a background rebuild **of that
+    /// shard alone** scheduled on this database's [`WorkerPool`] (on a
+    /// parallelism-1 pool the rebuild runs inline — see
+    /// [`WorkerPool::spawn`]), so a write burst confined to one region
+    /// never triggers a full-relation rebuild.
     ///
     /// If standing queries are registered ([`Database::subscribe`]), the
     /// published batch is handed to the continuous-query maintainer: it
@@ -402,9 +412,14 @@ impl Database {
     }
 
     /// Synchronously compacts a relation on the calling thread (the gather
-    /// phase still shards over the pool). Returns the published version, or
-    /// `None` when the delta is empty or a background rebuild already holds
-    /// the compaction slot.
+    /// phase still shards over the pool): **every spatial shard** with a
+    /// non-empty delta is folded into a fresh base, regardless of the
+    /// background threshold. Untouched shards are left alone, so the cost is
+    /// proportional to the dirty shards, not the relation. Returns the last
+    /// published version, or `None` when no shard had anything to fold (or
+    /// background rebuilds already hold every dirty shard's slot).
+    /// Per-shard rebuilds are counted by `shards_compacted` in
+    /// [`Database::store_metrics`].
     pub fn compact_now(&self, name: &str) -> Result<Option<u64>, QueryError> {
         self.store.compact_now(name, &self.pool)
     }

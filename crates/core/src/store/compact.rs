@@ -1,23 +1,28 @@
-//! Background index rebuilds on the shared worker pool.
+//! Background per-shard index rebuilds on the shared worker pool.
 //!
-//! When a relation's delta outgrows its compaction threshold, the store
-//! schedules a rebuild job via [`WorkerPool::spawn`] — the same queue (and
-//! the same thread budget) that batch and operator tasks use, so a rebuild
-//! never oversubscribes the machine and `execute_batch` keeps making
-//! progress on the caller thread while a worker rebuilds.
+//! When a spatial shard's delta outgrows the relation's compaction
+//! threshold, the store schedules a rebuild job **for that shard alone** via
+//! [`WorkerPool::spawn`] — the same queue (and the same thread budget) that
+//! batch and operator tasks use, so rebuilds never oversubscribe the machine
+//! and `execute_batch` keeps making progress on the caller thread while
+//! workers rebuild. Because each shard has its own writer lock and
+//! compaction slot, a hot shard rebuilding never blocks ingest into (or
+//! rebuilds of) the others, and the gather/build cost is proportional to the
+//! dirty shard, not the whole relation.
 //!
-//! The rebuild pipeline:
+//! The per-shard rebuild pipeline:
 //!
-//! 1. **Capture** `(snapshot, log position)` under the relation's writer
-//!    lock (nanoseconds — ingest continues right after);
-//! 2. **Gather** the snapshot's visible points, sharded over block ranges
-//!    with [`run_partitioned_on`] so large relations use the whole pool.
-//!    Overlay-grid cells are ordinary blocks of the snapshot, so a large
-//!    un-compacted burst is gathered cell-parallel exactly like the base —
-//!    the shards cover base and overlay blocks uniformly;
-//! 3. **Build** a fresh base index with the relation's [`IndexConfig`];
-//! 4. **Publish**: replay the ops ingested since the capture onto the new
-//!    base and atomically swap the snapshot in.
+//! 1. **Capture** `(shard snapshot, shard log position)` under that shard's
+//!    writer lock (nanoseconds — ingest continues right after);
+//! 2. **Gather** the shard's visible points, partitioned over block ranges
+//!    with [`run_partitioned_on`] so large shards use the whole pool.
+//!    Overlay-grid cells are ordinary blocks of the shard snapshot, so a
+//!    large un-compacted burst is gathered cell-parallel exactly like the
+//!    base — the gather ranges cover base and overlay blocks uniformly;
+//! 3. **Build** a fresh shard base with the relation's [`IndexConfig`];
+//! 4. **Publish**: replay the shard ops ingested since the capture onto the
+//!    new base, swap the shard in, and atomically recompose the relation
+//!    snapshot.
 //!
 //! On a parallelism-1 pool (e.g. `TWOKNN_THREADS=1`) there are no workers,
 //! so [`WorkerPool::spawn`] degrades to running the rebuild inline in the
@@ -26,80 +31,103 @@
 use std::sync::{Arc, Mutex};
 
 use twoknn_geometry::Point;
-use twoknn_index::{BlockId, Metrics};
+use twoknn_index::{BlockId, Metrics, SpatialIndex};
 
 use crate::exec::{run_partitioned_on, WorkerPool};
 
-use super::snapshot::RelationSnapshot;
 use super::version::VersionedRelation;
 
-/// Number of blocks a single gather shard covers. Small relations collapse
-/// to one shard (a plain serial copy); large ones fan out over the pool.
+/// Number of blocks a single gather range covers. Small shards collapse to
+/// one range (a plain serial copy); large ones fan out over the pool.
 const GATHER_SHARD_BLOCKS: usize = 64;
 
-/// Collects a snapshot's visible points, partitioned over block-range shards
+/// Collects an index's visible points, partitioned over block-range chunks
 /// on `pool`. Ordering follows block order (and point order within blocks),
-/// matching the serial [`RelationSnapshot::merged_points`].
-pub(crate) fn gather_points_sharded(snapshot: &RelationSnapshot, pool: &WorkerPool) -> Vec<Point> {
-    use twoknn_index::SpatialIndex;
-
+/// matching the serial `merged_points`.
+pub(crate) fn gather_points_sharded<I>(snapshot: &I, pool: &WorkerPool) -> Vec<Point>
+where
+    I: SpatialIndex + Sync + ?Sized,
+{
     let num_blocks = snapshot.num_blocks();
-    let shards: Vec<std::ops::Range<usize>> = (0..num_blocks)
+    let chunks: Vec<std::ops::Range<usize>> = (0..num_blocks)
         .step_by(GATHER_SHARD_BLOCKS.max(1))
         .map(|start| start..(start + GATHER_SHARD_BLOCKS).min(num_blocks))
         .collect();
     let mut scratch = Metrics::default();
-    run_partitioned_on(&shards, pool, &mut scratch, |shard, out, metrics| {
-        for id in shard.clone() {
+    run_partitioned_on(&chunks, pool, &mut scratch, |chunk, out, metrics| {
+        for id in chunk.clone() {
             metrics.blocks_scanned += 1;
             out.extend(snapshot.block_points(id as BlockId));
         }
     })
 }
 
-/// Runs one compaction cycle for `rel` on the calling thread, sharding the
-/// gather phase over `pool`. Returns the published version, or `None` when
-/// another rebuild holds the slot or the delta is empty.
+/// Runs one compaction cycle of shard `s` on the calling thread, sharding
+/// the gather phase over `pool`. Returns the published composed version, or
+/// `None` when another rebuild holds the shard's slot or its delta is empty.
+pub(crate) fn compact_shard(
+    rel: &VersionedRelation,
+    s: usize,
+    pool: &WorkerPool,
+    metrics: &Mutex<Metrics>,
+) -> Option<u64> {
+    rel.compact_shard_with(s, |snapshot| gather_points_sharded(snapshot, pool), metrics)
+}
+
+/// Synchronously folds **every** dirty shard of `rel` on the calling thread
+/// (regardless of the background threshold — this is the `compact_now`
+/// path, whose contract is "the delta is folded when I return"). Shards
+/// whose rebuild slot is held by an in-flight background job are skipped.
+/// Returns the last published composed version, or `None` when no shard had
+/// anything to fold.
 pub(crate) fn compact_relation(
     rel: &VersionedRelation,
     pool: &WorkerPool,
     metrics: &Mutex<Metrics>,
 ) -> Option<u64> {
-    rel.compact_with(|snapshot| gather_points_sharded(snapshot, pool), metrics)
+    let mut published = None;
+    for s in 0..rel.num_shards() {
+        if let Some(version) = compact_shard(rel, s, pool, metrics) {
+            published = Some(version);
+        }
+    }
+    published
 }
 
-/// Schedules a background compaction of `rel` on `pool` if its delta has
-/// outgrown the threshold and no rebuild is in flight. Returns whether a job
-/// was scheduled.
+/// Schedules background compactions on `pool` — one job per shard whose
+/// delta has outgrown the threshold and has no rebuild in flight. Returns
+/// whether any job was scheduled.
 pub(crate) fn schedule_compaction(
     rel: &Arc<VersionedRelation>,
     pool: &Arc<WorkerPool>,
     metrics: &Arc<Mutex<Metrics>>,
 ) -> bool {
-    if !rel.needs_compaction() {
-        return false;
+    let dirty = rel.shards_needing_compaction();
+    for &s in &dirty {
+        let rel = Arc::clone(rel);
+        let metrics = Arc::clone(metrics);
+        pool.spawn(move || {
+            // The serving pool (or, inline on a 1-pool, the bound submitting
+            // pool) shards the gather; `compact_shard_with` re-checks the
+            // per-shard in-flight slot, so racing duplicate jobs degenerate
+            // to no-ops.
+            let pool = WorkerPool::current();
+            let _ = compact_shard(&rel, s, &pool, &metrics);
+        });
     }
-    let rel = Arc::clone(rel);
-    let metrics = Arc::clone(metrics);
-    pool.spawn(move || {
-        // The serving pool (or, inline on a 1-pool, the bound submitting
-        // pool) shards the gather; `compact_with` re-checks the in-flight
-        // slot, so racing duplicate jobs degenerate to no-ops.
-        let pool = WorkerPool::current();
-        let _ = compact_relation(&rel, &pool, &metrics);
-    });
-    true
+    !dirty.is_empty()
 }
 
 #[cfg(test)]
 mod tests {
     use super::super::delta::WriteOp;
+    use super::super::shard::ShardConfig;
     use super::super::snapshot::{BaseIndex, IndexConfig};
     use super::*;
     use twoknn_geometry::Point;
-    use twoknn_index::{GridIndex, SpatialIndex};
+    use twoknn_index::GridIndex;
 
-    fn relation(threshold: usize) -> Arc<VersionedRelation> {
+    fn relation_sharded(threshold: usize, shards_per_axis: usize) -> Arc<VersionedRelation> {
         let pts: Vec<Point> = (0..500u64)
             .map(|i| {
                 let h = i.wrapping_mul(0x9E3779B97F4A7C15);
@@ -113,7 +141,12 @@ mod tests {
             IndexConfig::Grid { cells_per_axis: 9 },
             threshold,
             crate::store::OverlayConfig::default(),
+            ShardConfig::per_axis(shards_per_axis),
         ))
+    }
+
+    fn relation(threshold: usize) -> Arc<VersionedRelation> {
+        relation_sharded(threshold, 1)
     }
 
     #[test]
@@ -126,14 +159,14 @@ mod tests {
         ]);
         let snap = rel.load();
         let pool = WorkerPool::new(3);
-        let sharded = gather_points_sharded(&snap, &pool);
+        let sharded = gather_points_sharded(&*snap, &pool);
         assert_eq!(sharded, snap.merged_points());
     }
 
     #[test]
     fn sharded_gather_covers_a_partitioned_overlay_cell_parallel() {
         // A burst big enough to split into many overlay cells: the gather
-        // shards must cover every cell exactly once, in block order, just
+        // chunks must cover every cell exactly once, in block order, just
         // like base blocks.
         let rel = relation(1_000_000);
         let burst: Vec<WriteOp> = (0..600u64)
@@ -152,7 +185,7 @@ mod tests {
             "the burst must partition the overlay"
         );
         let pool = WorkerPool::new(4);
-        let sharded = gather_points_sharded(&snap, &pool);
+        let sharded = gather_points_sharded(&*snap, &pool);
         assert_eq!(sharded, snap.merged_points());
         assert_eq!(sharded.len(), snap.num_points());
     }
@@ -193,5 +226,44 @@ mod tests {
         // Inline spawn: the publish already happened.
         assert_eq!(rel.load().delta_len(), 0);
         assert_eq!(rel.load().num_points(), 499);
+    }
+
+    #[test]
+    fn scheduling_rebuilds_only_the_dirty_shards() {
+        let rel = relation_sharded(4, 2);
+        let pool = WorkerPool::new(1); // inline spawn: deterministic
+        let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let extent = rel.load().bounds();
+        // One burst confined to the low-corner shard, one stray write in the
+        // high corner: only the bursty shard crosses the threshold.
+        let mut ops: Vec<WriteOp> = (0..6u64)
+            .map(|i| {
+                WriteOp::Upsert(Point::new(
+                    9_000 + i,
+                    extent.min_x + 0.5 + i as f64 * 0.1,
+                    extent.min_y + 0.5,
+                ))
+            })
+            .collect();
+        ops.push(WriteOp::Upsert(Point::new(
+            9_900,
+            extent.max_x - 0.5,
+            extent.max_y - 0.5,
+        )));
+        rel.ingest(&ops);
+        assert!(schedule_compaction(&rel, &pool, &metrics));
+        let m = *metrics.lock().unwrap();
+        assert_eq!(
+            (m.compactions, m.shards_compacted),
+            (1, 1),
+            "only the bursty shard rebuilds"
+        );
+        assert_eq!(rel.load().delta_len(), 1, "the stray write stays deltaed");
+        // compact_relation (the compact_now path) folds the stragglers too.
+        assert!(compact_relation(&rel, &pool, &metrics).is_some());
+        assert_eq!(rel.load().delta_len(), 0);
+        assert_eq!(metrics.lock().unwrap().shards_compacted, 2);
+        assert_eq!(rel.load().num_points(), 507);
+        rel.load().check_overlay_invariants().unwrap();
     }
 }

@@ -6,9 +6,9 @@
 //! the storage layer that reconciles the two without ever blocking readers
 //! on writers:
 //!
-//! * [`RelationSnapshot`] — an immutable version of a relation: a base
+//! * [`ShardSnapshot`] — an immutable version of one spatial shard: a base
 //!   index plus a sorted insert/delete [`Delta`] overlay, materialized as
-//!   extra/filtered blocks so the whole snapshot *is* a [`SpatialIndex`].
+//!   extra/filtered blocks so the whole shard *is* a [`SpatialIndex`].
 //!   Inserts are bucketed by position into a bounded **overlay grid**
 //!   ([`OverlayConfig`]) of copy-on-write cells, one tight-MBR overlay
 //!   block per occupied cell, so per-block MINDIST pruning keeps working
@@ -17,42 +17,53 @@
 //!   materialized as SoA [`PointBlock`](twoknn_index::PointBlock) columns —
 //!   the same layout the indexes use — so snapshot reads go through the
 //!   batched block-scan kernels unchanged;
-//! * [`VersionedRelation`] — the `Arc`-swapped current snapshot of one
-//!   relation, a serialized writer path for atomic ingest batches, and the
-//!   write log that lets compaction publish without losing concurrent
-//!   writes;
-//! * [`compact`](self) (internal) — background rebuilds scheduled on the
-//!   shared [`WorkerPool`] when a delta outgrows
+//! * [`RelationSnapshot`] — the composed, immutable view of a whole
+//!   relation: the shard snapshots' blocks concatenated, plus one
+//!   [`PartitionMeta`](twoknn_index::PartitionMeta) per shard (tight MBR +
+//!   contiguous block range) so kNN runs scatter-gather over shards in
+//!   MINDIST order. A relation sharded `1×1` composes to exactly the old
+//!   unsharded snapshot — the ablation baseline;
+//! * [`VersionedRelation`] — a [`ShardMap`](self) routing points to
+//!   independently versioned shards, each with its own writer lock, write
+//!   log, and compaction slot, behind one `Arc`-swapped composed snapshot;
+//! * [`compact`](self) (internal) — **per-shard** background rebuilds
+//!   scheduled on the shared [`WorkerPool`] when a shard's delta outgrows
 //!   [`StoreConfig::compaction_threshold`], with the gather phase sharded
-//!   over block ranges;
+//!   over block ranges. A hot shard rebuilding never blocks ingest into the
+//!   others;
 //! * [`RelationStore`] — the named catalog of versioned relations behind
 //!   [`Database`](crate::plan::Database), and [`DbSnapshot`] — a pinned,
 //!   consistent view of *every* relation that a query (or a whole
 //!   `execute_batch`) resolves names against.
 //!
 //! ```text
-//!    writers                    readers
-//!    ───────                    ───────
-//!    insert/remove/update       execute / execute_batch
-//!          │                          │
-//!          ▼                          ▼ pin (Arc clone)
-//!    ┌ writer mutex ┐     ┌────────────────────────┐
-//!    │ delta + log  ├────►│ current: Arc<Snapshot> │  ◄─ atomic swap
-//!    └──────┬───────┘     └────────────────────────┘
-//!           │ delta ≥ threshold            ▲
-//!           ▼                              │ publish (replay log tail)
-//!    WorkerPool::spawn ──► gather (sharded) ──► rebuild base
+//!    writers                           readers
+//!    ───────                           ───────
+//!    insert/remove/update              execute / execute_batch
+//!          │ route by ShardMap               │
+//!          ▼                                 ▼ pin (Arc clone)
+//!    ┌ shard 0 writer ┐──► shard 0   ┌─────────────────────────────┐
+//!    │ delta + log    │   snapshot ─►│ current: Arc<RelationSnap.> │
+//!    └────────────────┘              │  blocks ++ PartitionMeta[]  │
+//!    ┌ shard 1 writer ┐──► shard 1 ─►└─────────────────────────────┘
+//!    │ delta + log    │   snapshot      ▲ recompose = atomic swap
+//!    └──────┬─────────┘                 │ publish (replay shard log tail)
+//!           │ shard delta ≥ threshold   │
+//!           ▼                           │
+//!    WorkerPool::spawn ──► gather shard ──► rebuild shard base
 //! ```
 
 mod compact;
 mod delta;
 mod overlay;
+mod shard;
 mod snapshot;
 mod version;
 
 pub use delta::{Delta, WriteOp};
 pub use overlay::OverlayConfig;
-pub use snapshot::{BaseIndex, IndexConfig, RelationSnapshot, StoredIndex};
+pub use shard::{RelationSnapshot, ShardConfig};
+pub use snapshot::{BaseIndex, IndexConfig, ShardSnapshot, StoredIndex};
 pub use version::VersionedRelation;
 
 pub(crate) use version::IngestReceipt;
@@ -69,13 +80,20 @@ use crate::exec::WorkerPool;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
     /// Delta size (inserts + deletes) at which ingest schedules a background
-    /// rebuild of the relation's base index.
+    /// rebuild of **that shard's** base index. With the default single-shard
+    /// layout this is the relation's delta size, as before.
     pub compaction_threshold: usize,
     /// Sizing of the partitioned delta overlay (cell occupancy target and
     /// fanout cap). The default keeps overlay cells around 32 points with at
     /// most 32×32 cells; `max_cells_per_axis: 1` reproduces the old
     /// single-block overlay for ablations.
     pub overlay: OverlayConfig,
+    /// Spatial sharding of each relation ([`ShardConfig`]): relations are
+    /// split into `shards_per_axis²` independently versioned shards, each
+    /// with its own delta, writer lock, and background compaction. The
+    /// default (`1`) keeps every relation a single shard — the unsharded
+    /// ablation baseline.
+    pub sharding: ShardConfig,
 }
 
 impl Default for StoreConfig {
@@ -83,6 +101,7 @@ impl Default for StoreConfig {
         Self {
             compaction_threshold: 512,
             overlay: OverlayConfig::default(),
+            sharding: ShardConfig::default(),
         }
     }
 }
@@ -137,6 +156,7 @@ impl RelationStore {
             config,
             self.config.compaction_threshold,
             self.config.overlay,
+            self.config.sharding,
         ));
         self.relations
             .write()
@@ -241,9 +261,10 @@ impl RelationStore {
     }
 
     /// Synchronously compacts `name` on the calling thread (the gather phase
-    /// still shards over `pool`). Returns the published version, or `None`
-    /// when the delta is empty or a background rebuild already holds the
-    /// compaction slot.
+    /// still shards over `pool`): **every** shard with a non-empty delta is
+    /// folded, regardless of the background threshold. Returns the last
+    /// published version, or `None` when no shard had anything to fold (or
+    /// background rebuilds already hold every dirty shard's slot).
     pub fn compact_now(&self, name: &str, pool: &WorkerPool) -> Result<Option<u64>, QueryError> {
         let rel = self.get(name)?;
         Ok(compact::compact_relation(&rel, pool, &self.metrics))
@@ -450,7 +471,7 @@ mod tests {
         // Threshold 3 reached: the 1-thread pool compacted inline.
         assert_eq!(store.metrics().compactions, 1);
         let snap = store.get("R").unwrap().load();
-        assert!(snap.delta().is_empty());
+        assert_eq!(snap.delta_len(), 0);
         assert_eq!(snap.num_points(), 99);
         // compact_now with an empty delta is a no-op.
         assert_eq!(store.compact_now("R", &pool).unwrap(), None);

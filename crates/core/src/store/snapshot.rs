@@ -1,11 +1,13 @@
-//! Immutable relation snapshots: a base index plus a materialized delta
+//! Immutable shard snapshots: a base index plus a materialized delta
 //! overlay, presented through the ordinary [`SpatialIndex`] trait.
 //!
-//! A [`RelationSnapshot`] is what queries actually run against. It is
-//! immutable — ingest and compaction never mutate a published snapshot, they
-//! build a *new* one and atomically swap the relation's current pointer — so
-//! a query (or a whole batch) that pinned a snapshot keeps a frozen,
-//! consistent view no matter what writers do concurrently.
+//! A [`ShardSnapshot`] is the per-shard storage unit of a relation: each
+//! spatial shard of a [`super::RelationSnapshot`] is one `ShardSnapshot`
+//! (an unsharded relation is simply one shard covering the whole extent).
+//! It is immutable — ingest and compaction never mutate a published
+//! snapshot, they build a *new* one and atomically swap the shard's current
+//! pointer — so a query (or a whole batch) that pinned a composed snapshot
+//! keeps a frozen, consistent view no matter what writers do concurrently.
 //!
 //! The overlay is folded into the block structure the trait exposes:
 //!
@@ -23,15 +25,16 @@
 //! Block ids therefore stay dense, counts stay consistent, and every
 //! algorithm of the paper runs unmodified on a delta-bearing relation —
 //! [`twoknn_index::check_index_invariants`] holds for any snapshot, and
-//! [`RelationSnapshot::check_overlay_invariants`] additionally pins the
+//! [`ShardSnapshot::check_overlay_invariants`] additionally pins the
 //! overlay-specific guarantees (exact per-cell counts/MBRs, tombstones
 //! filtered everywhere, inserts locatable in O(cell)).
 //!
 //! Because a snapshot is immutable, its optimizer statistics are immutable
-//! too: [`RelationSnapshot::profile`] memoizes the
-//! [`RelationProfile`](crate::plan::RelationProfile) on first use, so a
-//! batch of queries planned against one snapshot profiles each relation
-//! once, not once per query.
+//! too: [`ShardSnapshot::profile`] memoizes the
+//! [`RelationProfile`](crate::plan::RelationProfile) on first use; the
+//! composed relation snapshot merges the per-shard state lazily the same
+//! way, so a batch of queries planned against one snapshot profiles each
+//! relation once, not once per query.
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -69,7 +72,7 @@ pub(crate) fn index_ids(base: &dyn SpatialIndex) -> HashMap<PointId, BlockId> {
 /// Implements [`SpatialIndex`], so every query algorithm (and
 /// [`RelationProfile`](crate::plan::RelationProfile)) consumes it exactly
 /// like a plain index.
-pub struct RelationSnapshot {
+pub struct ShardSnapshot {
     base: BaseIndex,
     base_ids: BaseIdMap,
     delta: Delta,
@@ -94,22 +97,13 @@ pub struct RelationSnapshot {
 
 /// The per-op outcome of applying one ingest batch to a snapshot.
 pub(crate) struct BatchOutcome {
-    /// Per op: whether it changed the visible point set.
+    /// Per op: whether it changed the visible point set. (Per-op *prior
+    /// visibility* is resolved one level up, during shard routing, where a
+    /// batch's ops may span shards.)
     pub changed: Vec<bool>,
-    /// Per op: whether the op's id was visible immediately **before** the op
-    /// (within the batch: earlier ops of the same batch count). Computed
-    /// under the writer lock, so it is race-free.
-    pub visible_before: Vec<bool>,
 }
 
-impl BatchOutcome {
-    /// Number of ops that changed the visible point set.
-    pub fn effective(&self) -> usize {
-        self.changed.iter().filter(|c| **c).count()
-    }
-}
-
-impl RelationSnapshot {
+impl ShardSnapshot {
     /// Wraps a freshly built base index with an empty overlay.
     pub(crate) fn clean(base: BaseIndex, version: u64, overlay: OverlayConfig) -> Self {
         let base_ids = Arc::new(index_ids(base.as_ref()));
@@ -138,17 +132,12 @@ impl RelationSnapshot {
     pub(crate) fn apply_batch(&self, ops: &[WriteOp], version: u64) -> (Self, BatchOutcome) {
         let mut delta = self.delta.clone();
         let mut changed = Vec::with_capacity(ops.len());
-        let mut visible_before = Vec::with_capacity(ops.len());
         let mut touched: Vec<BlockId> = Vec::new();
         for op in ops {
             let id = match op {
                 WriteOp::Upsert(p) => p.id,
                 WriteOp::Remove(id) => *id,
             };
-            visible_before.push(
-                delta.inserted(id).is_some()
-                    || (self.base_ids.contains_key(&id) && !delta.is_deleted(id)),
-            );
             let deletes_before = delta.deletes().len();
             changed.push(delta.apply(op, |id| self.base_ids.contains_key(&id)));
             if delta.deletes().len() != deletes_before {
@@ -177,13 +166,7 @@ impl RelationSnapshot {
             tombstoned,
             version,
         );
-        (
-            snapshot,
-            BatchOutcome {
-                changed,
-                visible_before,
-            },
-        )
+        (snapshot, BatchOutcome { changed })
     }
 
     fn assemble(base: BaseIndex, base_ids: BaseIdMap, delta: Delta, version: u64) -> Self {
@@ -401,7 +384,7 @@ impl RelationSnapshot {
     }
 }
 
-impl SpatialIndex for RelationSnapshot {
+impl SpatialIndex for ShardSnapshot {
     fn bounds(&self) -> Rect {
         self.bounds
     }
@@ -451,9 +434,9 @@ impl SpatialIndex for RelationSnapshot {
     }
 }
 
-impl std::fmt::Debug for RelationSnapshot {
+impl std::fmt::Debug for ShardSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RelationSnapshot")
+        f.debug_struct("ShardSnapshot")
             .field("version", &self.version)
             .field("num_points", &self.num_points)
             .field("delta_len", &self.delta.len())
@@ -601,9 +584,9 @@ mod tests {
             .collect()
     }
 
-    fn snapshot_with_config(ops: &[WriteOp], overlay: OverlayConfig) -> RelationSnapshot {
+    fn snapshot_with_config(ops: &[WriteOp], overlay: OverlayConfig) -> ShardSnapshot {
         let base: BaseIndex = Arc::new(GridIndex::build(scattered(300, 7), 6).unwrap());
-        let clean = RelationSnapshot::clean(base, 0, overlay);
+        let clean = ShardSnapshot::clean(base, 0, overlay);
         let mut delta = clean.delta().clone();
         for op in ops {
             delta.apply(op, |id| clean.base_ids().contains_key(&id));
@@ -611,7 +594,7 @@ mod tests {
         clean.with_delta(delta, 1)
     }
 
-    fn snapshot_with(ops: &[WriteOp]) -> RelationSnapshot {
+    fn snapshot_with(ops: &[WriteOp]) -> ShardSnapshot {
         snapshot_with_config(ops, OverlayConfig::default())
     }
 

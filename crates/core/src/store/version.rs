@@ -1,72 +1,94 @@
-//! One versioned relation: an atomically swapped current snapshot, a
-//! serialized writer path, and the write log that lets a background rebuild
-//! publish without losing concurrent ingest.
+//! One versioned relation: independently versioned spatial shards behind an
+//! atomically swapped composed snapshot.
 //!
 //! # Concurrency model
 //!
 //! * **Readers** call [`VersionedRelation::load`], which clones the current
-//!   snapshot `Arc` under a read lock held only for the clone — a few
-//!   nanoseconds. Writers hold the matching write lock only to swap the
-//!   pointer, so readers never wait on ingest or compaction *work*, only on
-//!   pointer swaps. The query then runs entirely against its pinned
+//!   composed snapshot `Arc` under a read lock held only for the clone — a
+//!   few nanoseconds. The query then runs entirely against its pinned
 //!   [`RelationSnapshot`], lock-free.
-//! * **Writers** (ingest batches and compaction publishes) serialize on one
-//!   writer mutex. Each ingest batch clones the current delta, applies its
-//!   ops, assembles a new snapshot and swaps it in — one atomic visibility
-//!   step per batch.
-//! * **Compaction** captures `(current snapshot, log length)` under the
-//!   writer lock, rebuilds the base *outside* the lock (ingest continues
-//!   concurrently), then re-enters the lock to replay the ops logged since
-//!   the capture onto the new base and swap the result in. The log is
-//!   trimmed to exactly those replayed ops, so it never grows beyond one
-//!   compaction cycle of writes.
+//! * **Writers** serialize on one relation-level `ingest_lock` only to
+//!   *route* a batch (each op's target shard depends on what earlier ops
+//!   made visible). The actual work happens under the **per-shard** writer
+//!   mutexes of just the shards the batch touches — a write burst confined
+//!   to one shard contends on that shard alone, and a per-shard compaction
+//!   publish never blocks ingest into other shards.
+//! * **Per-shard compaction** captures `(shard snapshot, log length)` under
+//!   that shard's writer lock, rebuilds the shard's base *outside* all
+//!   locks (ingest everywhere continues concurrently), then re-enters the
+//!   shard lock to replay the shard ops logged since the capture and swap
+//!   the shard in. Each shard has its own in-flight slot, so rebuilds of
+//!   different shards overlap freely on the worker pool.
+//! * **Publishing** — the only place shard state becomes visible — happens
+//!   under the `compose_lock`: the affected shard pointers are swapped and a
+//!   new composed [`RelationSnapshot`] (concatenated blocks + partition
+//!   tier) is built and swapped in as one step, so readers never observe a
+//!   torn batch. Lock order is always `ingest_lock → shard writers
+//!   (ascending) → compose_lock`, which keeps the paths deadlock-free.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
+use twoknn_geometry::{Point, PointId};
 use twoknn_index::Metrics;
 
 use super::delta::{Delta, WriteOp};
 use super::overlay::OverlayConfig;
-use super::snapshot::{BaseIndex, IndexConfig, RelationSnapshot};
+use super::shard::{RelationSnapshot, ShardConfig, ShardMap};
+use super::snapshot::{BaseIndex, IndexConfig, ShardSnapshot};
 
-/// Writer-side state: the ops applied since the current base was built.
-struct WriterState {
-    /// Ops since the last compaction publish (equivalently: the ops the
-    /// current snapshot's delta represents).
-    log: Vec<WriteOp>,
+/// One spatial shard's mutable state: its current snapshot, its writer log
+/// (the ops since the shard's base was built), and its compaction slot.
+struct ShardState {
+    current: RwLock<Arc<ShardSnapshot>>,
+    /// Ops applied to this shard since its last compaction publish.
+    writer: Mutex<Vec<WriteOp>>,
+    /// Guards against more than one in-flight rebuild of this shard.
+    compacting: AtomicBool,
+}
+
+impl ShardState {
+    fn snapshot(&self) -> Arc<ShardSnapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
 }
 
 /// Everything one ingest batch produced, captured race-free under the
-/// relation's writer lock: per-op outcomes plus the snapshots on either side
+/// relation's ingest lock: per-op outcomes plus the snapshots on either side
 /// of the publish. The continuous-query maintainer consumes `prev` (to
-/// recover old positions of moved/removed points) and `published` (the
-/// version standing queries re-evaluate against).
+/// recover old positions of moved/removed points) and the published version
+/// (the version standing queries re-evaluate against).
 pub(crate) struct IngestReceipt {
     /// Number of ops that changed the visible point set.
     pub effective: usize,
-    /// The published snapshot's version.
+    /// The published composed snapshot's version.
     pub version: u64,
     /// Per op: whether it changed the visible point set.
     pub changed: Vec<bool>,
     /// Per op: whether the op's id was visible immediately before it
     /// (within the batch: earlier ops of the same batch count).
     pub visible_before: Vec<bool>,
-    /// The snapshot the batch was applied to — the pre-publish state the
-    /// maintainer recovers old positions from. (Re-evaluations deliberately
-    /// pin the *current* snapshot rather than the published one, so later
-    /// evaluations always cover earlier publishes; the receipt therefore
-    /// does not carry the published snapshot itself.)
+    /// The composed snapshot the batch was applied to — the pre-publish
+    /// state the maintainer recovers old positions from. (Re-evaluations
+    /// deliberately pin the *current* snapshot rather than the published
+    /// one, so later evaluations always cover earlier publishes; the receipt
+    /// therefore does not carry the published snapshot itself.)
     pub prev: Arc<RelationSnapshot>,
 }
 
-/// A relation whose current snapshot is replaced, never mutated.
+/// A relation whose current snapshot is replaced, never mutated, stored as
+/// independently versioned spatial shards.
 pub struct VersionedRelation {
     name: String,
+    /// The composed view readers pin.
     current: RwLock<Arc<RelationSnapshot>>,
-    writer: Mutex<WriterState>,
-    /// Guards against more than one in-flight compaction per relation.
-    compacting: AtomicBool,
+    map: ShardMap,
+    shards: Vec<ShardState>,
+    /// Serializes batch routing (op → shard resolution orders batches).
+    ingest_lock: Mutex<()>,
+    /// Serializes publishes of the composed snapshot.
+    compose_lock: Mutex<()>,
     config: IndexConfig,
     compaction_threshold: usize,
     overlay: OverlayConfig,
@@ -79,12 +101,44 @@ impl VersionedRelation {
         config: IndexConfig,
         compaction_threshold: usize,
         overlay: OverlayConfig,
+        sharding: ShardConfig,
     ) -> Self {
+        let map = ShardMap::new(base.bounds(), sharding.shards_per_axis);
+        let shard_snaps: Vec<Arc<ShardSnapshot>> = if map.num_shards() == 1 {
+            // Unsharded: the registered index is used as-is.
+            vec![Arc::new(ShardSnapshot::clean(base, 0, overlay))]
+        } else {
+            // Split the registered points by shard and build one base per
+            // shard over its routing cell (extended by its points' bounds).
+            let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); map.num_shards()];
+            for p in base.all_points() {
+                buckets[map.shard_of(&p)].push(p);
+            }
+            buckets
+                .into_iter()
+                .enumerate()
+                .map(|(s, pts)| {
+                    let shard_base = config.build(pts, map.shard_rect(s));
+                    Arc::new(ShardSnapshot::clean(shard_base, 0, overlay))
+                })
+                .collect()
+        };
+        let shards = shard_snaps
+            .iter()
+            .map(|snap| ShardState {
+                current: RwLock::new(Arc::clone(snap)),
+                writer: Mutex::new(Vec::new()),
+                compacting: AtomicBool::new(false),
+            })
+            .collect();
+        let composed = RelationSnapshot::compose(map, shard_snaps, 0);
         Self {
             name,
-            current: RwLock::new(Arc::new(RelationSnapshot::clean(base, 0, overlay))),
-            writer: Mutex::new(WriterState { log: Vec::new() }),
-            compacting: AtomicBool::new(false),
+            current: RwLock::new(Arc::new(composed)),
+            map,
+            shards,
+            ingest_lock: Mutex::new(()),
+            compose_lock: Mutex::new(()),
             config,
             compaction_threshold,
             overlay,
@@ -101,159 +155,307 @@ impl VersionedRelation {
         self.config
     }
 
-    /// The delta size at which ingest schedules a background rebuild.
+    /// The per-shard delta size at which ingest schedules a background
+    /// rebuild of that shard.
     pub fn compaction_threshold(&self) -> usize {
         self.compaction_threshold
     }
 
-    /// Pins the current snapshot. The returned `Arc` stays valid (and
-    /// immutable) regardless of concurrent ingest or compaction.
+    /// Number of spatial shards (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pins the current composed snapshot. The returned `Arc` stays valid
+    /// (and immutable) regardless of concurrent ingest or compaction.
     pub fn load(&self) -> Arc<RelationSnapshot> {
         Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
     }
 
-    /// Swaps the published snapshot. Callers must hold the writer mutex.
-    fn publish(&self, snapshot: RelationSnapshot) {
-        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+    /// Rebuilds and swaps the composed snapshot from the current shard
+    /// snapshots at `current version + 1`, returning the new version.
+    /// Callers must hold the `compose_lock`.
+    fn recompose_locked(&self) -> u64 {
+        let version = self.load().version() + 1;
+        let snaps = self.shards.iter().map(ShardState::snapshot).collect();
+        let composed = RelationSnapshot::compose(self.map, snaps, version);
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(composed);
+        version
     }
 
     /// Applies a batch of write operations as **one** atomic visibility
     /// step: queries either see all of the batch or none of it.
     ///
-    /// Returns the number of ops that changed the visible point set and the
-    /// new snapshot's version. Whether the relation now *wants* compaction is
-    /// reported through [`VersionedRelation::needs_compaction`]; scheduling
-    /// is the store's job (it owns the pool handle).
-    ///
     /// (Non-test code goes through
-    /// [`VersionedRelation::ingest_with_visibility`], which this wraps.)
+    /// [`VersionedRelation::ingest_with_receipt`], which this wraps.)
     #[cfg(test)]
     pub(crate) fn ingest(&self, ops: &[WriteOp]) -> (usize, u64) {
         let receipt = self.ingest_with_receipt(ops);
         (receipt.effective, receipt.version)
     }
 
-    /// [`VersionedRelation::ingest`], additionally reporting — per op,
-    /// race-free under the writer lock — the full [`IngestReceipt`]:
-    /// visibility before each op (`Database::update` uses this for its
-    /// return value) and the pre/post snapshots (the continuous-query
-    /// maintainer uses these for guard probing).
+    /// Ingests one batch, reporting — per op, race-free under the ingest
+    /// lock — the full [`IngestReceipt`]: visibility before each op
+    /// (`Database::update` uses this for its return value) and the pre-batch
+    /// composed snapshot (the continuous-query maintainer uses it for guard
+    /// probing).
+    ///
+    /// Each op is routed to the shard its coordinates map to; an upsert that
+    /// moves a point across a shard boundary becomes a remove in the old
+    /// shard plus the upsert in the new one, applied in the same publish so
+    /// the point is never visible twice or not at all.
     pub(crate) fn ingest_with_receipt(&self, ops: &[WriteOp]) -> IngestReceipt {
-        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ingest = self
+            .ingest_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let prev = self.load();
-        let version = prev.version() + 1;
-        let (snapshot, outcome) = prev.apply_batch(ops, version);
-        // Only ops that changed the visible set enter the log: ineffective
-        // ops (removes of absent ids) would replay as no-ops anyway, and
-        // skipping them keeps the log proportional to real work.
-        for (op, changed) in ops.iter().zip(&outcome.changed) {
-            if *changed {
-                writer.log.push(*op);
+        let nshards = self.shards.len();
+
+        // Route ops to per-shard sub-batches. Visibility is resolved against
+        // the current shard snapshots (compaction never changes visibility,
+        // so a concurrent publish cannot skew this) plus the batch's own
+        // earlier ops.
+        let shard_snaps: Vec<Arc<ShardSnapshot>> =
+            self.shards.iter().map(ShardState::snapshot).collect();
+        let mut where_is: HashMap<PointId, Option<usize>> = HashMap::new();
+        let locate_id =
+            |where_is: &HashMap<PointId, Option<usize>>, id: PointId| match where_is.get(&id) {
+                Some(loc) => *loc,
+                None => shard_snaps.iter().position(|s| s.contains_id(id)),
+            };
+
+        let mut sub: Vec<Vec<WriteOp>> = vec![Vec::new(); nshards];
+        // Per op: the (shard, sub-batch index) of its primary sub-op, `None`
+        // for ineffective removes that route nowhere.
+        let mut primary: Vec<Option<(usize, usize)>> = Vec::with_capacity(ops.len());
+        let mut visible_before = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                WriteOp::Upsert(p) => {
+                    let target = self.map.shard_of(p);
+                    let old = locate_id(&where_is, p.id);
+                    visible_before.push(old.is_some());
+                    if let Some(o) = old {
+                        if o != target {
+                            // Cross-shard move: retract from the old shard in
+                            // the same publish.
+                            sub[o].push(WriteOp::Remove(p.id));
+                        }
+                    }
+                    primary.push(Some((target, sub[target].len())));
+                    sub[target].push(*op);
+                    where_is.insert(p.id, Some(target));
+                }
+                WriteOp::Remove(id) => {
+                    let old = locate_id(&where_is, *id);
+                    visible_before.push(old.is_some());
+                    match old {
+                        Some(o) => {
+                            primary.push(Some((o, sub[o].len())));
+                            sub[o].push(*op);
+                            where_is.insert(*id, None);
+                        }
+                        None => primary.push(None),
+                    }
+                }
             }
         }
-        // A delta that cancelled back to empty makes the snapshot equal its
-        // base: the log has nothing a compaction would need to replay, so
-        // drop it — unless a rebuild is in flight, whose captured log
-        // position must stay valid until its publish trims the log itself.
-        if snapshot.delta().is_empty() && !self.compacting.load(Ordering::Acquire) {
-            writer.log.clear();
+
+        // Apply the sub-batches under the affected shards' writer locks
+        // (ascending order), holding them through the publish.
+        struct Applied<'a> {
+            /// Held (not read) through the publish so no other batch or
+            /// compaction can slip between apply and swap on this shard.
+            _writer: std::sync::MutexGuard<'a, Vec<WriteOp>>,
+            snapshot: Arc<ShardSnapshot>,
+            changed: Vec<bool>,
         }
-        let effective = outcome.effective();
-        self.publish(snapshot);
+        let mut applied: Vec<Option<Applied<'_>>> = Vec::with_capacity(nshards);
+        for (s, batch) in sub.iter().enumerate() {
+            if batch.is_empty() {
+                applied.push(None);
+                continue;
+            }
+            let state = &self.shards[s];
+            let mut writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let cur = state.snapshot();
+            let (snapshot, outcome) = cur.apply_batch(batch, cur.version() + 1);
+            // Only ops that changed the visible set enter the log:
+            // ineffective ops would replay as no-ops anyway, and skipping
+            // them keeps the log proportional to real work.
+            for (op, changed) in batch.iter().zip(&outcome.changed) {
+                if *changed {
+                    writer.push(*op);
+                }
+            }
+            // A delta that cancelled back to empty makes the shard equal its
+            // base: the log has nothing a compaction would need to replay,
+            // so drop it — unless a rebuild of this shard is in flight,
+            // whose captured log position must stay valid until its publish
+            // trims the log itself.
+            if snapshot.delta().is_empty() && !state.compacting.load(Ordering::Acquire) {
+                writer.clear();
+            }
+            applied.push(Some(Applied {
+                _writer: writer,
+                snapshot: Arc::new(snapshot),
+                changed: outcome.changed,
+            }));
+        }
+
+        let changed: Vec<bool> = primary
+            .iter()
+            .map(|slot| match slot {
+                Some((s, i)) => applied[*s].as_ref().map(|a| a.changed[*i]).unwrap_or(false),
+                None => false,
+            })
+            .collect();
+        let effective = changed.iter().filter(|c| **c).count();
+
+        // Publish: swap the affected shard pointers and the recomposed
+        // relation snapshot as one step, then release the writer locks.
+        let version = {
+            let _compose = self
+                .compose_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (s, slot) in applied.iter().enumerate() {
+                if let Some(a) = slot {
+                    *self.shards[s]
+                        .current
+                        .write()
+                        .unwrap_or_else(PoisonError::into_inner) = Arc::clone(&a.snapshot);
+                }
+            }
+            self.recompose_locked()
+        };
+        drop(applied);
+
         IngestReceipt {
             effective,
             version,
-            changed: outcome.changed,
-            visible_before: outcome.visible_before,
+            changed,
+            visible_before,
             prev,
         }
     }
 
-    /// Whether the current delta has outgrown the compaction threshold and
-    /// no rebuild is already in flight.
+    /// The shards whose delta has outgrown the compaction threshold and have
+    /// no rebuild in flight, in shard order.
+    pub(crate) fn shards_needing_compaction(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&s| {
+                let state = &self.shards[s];
+                !state.compacting.load(Ordering::Acquire)
+                    && state.snapshot().delta_len() >= self.compaction_threshold
+            })
+            .collect()
+    }
+
+    /// Whether any shard currently wants a background rebuild.
+    #[cfg(test)]
     pub(crate) fn needs_compaction(&self) -> bool {
-        !self.compacting.load(Ordering::Acquire)
-            && self.load().delta_len() >= self.compaction_threshold
+        !self.shards_needing_compaction().is_empty()
     }
 
-    /// Attempts to claim the single in-flight compaction slot. Returns
-    /// `false` if another rebuild already holds it.
-    pub(crate) fn begin_compaction(&self) -> bool {
-        !self.compacting.swap(true, Ordering::AcqRel)
+    /// Attempts to claim shard `s`'s in-flight compaction slot. Returns
+    /// `false` if another rebuild of this shard already holds it.
+    pub(crate) fn begin_shard_compaction(&self, s: usize) -> bool {
+        !self.shards[s].compacting.swap(true, Ordering::AcqRel)
     }
 
-    /// Releases the compaction slot (publish finished or rebuild failed).
-    pub(crate) fn end_compaction(&self) {
-        self.compacting.store(false, Ordering::Release);
+    /// Releases shard `s`'s compaction slot (publish finished or rebuild
+    /// failed).
+    pub(crate) fn end_shard_compaction(&self, s: usize) {
+        self.shards[s].compacting.store(false, Ordering::Release);
     }
 
-    /// Captures the rebuild source under the writer lock: the snapshot to
-    /// merge and the log length it corresponds to.
-    pub(crate) fn capture_for_compaction(&self) -> (Arc<RelationSnapshot>, usize) {
-        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        (self.load(), writer.log.len())
+    /// Captures shard `s`'s rebuild source under its writer lock: the shard
+    /// snapshot to merge and the log length it corresponds to.
+    pub(crate) fn capture_shard_for_compaction(&self, s: usize) -> (Arc<ShardSnapshot>, usize) {
+        let state = &self.shards[s];
+        let writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        (state.snapshot(), writer.len())
     }
 
-    /// Publishes a rebuilt base: replays the ops ingested since the capture
-    /// onto the new base, swaps the snapshot in, and trims the log to the
-    /// replayed tail. Returns the published version.
-    pub(crate) fn publish_compacted(&self, base: BaseIndex, captured_len: usize) -> u64 {
-        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        let prev = self.load();
-        let clean = RelationSnapshot::clean(base, prev.version() + 1, self.overlay);
-        writer.log = writer.log.split_off(captured_len);
-        let snapshot = if writer.log.is_empty() {
+    /// Publishes a rebuilt base for shard `s`: replays the shard ops
+    /// ingested since the capture onto the new base, swaps the shard and the
+    /// recomposed relation snapshot in, and trims the shard log to the
+    /// replayed tail. Returns the published composed version.
+    pub(crate) fn publish_shard_compacted(
+        &self,
+        s: usize,
+        base: BaseIndex,
+        captured_len: usize,
+    ) -> u64 {
+        let state = &self.shards[s];
+        let mut writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let cur = state.snapshot();
+        let clean = ShardSnapshot::clean(base, cur.version() + 1, self.overlay);
+        let tail = writer.split_off(captured_len);
+        *writer = tail;
+        let snapshot = if writer.is_empty() {
             clean
         } else {
             let mut delta = Delta::with_config(self.overlay);
-            for op in &writer.log {
+            for op in writer.iter() {
                 delta.apply(op, |id| clean.base_ids().contains_key(&id));
             }
             let version = clean.version();
             clean.with_delta(delta, version)
         };
-        let version = snapshot.version();
-        self.publish(snapshot);
-        version
+        let _compose = self
+            .compose_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *state
+            .current
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+        self.recompose_locked()
     }
 
-    /// Runs one full compaction cycle **synchronously on the calling
-    /// thread**: capture → merge → rebuild → publish. Returns `None` without
-    /// doing work when another compaction holds the in-flight slot or the
-    /// delta is empty; otherwise the published version.
+    /// Runs one full compaction cycle of shard `s` **synchronously on the
+    /// calling thread**: capture → merge → rebuild → publish. Returns `None`
+    /// without doing work when another rebuild of this shard holds the
+    /// in-flight slot or the shard's delta is empty; otherwise the published
+    /// composed version.
     ///
-    /// `gather` turns the captured snapshot into the merged point set — the
-    /// background path supplies a pool-sharded gatherer, tests can pass
-    /// [`RelationSnapshot::merged_points`].
-    pub(crate) fn compact_with(
+    /// `gather` turns the captured shard snapshot into the merged point set
+    /// — the background path supplies a pool-sharded gatherer, tests can
+    /// pass [`ShardSnapshot::merged_points`].
+    pub(crate) fn compact_shard_with(
         &self,
-        gather: impl FnOnce(&RelationSnapshot) -> Vec<twoknn_geometry::Point>,
+        s: usize,
+        gather: impl FnOnce(&ShardSnapshot) -> Vec<Point>,
         metrics: &Mutex<Metrics>,
     ) -> Option<u64> {
-        if !self.begin_compaction() {
+        if !self.begin_shard_compaction(s) {
             return None;
         }
         // Release the slot on every exit path, including panics in the
-        // index build (run_job would otherwise leave the relation
-        // permanently uncompactable).
-        struct Slot<'a>(&'a VersionedRelation);
+        // index build (run_job would otherwise leave the shard permanently
+        // uncompactable).
+        struct Slot<'a>(&'a VersionedRelation, usize);
         impl Drop for Slot<'_> {
             fn drop(&mut self) {
-                self.0.end_compaction();
+                self.0.end_shard_compaction(self.1);
             }
         }
-        let _slot = Slot(self);
+        let _slot = Slot(self, s);
 
-        let (source, captured_len) = self.capture_for_compaction();
+        let (source, captured_len) = self.capture_shard_for_compaction(s);
         if source.delta().is_empty() {
             return None;
         }
         let points = gather(&source);
         let gathered = points.len() as u64;
         let base = self.config.build(points, source.base().bounds());
-        let version = self.publish_compacted(base, captured_len);
+        let version = self.publish_shard_compacted(s, base, captured_len);
         let mut m = metrics.lock().unwrap_or_else(PoisonError::into_inner);
         m.compactions += 1;
+        m.shards_compacted += 1;
         m.points_scanned += gathered;
         Some(version)
     }
@@ -264,6 +466,7 @@ impl std::fmt::Debug for VersionedRelation {
         f.debug_struct("VersionedRelation")
             .field("name", &self.name)
             .field("version", &self.load().version())
+            .field("num_shards", &self.shards.len())
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
@@ -272,24 +475,38 @@ impl std::fmt::Debug for VersionedRelation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twoknn_geometry::Point;
     use twoknn_index::{check_index_invariants, GridIndex, SpatialIndex};
 
-    fn relation(threshold: usize) -> VersionedRelation {
-        let pts: Vec<Point> = (0..200u64)
+    fn points(n: u64) -> Vec<Point> {
+        (0..n)
             .map(|i| {
                 let h = i.wrapping_mul(0x2545F4914F6CDD1D);
                 Point::new(i, (h % 631) as f64 * 0.17, ((h / 631) % 631) as f64 * 0.17)
             })
-            .collect();
-        let base: BaseIndex = Arc::new(GridIndex::build(pts, 5).unwrap());
+            .collect()
+    }
+
+    fn relation_sharded(threshold: usize, shards_per_axis: usize) -> VersionedRelation {
+        let base: BaseIndex = Arc::new(GridIndex::build(points(200), 5).unwrap());
         VersionedRelation::new(
             "R".into(),
             base,
             IndexConfig::Grid { cells_per_axis: 5 },
             threshold,
             OverlayConfig::default(),
+            ShardConfig::per_axis(shards_per_axis),
         )
+    }
+
+    fn relation(threshold: usize) -> VersionedRelation {
+        relation_sharded(threshold, 1)
+    }
+
+    fn log_len(rel: &VersionedRelation) -> usize {
+        rel.shards
+            .iter()
+            .map(|s| s.writer.lock().unwrap().len())
+            .sum()
     }
 
     #[test]
@@ -312,10 +529,6 @@ mod tests {
         assert_eq!(after.num_points(), 200);
         assert!(after.contains_id(900));
         assert!(!after.contains_id(3));
-    }
-
-    fn log_len(rel: &VersionedRelation) -> usize {
-        rel.writer.lock().unwrap().log.len()
     }
 
     #[test]
@@ -362,22 +575,21 @@ mod tests {
         assert!(!rel.needs_compaction(), "threshold is 4, delta is 3");
         rel.ingest(&[WriteOp::Remove(1)]);
         assert!(rel.needs_compaction());
+        assert_eq!(rel.shards_needing_compaction(), vec![0]);
 
         let metrics = Mutex::new(Metrics::default());
         let version = rel
-            .compact_with(|s| s.merged_points(), &metrics)
+            .compact_shard_with(0, |s| s.merged_points(), &metrics)
             .expect("compaction must run");
         let snap = rel.load();
         assert_eq!(snap.version(), version);
-        assert!(snap.delta().is_empty(), "delta folded into the base");
+        assert_eq!(snap.delta_len(), 0, "delta folded into the base");
         assert_eq!(snap.num_points(), 200);
         assert!(snap.contains_id(900) && !snap.contains_id(0));
         check_index_invariants(&*snap).unwrap();
-        assert_eq!(
-            metrics.lock().unwrap().compactions,
-            1,
-            "epoch counter advanced"
-        );
+        let m = metrics.lock().unwrap();
+        assert_eq!(m.compactions, 1, "epoch counter advanced");
+        assert_eq!(m.shards_compacted, 1);
         assert!(!rel.needs_compaction());
     }
 
@@ -387,8 +599,8 @@ mod tests {
         rel.ingest(&[WriteOp::Upsert(Point::new(500, 3.0, 3.0))]);
         // Simulate a concurrent write landing between capture and publish:
         // capture first, ingest, then finish the rebuild from the capture.
-        assert!(rel.begin_compaction());
-        let (source, captured_len) = rel.capture_for_compaction();
+        assert!(rel.begin_shard_compaction(0));
+        let (source, captured_len) = rel.capture_shard_for_compaction(0);
         rel.ingest(&[
             WriteOp::Upsert(Point::new(501, 4.0, 4.0)),
             WriteOp::Remove(7),
@@ -396,8 +608,8 @@ mod tests {
         let base = rel
             .config()
             .build(source.merged_points(), source.base().bounds());
-        rel.publish_compacted(base, captured_len);
-        rel.end_compaction();
+        rel.publish_shard_compacted(0, base, captured_len);
+        rel.end_shard_compaction(0);
 
         let snap = rel.load();
         assert!(snap.contains_id(500), "compacted write present in the base");
@@ -411,14 +623,117 @@ mod tests {
     fn compaction_slot_is_exclusive() {
         let rel = relation(1);
         rel.ingest(&[WriteOp::Remove(0)]);
-        assert!(rel.begin_compaction());
+        assert!(rel.begin_shard_compaction(0));
         let metrics = Mutex::new(Metrics::default());
         assert_eq!(
-            rel.compact_with(|s| s.merged_points(), &metrics),
+            rel.compact_shard_with(0, |s| s.merged_points(), &metrics),
             None,
             "second compaction must refuse while one is in flight"
         );
-        rel.end_compaction();
-        assert!(rel.compact_with(|s| s.merged_points(), &metrics).is_some());
+        rel.end_shard_compaction(0);
+        assert!(rel
+            .compact_shard_with(0, |s| s.merged_points(), &metrics)
+            .is_some());
+    }
+
+    #[test]
+    fn sharded_relation_routes_and_stays_equivalent() {
+        let sharded = relation_sharded(1_000_000, 3);
+        let flat = relation(1_000_000);
+        assert_eq!(sharded.num_shards(), 9);
+        let snap = sharded.load();
+        assert_eq!(snap.num_points(), 200);
+        snap.check_overlay_invariants().unwrap();
+
+        // The same mixed batch lands identically in both layouts.
+        let batch = vec![
+            WriteOp::Upsert(Point::new(900, 1.0, 1.0)),
+            WriteOp::Upsert(Point::new(901, 100.0, 100.0)),
+            WriteOp::Remove(3),
+            WriteOp::Remove(9_999),
+            WriteOp::Upsert(Point::new(5, 105.0, 2.0)), // moves a base point
+        ];
+        let rs = sharded.ingest_with_receipt(&batch);
+        let rf = flat.ingest_with_receipt(&batch);
+        assert_eq!(rs.effective, rf.effective);
+        assert_eq!(rs.changed, rf.changed);
+        assert_eq!(rs.visible_before, rf.visible_before);
+
+        let (s, f) = (sharded.load(), flat.load());
+        assert_eq!(s.num_points(), f.num_points());
+        s.check_overlay_invariants().unwrap();
+        let mut sp = s.merged_points();
+        let mut fp = f.merged_points();
+        sp.sort_by_key(|p| p.id);
+        fp.sort_by_key(|p| p.id);
+        assert_eq!(sp, fp);
+    }
+
+    #[test]
+    fn cross_shard_move_is_atomic() {
+        let rel = relation_sharded(1_000_000, 2);
+        let snap = rel.load();
+        // Pick a base point and move it to the far corner (another shard).
+        let victim = snap.position_of(0).expect("base id 0 exists");
+        let old_shard = snap.shard_map().shard_of(&victim);
+        let moved = Point::new(0, 105.0, 105.0);
+        let new_shard = snap.shard_map().shard_of(&moved);
+        assert_ne!(old_shard, new_shard, "test point must cross shards");
+
+        let (effective, _) = rel.ingest(&[WriteOp::Upsert(moved)]);
+        assert_eq!(effective, 1);
+        let after = rel.load();
+        assert_eq!(after.num_points(), 200, "a move never duplicates");
+        assert_eq!(after.position_of(0), Some(moved));
+        after.check_overlay_invariants().unwrap();
+
+        // Moving it back also works (and in-batch double moves settle on
+        // the final position).
+        rel.ingest(&[
+            WriteOp::Upsert(Point::new(0, 105.0, 2.0)),
+            WriteOp::Upsert(victim),
+        ]);
+        let back = rel.load();
+        assert_eq!(back.num_points(), 200);
+        assert_eq!(back.position_of(0), Some(victim));
+        back.check_overlay_invariants().unwrap();
+    }
+
+    #[test]
+    fn per_shard_compaction_leaves_other_shards_untouched() {
+        let rel = relation_sharded(4, 2);
+        // Burst confined to the first shard's region (near the origin).
+        let burst: Vec<WriteOp> = (0..8u64)
+            .map(|i| WriteOp::Upsert(Point::new(1_000 + i, 1.0 + i as f64 * 0.1, 1.0)))
+            .collect();
+        rel.ingest(&burst);
+        let dirty = rel.shards_needing_compaction();
+        assert_eq!(dirty.len(), 1, "burst must land in exactly one shard");
+        let dirty_shard = dirty[0];
+        let before: Vec<u64> = rel.shards.iter().map(|s| s.snapshot().version()).collect();
+
+        let metrics = Mutex::new(Metrics::default());
+        rel.compact_shard_with(dirty_shard, |s| s.merged_points(), &metrics)
+            .expect("dirty shard compacts");
+        for (s, state) in rel.shards.iter().enumerate() {
+            if s == dirty_shard {
+                assert_eq!(state.snapshot().delta_len(), 0);
+                assert!(state.snapshot().version() > before[s]);
+            } else {
+                assert_eq!(
+                    state.snapshot().version(),
+                    before[s],
+                    "untouched shard must keep its snapshot"
+                );
+            }
+        }
+        let m = metrics.lock().unwrap();
+        assert_eq!((m.compactions, m.shards_compacted), (1, 1));
+        assert_eq!(
+            m.points_scanned,
+            rel.shards[dirty_shard].snapshot().num_points() as u64,
+            "rebuild gathered only the dirty shard's points"
+        );
+        rel.load().check_overlay_invariants().unwrap();
     }
 }

@@ -31,10 +31,11 @@ use std::collections::BinaryHeap;
 
 use twoknn_geometry::Point;
 
-use crate::locality::{collect_locality_blocks, Locality};
+use crate::locality::{collect_locality_blocks, collect_locality_blocks_in, Locality};
 use crate::metrics::Metrics;
 use crate::neighborhood::{Neighbor, Neighborhood};
 use crate::ordering::OrderedF64;
+use crate::partition::PartitionMeta;
 use crate::scratch::{with_thread_scratch, ScratchSpace};
 use crate::traits::SpatialIndex;
 
@@ -69,6 +70,9 @@ pub fn get_knn_in<I: SpatialIndex + ?Sized>(
     if k == 0 || index.num_points() == 0 {
         return Neighborhood::empty(*p, k);
     }
+    if let Some(parts) = sharded_partitions(index) {
+        return get_knn_scatter_gather(index, parts, p, k, None, metrics, scratch);
+    }
     collect_locality_blocks(index, p, k, None, metrics, &mut scratch.locality);
     scan_locality_blocks(index, p, k, metrics, scratch)
 }
@@ -100,8 +104,99 @@ pub fn get_knn_bounded_in<I: SpatialIndex + ?Sized>(
     if k == 0 || index.num_points() == 0 {
         return Neighborhood::empty(*p, k);
     }
+    if let Some(parts) = sharded_partitions(index) {
+        return get_knn_scatter_gather(index, parts, p, k, Some(threshold), metrics, scratch);
+    }
     collect_locality_blocks(index, p, k, Some(threshold), metrics, &mut scratch.locality);
     scan_locality_blocks(index, p, k, metrics, scratch)
+}
+
+/// The partitions of `index` when scatter-gather is worthwhile: more than one
+/// partition holds points. With zero or one populated shard the flat
+/// single-locality scan is both simpler and at least as cheap.
+#[inline]
+fn sharded_partitions<I: SpatialIndex + ?Sized>(index: &I) -> Option<&[PartitionMeta]> {
+    let parts = index.partitions()?;
+    let populated = parts.iter().filter(|part| !part.is_empty()).count();
+    (populated > 1).then_some(parts)
+}
+
+/// The scatter-gather kNN driver over a sharded index.
+///
+/// Partitions are visited in increasing MINDIST² from `p`, all feeding one
+/// shared [`crate::KthHeap`]: per visited shard, a locality is built over
+/// *that shard's* block slice only (bounded by the running τ once the heap is
+/// full, and by the caller's search threshold if any) and scanned with the
+/// usual batched τ-pruning kernel. As soon as the next shard's MINDIST²
+/// exceeds τ² — strictly, so distance ties keep resolving by id — every
+/// remaining shard is skipped wholesale (`shards_pruned`).
+///
+/// Exactness mirrors the block-level argument one level up: a true k-nearest
+/// member inside some shard is within τ at every point of the scan (otherwise
+/// the heap would already hold `k` strictly closer points), so its shard
+/// passes the prefix test and the shard-local bounded locality retains its
+/// block. Results are identical to the flat scan, including tie resolution.
+fn get_knn_scatter_gather<I: SpatialIndex + ?Sized>(
+    index: &I,
+    parts: &[PartitionMeta],
+    p: &Point,
+    k: usize,
+    threshold: Option<f64>,
+    metrics: &mut Metrics,
+    scratch: &mut ScratchSpace,
+) -> Neighborhood {
+    scratch.kth.reset(k);
+    let ScratchSpace {
+        dist,
+        kth,
+        locality,
+        shard_order,
+        ..
+    } = scratch;
+    let all_blocks = index.blocks();
+
+    shard_order.clear();
+    for (i, part) in parts.iter().enumerate() {
+        if !part.is_empty() {
+            shard_order.push((OrderedF64(part.mindist_sq(p)), i as u32));
+        }
+    }
+    shard_order.sort_unstable();
+
+    let threshold_sq = threshold.map(|t| t * t);
+    for i in 0..shard_order.len() {
+        let (mindist_sq, part_idx) = shard_order[i];
+        let beyond_bound = threshold_sq.is_some_and(|t| mindist_sq.0 > t);
+        if beyond_bound || (kth.is_full() && mindist_sq.0 > kth.threshold_sq()) {
+            metrics.shards_pruned += (shard_order.len() - i) as u64;
+            break;
+        }
+        metrics.shards_scanned += 1;
+
+        // Shard-local search bound: the caller's threshold, tightened by the
+        // running τ once it is live. Both are inclusive bounds, so members at
+        // exactly τ (id tie-breaks) stay reachable.
+        let tau_sq = kth.threshold_sq();
+        let effective = match (threshold, tau_sq.is_finite()) {
+            (Some(t), true) => Some(t.min(tau_sq.sqrt())),
+            (Some(t), false) => Some(t),
+            (None, true) => Some(tau_sq.sqrt()),
+            (None, false) => None,
+        };
+        let shard_blocks = &all_blocks[parts[part_idx as usize].block_range()];
+        collect_locality_blocks_in(shard_blocks, p, k, effective, metrics, locality);
+        for block in &locality.blocks {
+            if kth.is_full() && block.mindist_sq(p) > kth.threshold_sq() {
+                metrics.blocks_pruned += 1;
+                continue;
+            }
+            let points = index.block_points(block.id);
+            metrics.points_scanned += points.len() as u64;
+            metrics.distance_computations += points.len() as u64;
+            kth.scan_block(p, points, dist);
+        }
+    }
+    kth.finish(*p, k)
 }
 
 /// The fused block-scan phase shared by the `get_knn*` entry points: runs
@@ -408,6 +503,188 @@ mod tests {
                 m1.points_scanned <= m2.points_scanned,
                 "τ-pruning must never scan more points than the full gather"
             );
+        }
+    }
+
+    /// A minimal sharded index for driver tests: four quadrant GridIndexes
+    /// with concatenated (re-identified) blocks and tight partition MBRs —
+    /// the same shape the store's composed relation snapshot exposes.
+    struct ShardedGrid {
+        shards: Vec<GridIndex>,
+        blocks: Vec<crate::BlockMeta>,
+        parts: Vec<PartitionMeta>,
+        bounds: twoknn_geometry::Rect,
+        num_points: usize,
+    }
+
+    impl ShardedGrid {
+        fn build(points: Vec<Point>, cells: usize) -> Self {
+            use twoknn_geometry::Rect;
+            let bounds = Rect::bounding(&points).unwrap();
+            let (cx, cy) = {
+                let c = bounds.center();
+                (c.x, c.y)
+            };
+            let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); 4];
+            for p in points {
+                let q = (p.x >= cx) as usize + 2 * ((p.y >= cy) as usize);
+                buckets[q].push(p);
+            }
+            let rects = [
+                Rect::new(bounds.min_x, bounds.min_y, cx, cy),
+                Rect::new(cx, bounds.min_y, bounds.max_x, cy),
+                Rect::new(bounds.min_x, cy, cx, bounds.max_y),
+                Rect::new(cx, cy, bounds.max_x, bounds.max_y),
+            ];
+            let shards: Vec<GridIndex> = buckets
+                .into_iter()
+                .zip(rects)
+                .map(|(pts, r)| GridIndex::build_with_bounds(pts, r, cells).unwrap())
+                .collect();
+            let mut blocks = Vec::new();
+            let mut parts = Vec::new();
+            let mut num_points = 0;
+            for (shard, rect) in shards.iter().zip(rects) {
+                let first = blocks.len() as u32;
+                let mut mbr: Option<Rect> = None;
+                for b in shard.blocks() {
+                    blocks.push(crate::BlockMeta::new(blocks.len() as u32, b.mbr, b.count));
+                    if b.count > 0 {
+                        mbr = Some(mbr.map_or(b.mbr, |m| m.union(&b.mbr)));
+                    }
+                }
+                parts.push(PartitionMeta::new(
+                    mbr.unwrap_or(rect),
+                    first,
+                    shard.num_blocks() as u32,
+                    shard.num_points(),
+                ));
+                num_points += shard.num_points();
+            }
+            Self {
+                shards,
+                blocks,
+                parts,
+                bounds,
+                num_points,
+            }
+        }
+    }
+
+    impl SpatialIndex for ShardedGrid {
+        fn bounds(&self) -> twoknn_geometry::Rect {
+            self.bounds
+        }
+        fn num_points(&self) -> usize {
+            self.num_points
+        }
+        fn blocks(&self) -> &[crate::BlockMeta] {
+            &self.blocks
+        }
+        fn block_points(&self, id: u32) -> crate::BlockPoints<'_> {
+            let s = self
+                .parts
+                .iter()
+                .position(|p| p.block_range().contains(&(id as usize)))
+                .expect("block id in range");
+            self.shards[s].block_points(id - self.parts[s].first_block)
+        }
+        fn locate(&self, p: &Point) -> Option<u32> {
+            self.parts.iter().enumerate().find_map(|(s, part)| {
+                self.shards[s]
+                    .locate(p)
+                    .map(|local| part.first_block + local)
+            })
+        }
+        fn partitions(&self) -> Option<&[PartitionMeta]> {
+            Some(&self.parts)
+        }
+    }
+
+    #[test]
+    fn scatter_gather_matches_brute_force_and_flat_scan() {
+        let data = pts(1600);
+        let sharded = ShardedGrid::build(data.clone(), 8);
+        let flat = GridIndex::build(data, 16).unwrap();
+        let mut scratch = ScratchSpace::new();
+        for (x, y, k) in [
+            (10.0, 20.0, 1),
+            (55.0, 64.0, 7),
+            (0.0, 0.0, 25),
+            (111.0, 1.0, 64),
+            (56.0, 65.0, 3),
+        ] {
+            let q = Point::anonymous(x, y);
+            let mut m = Metrics::default();
+            let got = get_knn_in(&sharded, &q, k, &mut m, &mut scratch);
+            assert_eq!(got, brute_force_knn(&sharded, &q, k), "({x},{y}) k={k}");
+            let mut mf = Metrics::default();
+            assert_eq!(got, get_knn(&flat, &q, k, &mut mf));
+            assert!(m.shards_scanned >= 1);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_prunes_shards_beyond_tau() {
+        // A dense cluster in one quadrant plus sparse points elsewhere: a
+        // small-k query inside the cluster must resolve without visiting the
+        // far quadrants.
+        let mut data = Vec::new();
+        for i in 0..500u64 {
+            data.push(Point::new(
+                i,
+                10.0 + (i % 25) as f64 * 0.1,
+                10.0 + (i / 25) as f64 * 0.1,
+            ));
+        }
+        for i in 0..40u64 {
+            data.push(Point::new(
+                500 + i,
+                80.0 + (i % 8) as f64,
+                80.0 + (i / 8) as f64,
+            ));
+        }
+        data.push(Point::new(990, 85.0, 12.0));
+        data.push(Point::new(991, 12.0, 85.0));
+        let sharded = ShardedGrid::build(data, 6);
+        let q = Point::anonymous(11.0, 11.0);
+        let mut m = Metrics::default();
+        let got = get_knn(&sharded, &q, 5, &mut m);
+        assert_eq!(got, brute_force_knn(&sharded, &q, 5));
+        assert!(m.shards_pruned > 0, "{m}");
+        assert!(m.shards_scanned < 4, "{m}");
+        // Every pruned shard's MINDIST² must exceed the final τ².
+        let tau_sq = got.radius() * got.radius();
+        let visited = m.shards_scanned as usize;
+        let mut order: Vec<(f64, usize)> = sharded
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, p)| (p.mindist_sq(&q), i))
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for &(mindist_sq, _) in &order[visited..] {
+            assert!(mindist_sq > tau_sq, "pruned shard within τ");
+        }
+    }
+
+    #[test]
+    fn scatter_gather_bounded_is_exact_within_threshold() {
+        let data = pts(1600);
+        let sharded = ShardedGrid::build(data, 8);
+        let mut m = Metrics::default();
+        let q = Point::anonymous(50.0, 50.0);
+        let k = 12;
+        let exact = brute_force_knn(&sharded, &q, k);
+        let wide = get_knn_bounded(&sharded, &q, k, exact.radius() * 2.0 + 1.0, &mut m);
+        assert_eq!(wide, exact);
+        // Small threshold: every exact member within it must still appear.
+        let threshold = 3.0;
+        let bounded = get_knn_bounded(&sharded, &q, k, threshold, &mut m);
+        let bounded_ids: std::collections::HashSet<u64> = bounded.ids().into_iter().collect();
+        for nb in exact.members().iter().filter(|n| n.distance <= threshold) {
+            assert!(bounded_ids.contains(&nb.point.id));
         }
     }
 

@@ -20,6 +20,12 @@
 //! * [`Locality`] / [`get_knn`] — the locality-based kNN algorithm of
 //!   Sankaranarayanan, Samet & Varshney used by the paper for `getkNN`,
 //!   running the batched kth-distance kernel of [`KthHeap`];
+//! * [`PartitionMeta`] — an optional coarse *shard* tier above blocks: an
+//!   index that reports partitions ([`SpatialIndex::partitions`]) is queried
+//!   scatter-gather style, visiting shards in MINDIST order against one
+//!   shared kth-distance heap and skipping every shard whose MINDIST²
+//!   exceeds the running τ² — the paper's block pruning lifted one level up
+//!   (counted by `Metrics::shards_scanned` / `shards_pruned`);
 //! * [`ScratchSpace`] — reusable per-query transient state (candidate heap,
 //!   order heaps, distance buffer); the plain kNN entry points borrow a
 //!   thread-local one via [`with_thread_scratch`], the `*_in` variants
@@ -63,6 +69,7 @@ mod locality;
 mod metrics;
 mod neighborhood;
 mod ordering;
+mod partition;
 mod points;
 mod quadtree;
 mod rtree;
@@ -79,6 +86,7 @@ pub use locality::Locality;
 pub use metrics::Metrics;
 pub use neighborhood::{Neighbor, Neighborhood};
 pub use ordering::{BlockOrder, OrderMetric, OrderStorage, OrderedBlock, OrderedF64};
+pub use partition::PartitionMeta;
 pub use points::{BlockPoints, BlockPointsIter, PointBlock};
 pub use quadtree::{QuadtreeIndex, DEFAULT_MAX_DEPTH};
 pub use rtree::StrRTree;

@@ -135,7 +135,24 @@ pub(crate) fn collect_locality_blocks<I: SpatialIndex + ?Sized>(
     metrics: &mut Metrics,
     scratch: &mut LocalityScratch,
 ) -> f64 {
-    let all_blocks = index.blocks();
+    collect_locality_blocks_in(index.blocks(), p, k, threshold, metrics, scratch)
+}
+
+/// Slice-level core of the locality construction: operates on any contiguous
+/// run of blocks with ascending ids (the whole index, or one shard's
+/// partition of a composed snapshot). The membership bitmap is indexed
+/// relative to the first block's id so partition slices don't pay for the
+/// full index width. Appends discovered blocks to `scratch.blocks` (clearing
+/// it first) and returns the MAXDIST bound `M`.
+pub(crate) fn collect_locality_blocks_in(
+    all_blocks: &[BlockMeta],
+    p: &Point,
+    k: usize,
+    threshold: Option<f64>,
+    metrics: &mut Metrics,
+    scratch: &mut LocalityScratch,
+) -> f64 {
+    let id_base = all_blocks.first().map(|b| b.id).unwrap_or(0);
     scratch.blocks.clear();
     scratch.in_locality.clear();
     scratch.in_locality.resize(all_blocks.len(), false);
@@ -167,7 +184,7 @@ pub(crate) fn collect_locality_blocks<I: SpatialIndex + ?Sized>(
         }
         count += ob.block.count;
         if passes_threshold(&ob.block) {
-            in_locality[ob.block.id as usize] = true;
+            in_locality[(ob.block.id - id_base) as usize] = true;
             blocks.push(ob.block);
             metrics.locality_blocks += 1;
         }
@@ -193,14 +210,14 @@ pub(crate) fn collect_locality_blocks<I: SpatialIndex + ?Sized>(
                 break;
             }
         }
-        if in_locality[ob.block.id as usize] {
+        if in_locality[(ob.block.id - id_base) as usize] {
             continue;
         }
         metrics.blocks_scanned += 1;
         if ob.block.count == 0 {
             continue;
         }
-        in_locality[ob.block.id as usize] = true;
+        in_locality[(ob.block.id - id_base) as usize] = true;
         blocks.push(ob.block);
         metrics.locality_blocks += 1;
     }

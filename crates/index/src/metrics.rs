@@ -34,6 +34,13 @@ pub struct Metrics {
     /// Number of blocks pruned without per-point processing
     /// (Non-Contributing blocks in Block-Marking, contour cut-offs, ...).
     pub blocks_pruned: u64,
+    /// Number of spatial shards (relation partitions) whose blocks were
+    /// actually visited by a scatter-gather kNN scan.
+    pub shards_scanned: u64,
+    /// Number of spatial shards skipped wholesale because their MINDIST²
+    /// from the query exceeded the running k-th distance τ² (or the query's
+    /// distance bound) — the paper's block pruning lifted one level up.
+    pub shards_pruned: u64,
     /// Number of outer points skipped without a neighborhood computation
     /// (e.g. by the Counting algorithm's threshold test).
     pub points_pruned: u64,
@@ -43,6 +50,10 @@ pub struct Metrics {
     /// Number of background index rebuilds (compactions) published — each one
     /// advances a relation's snapshot epoch.
     pub compactions: u64,
+    /// Number of individual shards rebuilt by compactions. With a single-shard
+    /// relation this equals `compactions`; with a sharded relation it counts
+    /// the dirty shards that were actually folded (clean shards are skipped).
+    pub shards_compacted: u64,
     /// Number of standing-query re-evaluations scheduled by the
     /// continuous-query maintainer (a publish intersected the subscription's
     /// guard region, or the engine runs in re-evaluate-all mode).
@@ -87,9 +98,12 @@ impl std::ops::AddAssign for Metrics {
         self.cache_hits += rhs.cache_hits;
         self.cache_misses += rhs.cache_misses;
         self.blocks_pruned += rhs.blocks_pruned;
+        self.shards_scanned += rhs.shards_scanned;
+        self.shards_pruned += rhs.shards_pruned;
         self.points_pruned += rhs.points_pruned;
         self.ingest_ops += rhs.ingest_ops;
         self.compactions += rhs.compactions;
+        self.shards_compacted += rhs.shards_compacted;
         self.cq_reevals += rhs.cq_reevals;
         self.cq_skips += rhs.cq_skips;
     }
@@ -108,8 +122,8 @@ impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} cache={}/{} \
-             ingest={} compactions={} cq={}/{}",
+            "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} \
+             shards={}/{} cache={}/{} ingest={} compactions={} shard_compactions={} cq={}/{}",
             self.neighborhoods_computed,
             self.blocks_scanned,
             self.points_scanned,
@@ -117,10 +131,13 @@ impl std::fmt::Display for Metrics {
             self.tuples_emitted,
             self.blocks_pruned,
             self.points_pruned,
+            self.shards_scanned,
+            self.shards_scanned + self.shards_pruned,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
             self.ingest_ops,
             self.compactions,
+            self.shards_compacted,
             self.cq_reevals,
             self.cq_reevals + self.cq_skips,
         )
@@ -143,9 +160,12 @@ mod tests {
             cache_hits: 7,
             cache_misses: 8,
             blocks_pruned: 9,
+            shards_scanned: 15,
+            shards_pruned: 16,
             points_pruned: 10,
             ingest_ops: 11,
             compactions: 12,
+            shards_compacted: 17,
             cq_reevals: 13,
             cq_skips: 14,
         };
@@ -156,6 +176,9 @@ mod tests {
         assert_eq!(a.compactions, 24);
         assert_eq!(a.cq_reevals, 26);
         assert_eq!(a.cq_skips, 28);
+        assert_eq!(a.shards_scanned, 30);
+        assert_eq!(a.shards_pruned, 32);
+        assert_eq!(a.shards_compacted, 34);
         assert_eq!(a.work(), 2 + 4);
     }
 

@@ -202,6 +202,9 @@ pub struct ScratchSpace {
     pub(crate) locality: LocalityScratch,
     /// Storage of the best-first search's priority queue.
     pub(crate) best_first: Vec<crate::knn::BestFirstEntry>,
+    /// `(MINDIST², partition index)` order buffer of the scatter-gather
+    /// driver over a sharded index's partitions.
+    pub(crate) shard_order: Vec<(OrderedF64, u32)>,
 }
 
 impl ScratchSpace {

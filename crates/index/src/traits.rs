@@ -10,6 +10,7 @@ use twoknn_geometry::{Point, Rect};
 
 use crate::block::{BlockId, BlockMeta};
 use crate::ordering::{BlockOrder, OrderMetric};
+use crate::partition::PartitionMeta;
 use crate::points::BlockPoints;
 
 /// A block-based, in-memory spatial index over a set of 2-D points.
@@ -51,6 +52,20 @@ pub trait SpatialIndex {
     /// Number of blocks in the index.
     fn num_blocks(&self) -> usize {
         self.blocks().len()
+    }
+
+    /// The coarse spatial partitions (shards) of this index, if it is
+    /// sharded.
+    ///
+    /// Each [`PartitionMeta`] must own a contiguous, disjoint range of the
+    /// dense block-id space, the ranges must cover `0..num_blocks()` in
+    /// ascending order, and every partition's MBR must contain the footprints
+    /// of its non-empty blocks. The kNN driver uses the partitions to visit
+    /// shards in MINDIST order and skip the ones whose MINDIST² cannot beat
+    /// the running k-th distance. Plain (unsharded) indexes keep the default
+    /// `None` and are scanned as one flat locality.
+    fn partitions(&self) -> Option<&[PartitionMeta]> {
+        None
     }
 
     /// Convenience: all indexed points, flattened. Mainly for tests and

@@ -15,8 +15,9 @@
 //!   synthetic moving-object snapshots);
 //! * [`core`] — the paper's algorithms: Counting, Block-Marking, unchained
 //!   and chained two-join plans, 2-kNN-select, plus a plan/optimizer layer
-//!   and the versioned relation store (snapshot reads, delta ingest,
-//!   background index rebuilds) behind `core::plan::Database`.
+//!   and the spatially sharded, versioned relation store (snapshot reads,
+//!   delta ingest, per-shard background rebuilds, scatter-gather kNN over
+//!   shard partitions) behind `core::plan::Database`.
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!

@@ -292,6 +292,7 @@ fn soa_equivalence_holds_on_tombstone_filtered_overlay_blocks() {
                 cell_target: 4,
                 max_cells_per_axis: 8,
             },
+            ..StoreConfig::default()
         });
         match build {
             0 => db.register("R", GridIndex::build(base.clone(), 6).unwrap()),
@@ -350,6 +351,7 @@ fn batched_knn_does_not_drift_across_mixed_ingest_batches() {
             cell_target: 4,
             max_cells_per_axis: 8,
         },
+        ..StoreConfig::default()
     });
     db.register("R", GridIndex::build(base, 6).unwrap());
     let mut scratch = ScratchSpace::new();

@@ -184,6 +184,7 @@ fn delta_overlay_matches_rebuilt_index_across_all_index_families() {
                 cell_target: 4,
                 max_cells_per_axis: 8,
             },
+            ..StoreConfig::default()
         });
         install(&mut db);
         db.register("Sites", sites.clone());
@@ -485,6 +486,7 @@ fn burst_db(overlay: OverlayConfig) -> Database {
     let mut db = Database::with_store_config(StoreConfig {
         compaction_threshold: usize::MAX,
         overlay,
+        ..StoreConfig::default()
     });
     db.register(
         "Objects",
@@ -643,6 +645,7 @@ fn incremental_overlay_maintenance_matches_from_scratch_rebuilds() {
             cell_target: 8,
             max_cells_per_axis: 16,
         },
+        ..StoreConfig::default()
     });
     db.register(
         "Objects",
