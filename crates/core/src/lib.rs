@@ -37,7 +37,7 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`plan`] | logical plans, statistics, optimizer, physical operators, and the [`plan::Database`] driver |
-//! | [`store`] | versioned relation store: spatially sharded relations, snapshot reads, delta ingest, per-shard background rebuilds on the worker pool |
+//! | [`store`] | versioned relation store: spatially sharded relations, snapshot reads, delta ingest, per-shard background rebuilds on the worker pool, and the optional durability subsystem (WAL + immutable shard block files + crash recovery, [`DurabilityConfig`]) |
 //! | [`cq`] | continuous queries: standing two-kNN queries, guard-region registry, incremental maintenance over ingest |
 //! | [`exec`] | execution modes and the persistent [`WorkerPool`] shared by batches, operators, and compactions |
 //! | [`output`] | typed result rows ([`Pair`], [`Triplet`]) and the output container |
@@ -91,5 +91,6 @@ pub use error::QueryError;
 pub use exec::{ExecutionMode, WorkerPool};
 pub use output::{Pair, QueryOutput, Triplet};
 pub use store::{
-    DbSnapshot, IndexConfig, OverlayConfig, RelationStore, ShardConfig, StoreConfig, WriteOp,
+    DbSnapshot, DurabilityConfig, IndexConfig, OverlayConfig, RecoveryError, RelationStore,
+    ShardConfig, StoreConfig, SyncPolicy, WriteOp,
 };

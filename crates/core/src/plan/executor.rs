@@ -41,7 +41,8 @@ use crate::plan::strategy::Strategy;
 use crate::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
 use crate::selects2::TwoSelectsQuery;
 use crate::store::{
-    DbSnapshot, IndexConfig, RelationSnapshot, RelationStore, StoreConfig, StoredIndex, WriteOp,
+    DbSnapshot, IndexConfig, RecoveryError, RelationSnapshot, RelationStore, StoreConfig,
+    StoredIndex, WriteOp,
 };
 
 /// A named catalog of versioned, indexed relations.
@@ -254,6 +255,48 @@ impl Database {
             pool,
             ..Self::default()
         }
+    }
+
+    /// Opens (or creates) a **durable** database rooted at `dir`: every
+    /// complete relation directory under it is recovered — shard block
+    /// files load as bases, the WAL's intact suffix replays on top — and
+    /// subsequent ingest is write-ahead-logged there. The `config`'s
+    /// durability is re-rooted at `dir` (enabling it with the default
+    /// sync policy if it was `Disabled`), so the caller controls sync
+    /// policy and segment size but never the directory mismatch.
+    ///
+    /// Corrupt manifests or block files surface as
+    /// [`RecoveryError::Corrupt`] rather than a panic; a torn WAL tail is
+    /// not an error — the intact prefix is kept and the tail truncated.
+    pub fn open(
+        dir: impl Into<std::path::PathBuf>,
+        config: StoreConfig,
+    ) -> Result<Self, RecoveryError> {
+        Self::open_with_pool(dir, config, Arc::clone(WorkerPool::global()))
+    }
+
+    /// [`Database::open`] on an explicit [`WorkerPool`].
+    pub fn open_with_pool(
+        dir: impl Into<std::path::PathBuf>,
+        mut config: StoreConfig,
+        pool: Arc<WorkerPool>,
+    ) -> Result<Self, RecoveryError> {
+        config.durability = config.durability.with_dir(dir);
+        let store = RelationStore::open(config)?;
+        Ok(Self {
+            store: Arc::new(store),
+            pool,
+            ..Self::default()
+        })
+    }
+
+    /// Checkpoints the durable store: spills every dirty shard to a block
+    /// file, advances the manifests' covered WAL positions, and trims
+    /// obsolete WAL segments — bounding both recovery replay time and WAL
+    /// disk usage. Counted by `checkpoints` in [`Database::store_metrics`].
+    /// No-op when durability is disabled.
+    pub fn checkpoint(&self) {
+        self.store.checkpoint(&self.pool);
     }
 
     /// The worker pool handle batch execution and background compaction

@@ -142,6 +142,7 @@ mod tests {
             threshold,
             crate::store::OverlayConfig::default(),
             ShardConfig::per_axis(shards_per_axis),
+            None,
         ))
     }
 

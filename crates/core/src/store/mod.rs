@@ -34,7 +34,15 @@
 //! * [`RelationStore`] — the named catalog of versioned relations behind
 //!   [`Database`](crate::plan::Database), and [`DbSnapshot`] — a pinned,
 //!   consistent view of *every* relation that a query (or a whole
-//!   `execute_batch`) resolves names against.
+//!   `execute_batch`) resolves names against;
+//! * [`wal`](self) / [`blockfile`](self) / [`recover`](self) (internal) —
+//!   the optional durability subsystem ([`DurabilityConfig`]): ingest
+//!   batches are write-ahead-logged as checksummed records *before* they
+//!   publish, compacted shard bases are spilled as immutable on-disk block
+//!   files ([`BlockFileIndex`]), and [`RelationStore::open`] rebuilds the
+//!   catalog after a crash by loading the block files and replaying each
+//!   WAL's intact suffix. Disabled by default — the in-memory store pays
+//!   nothing for the feature it isn't using.
 //!
 //! ```text
 //!    writers                           readers
@@ -53,22 +61,29 @@
 //!    WorkerPool::spawn ──► gather shard ──► rebuild shard base
 //! ```
 
+mod blockfile;
 mod compact;
 mod delta;
 mod overlay;
+mod recover;
 mod shard;
 mod snapshot;
 mod version;
+mod wal;
 
+pub use blockfile::BlockFileIndex;
 pub use delta::{Delta, WriteOp};
 pub use overlay::OverlayConfig;
+pub use recover::RecoveryError;
 pub use shard::{RelationSnapshot, ShardConfig};
 pub use snapshot::{BaseIndex, IndexConfig, ShardSnapshot, StoredIndex};
 pub use version::VersionedRelation;
+pub use wal::SyncPolicy;
 
 pub(crate) use version::IngestReceipt;
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use twoknn_index::{Metrics, SpatialIndex};
@@ -76,8 +91,89 @@ use twoknn_index::{Metrics, SpatialIndex};
 use crate::error::QueryError;
 use crate::exec::WorkerPool;
 
+/// Durability mode of the relation store.
+///
+/// `Disabled` (the default) keeps the store fully in-memory — the zero-cost
+/// ablation baseline: no WAL handle exists, ingest takes no extra branches
+/// beyond one `Option` check under the writer lock, and no files are
+/// touched. `Enabled` gives every relation a directory under `dir` holding
+/// a segmented write-ahead log ([`wal`](self)) plus one immutable block
+/// file per shard ([`BlockFileIndex`]); [`RelationStore::open`] (or
+/// [`Database::open`](crate::plan::Database::open)) rebuilds the catalog
+/// from those files after a crash.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DurabilityConfig {
+    /// In-memory only: nothing is written, nothing can be recovered.
+    #[default]
+    Disabled,
+    /// Durable under `dir`: WAL per relation, block file per shard.
+    Enabled {
+        /// Root directory of the durable store (one subdirectory per
+        /// relation is created beneath it).
+        dir: PathBuf,
+        /// When WAL appends reach stable storage ([`SyncPolicy`]).
+        sync: SyncPolicy,
+        /// WAL segment roll size in bytes.
+        segment_bytes: u64,
+    },
+}
+
+impl DurabilityConfig {
+    /// Default WAL segment roll size (1 MiB).
+    pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
+    /// Durability rooted at `dir` with the strongest sync policy
+    /// ([`SyncPolicy::EveryBatch`]) and the default segment size.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig::Enabled {
+            dir: dir.into(),
+            sync: SyncPolicy::EveryBatch,
+            segment_bytes: Self::DEFAULT_SEGMENT_BYTES,
+        }
+    }
+
+    /// This configuration with a different [`SyncPolicy`]. No-op on
+    /// `Disabled`.
+    pub fn with_sync(self, policy: SyncPolicy) -> Self {
+        match self {
+            DurabilityConfig::Disabled => DurabilityConfig::Disabled,
+            DurabilityConfig::Enabled {
+                dir, segment_bytes, ..
+            } => DurabilityConfig::Enabled {
+                dir,
+                sync: policy,
+                segment_bytes,
+            },
+        }
+    }
+
+    /// This configuration re-rooted at `dir` (enabling it if disabled,
+    /// keeping any sync/segment settings) — how
+    /// [`Database::open`](crate::plan::Database::open) forces the config to
+    /// match the directory it recovers from.
+    pub(crate) fn with_dir(self, dir: impl Into<PathBuf>) -> Self {
+        match self {
+            DurabilityConfig::Disabled => DurabilityConfig::at(dir),
+            DurabilityConfig::Enabled {
+                sync,
+                segment_bytes,
+                ..
+            } => DurabilityConfig::Enabled {
+                dir: dir.into(),
+                sync,
+                segment_bytes,
+            },
+        }
+    }
+
+    /// Whether durability is on.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, DurabilityConfig::Enabled { .. })
+    }
+}
+
 /// Tuning knobs of the relation store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreConfig {
     /// Delta size (inserts + deletes) at which ingest schedules a background
     /// rebuild of **that shard's** base index. With the default single-shard
@@ -94,6 +190,11 @@ pub struct StoreConfig {
     /// default (`1`) keeps every relation a single shard — the unsharded
     /// ablation baseline.
     pub sharding: ShardConfig,
+    /// Durability mode ([`DurabilityConfig`]): `Disabled` (the default)
+    /// keeps the store fully in-memory; `Enabled` write-ahead-logs every
+    /// ingest batch and persists compacted shard bases as immutable block
+    /// files, making the store recoverable via [`RelationStore::open`].
+    pub durability: DurabilityConfig,
 }
 
 impl Default for StoreConfig {
@@ -102,6 +203,7 @@ impl Default for StoreConfig {
             compaction_threshold: 512,
             overlay: OverlayConfig::default(),
             sharding: ShardConfig::default(),
+            durability: DurabilityConfig::Disabled,
         }
     }
 }
@@ -127,8 +229,13 @@ impl Default for RelationStore {
 }
 
 impl RelationStore {
-    /// An empty store with the given tuning knobs.
+    /// An empty store with the given tuning knobs. With durability enabled
+    /// this creates the root directory but recovers nothing — use
+    /// [`RelationStore::open`] to rebuild a catalog from a previous run.
     pub fn new(config: StoreConfig) -> Self {
+        if let DurabilityConfig::Enabled { dir, .. } = &config.durability {
+            let _ = std::fs::create_dir_all(dir);
+        }
         Self {
             relations: RwLock::new(HashMap::new()),
             config,
@@ -136,13 +243,41 @@ impl RelationStore {
         }
     }
 
+    /// Opens a durable store rooted at the configured directory, rebuilding
+    /// the relation catalog from the persisted block files and replaying
+    /// each relation's WAL suffix (see [`recover`](self)). With durability
+    /// disabled this is just [`RelationStore::new`].
+    pub fn open(config: StoreConfig) -> Result<Self, RecoveryError> {
+        let DurabilityConfig::Enabled {
+            dir,
+            sync,
+            segment_bytes,
+        } = &config.durability
+        else {
+            return Ok(Self::new(config));
+        };
+        let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let relations = recover::recover_relations(dir, *sync, *segment_bytes, &config, &metrics)?;
+        Ok(Self {
+            relations: RwLock::new(relations),
+            config,
+            metrics,
+        })
+    }
+
     /// The store's tuning knobs.
     pub fn config(&self) -> StoreConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Registers (or replaces) a relation. Returns the replaced relation's
     /// last published snapshot, if any.
+    ///
+    /// With durability enabled, registration wipes any previous on-disk
+    /// state of the same name, starts a fresh WAL, and persists every
+    /// shard's initial base as a block file before the relation is
+    /// published into the catalog — a crash at any later point recovers at
+    /// least the registration-time contents.
     pub fn register(
         &self,
         name: impl Into<String>,
@@ -150,6 +285,26 @@ impl RelationStore {
         config: IndexConfig,
     ) -> Option<Arc<RelationSnapshot>> {
         let name = name.into();
+        let durability = match &self.config.durability {
+            DurabilityConfig::Disabled => None,
+            DurabilityConfig::Enabled {
+                dir,
+                sync,
+                segment_bytes,
+            } => Some(Arc::new(
+                recover::RelationDurability::create(
+                    dir,
+                    &name,
+                    config,
+                    self.config.sharding.shards_per_axis,
+                    base.bounds(),
+                    *sync,
+                    *segment_bytes,
+                    Arc::clone(&self.metrics),
+                )
+                .expect("failed to initialise the relation's durable directory"),
+            )),
+        };
         let relation = Arc::new(VersionedRelation::new(
             name.clone(),
             base,
@@ -157,7 +312,11 @@ impl RelationStore {
             self.config.compaction_threshold,
             self.config.overlay,
             self.config.sharding,
+            durability,
         ));
+        relation
+            .persist_initial()
+            .expect("failed to persist the relation's initial shard bases");
         self.relations
             .write()
             .unwrap_or_else(PoisonError::into_inner)
@@ -168,13 +327,20 @@ impl RelationStore {
     /// Removes a relation from the catalog. Returns its last published
     /// snapshot, if the relation existed. Queries that already pinned a
     /// [`DbSnapshot`] keep their view; an in-flight compaction finishes
-    /// against the detached relation and is dropped with it.
+    /// against the detached relation and is dropped with it. With
+    /// durability enabled the relation's on-disk directory is deleted
+    /// (best-effort) — deregistration is as durable as registration.
     pub fn deregister(&self, name: &str) -> Option<Arc<RelationSnapshot>> {
         self.relations
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .remove(name)
-            .map(|removed| removed.load())
+            .map(|removed| {
+                if let Some(d) = removed.durability() {
+                    d.wipe();
+                }
+                removed.load()
+            })
     }
 
     /// The versioned relation registered under `name`.
@@ -268,6 +434,33 @@ impl RelationStore {
     pub fn compact_now(&self, name: &str, pool: &WorkerPool) -> Result<Option<u64>, QueryError> {
         let rel = self.get(name)?;
         Ok(compact::compact_relation(&rel, pool, &self.metrics))
+    }
+
+    /// Spills every relation's dirty shards to block files, advances each
+    /// clean shard's covered WAL position, rewrites the manifests, and
+    /// trims WAL segments made obsolete — after which a reopen replays (at
+    /// most) the records appended since this call. No-op with durability
+    /// disabled.
+    pub fn checkpoint(&self, pool: &WorkerPool) {
+        if !self.config.durability.is_enabled() {
+            return;
+        }
+        // Drain in-flight background rebuilds first: a detached job holding
+        // a shard's compaction slot would make the synchronous fold below
+        // skip that shard, leaving it dirty and its WAL segments untrimmed.
+        pool.wait_idle();
+        let rels: Vec<Arc<VersionedRelation>> = self
+            .relations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect();
+        for rel in rels {
+            rel.checkpoint(pool, &self.metrics);
+        }
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        m.checkpoints += 1;
     }
 
     /// Pins the current snapshot of the named relations only — what a

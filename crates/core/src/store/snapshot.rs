@@ -50,11 +50,36 @@ use super::overlay::OverlayConfig;
 /// A shared, immutable base index.
 pub type BaseIndex = Arc<dyn SpatialIndex + Send + Sync>;
 
-/// Maps every base point id to the block storing it. Built once per base
-/// (at registration or compaction, O(n)) and shared by all snapshots over
-/// that base, so ingest can tombstone by id in O(affected block) instead of
-/// scanning the index.
-pub(crate) type BaseIdMap = Arc<HashMap<PointId, BlockId>>;
+/// Maps every base point id to the block storing it, so ingest can
+/// tombstone by id in O(affected block) instead of scanning the index.
+///
+/// The map is built **lazily** on first use (write paths and id lookups)
+/// and shared by all snapshots over the same base. Laziness matters for
+/// recovered relations, whose bases are lazily decoded
+/// [`BlockFileIndex`](super::blockfile::BlockFileIndex)es: a read-only
+/// workload after a restart never touches the map, so it never forces every
+/// block's columns to decode.
+pub(crate) struct BaseIds {
+    base: BaseIndex,
+    map: OnceLock<HashMap<PointId, BlockId>>,
+}
+
+impl BaseIds {
+    pub(crate) fn new(base: &BaseIndex) -> Arc<Self> {
+        Arc::new(Self {
+            base: Arc::clone(base),
+            map: OnceLock::new(),
+        })
+    }
+
+    /// The id → block map, built on first call (one O(n) scan of the base).
+    pub(crate) fn get(&self) -> &HashMap<PointId, BlockId> {
+        self.map.get_or_init(|| index_ids(self.base.as_ref()))
+    }
+}
+
+/// A shared [`BaseIds`] — one per base index, shared by its snapshots.
+pub(crate) type BaseIdMap = Arc<BaseIds>;
 
 /// Builds the id → block map of a base index.
 pub(crate) fn index_ids(base: &dyn SpatialIndex) -> HashMap<PointId, BlockId> {
@@ -106,7 +131,7 @@ pub(crate) struct BatchOutcome {
 impl ShardSnapshot {
     /// Wraps a freshly built base index with an empty overlay.
     pub(crate) fn clean(base: BaseIndex, version: u64, overlay: OverlayConfig) -> Self {
-        let base_ids = Arc::new(index_ids(base.as_ref()));
+        let base_ids = BaseIds::new(&base);
         Self::assemble(base, base_ids, Delta::with_config(overlay), version)
     }
 
@@ -139,9 +164,9 @@ impl ShardSnapshot {
                 WriteOp::Remove(id) => *id,
             };
             let deletes_before = delta.deletes().len();
-            changed.push(delta.apply(op, |id| self.base_ids.contains_key(&id)));
+            changed.push(delta.apply(op, |id| self.base_ids.get().contains_key(&id)));
             if delta.deletes().len() != deletes_before {
-                touched.push(self.base_ids[&id]);
+                touched.push(self.base_ids.get()[&id]);
             }
         }
         let mut tombstoned = self.tombstoned.clone();
@@ -175,6 +200,7 @@ impl ShardSnapshot {
             .iter()
             .map(|id| {
                 *base_ids
+                    .get()
                     .get(id)
                     .expect("delta tombstones only reference ids stored in the base")
             })
@@ -265,7 +291,7 @@ impl ShardSnapshot {
     /// Whether a point with `id` is visible in this snapshot.
     pub fn contains_id(&self, id: PointId) -> bool {
         self.delta.inserted(id).is_some()
-            || (self.base_ids.contains_key(&id) && !self.delta.is_deleted(id))
+            || (self.base_ids.get().contains_key(&id) && !self.delta.is_deleted(id))
     }
 
     /// The visible position of the point with `id`, if any — an O(block)
@@ -280,7 +306,7 @@ impl ShardSnapshot {
         if self.delta.is_deleted(id) {
             return None;
         }
-        let block = *self.base_ids.get(&id)?;
+        let block = *self.base_ids.get().get(&id)?;
         self.base.block_points(block).iter().find(|p| p.id == id)
     }
 
@@ -589,7 +615,7 @@ mod tests {
         let clean = ShardSnapshot::clean(base, 0, overlay);
         let mut delta = clean.delta().clone();
         for op in ops {
-            delta.apply(op, |id| clean.base_ids().contains_key(&id));
+            delta.apply(op, |id| clean.base_ids().get().contains_key(&id));
         }
         clean.with_delta(delta, 1)
     }

@@ -25,18 +25,29 @@
 //!   tier) is built and swapped in as one step, so readers never observe a
 //!   torn batch. Lock order is always `ingest_lock → shard writers
 //!   (ascending) → compose_lock`, which keeps the paths deadlock-free.
+//! * **Durability** (when enabled): the original batch is appended to the
+//!   relation's WAL as one record *between* apply and publish, while every
+//!   touched shard's writer lock is held. A concurrent compaction capture
+//!   of a touched shard therefore reads the WAL head either before the
+//!   append (the batch stays in the uncovered suffix) or after the publish
+//!   (the captured snapshot already contains the batch) — never in between,
+//!   so `covered_seq` can never claim an op the persisted base misses.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use twoknn_geometry::{Point, PointId};
+use twoknn_geometry::{Point, PointId, Rect};
 use twoknn_index::Metrics;
+
+use crate::exec::WorkerPool;
 
 use super::delta::{Delta, WriteOp};
 use super::overlay::OverlayConfig;
+use super::recover::RelationDurability;
 use super::shard::{RelationSnapshot, ShardConfig, ShardMap};
 use super::snapshot::{BaseIndex, IndexConfig, ShardSnapshot};
+use super::StoreConfig;
 
 /// One spatial shard's mutable state: its current snapshot, its writer log
 /// (the ops since the shard's base was built), and its compaction slot.
@@ -92,6 +103,8 @@ pub struct VersionedRelation {
     config: IndexConfig,
     compaction_threshold: usize,
     overlay: OverlayConfig,
+    /// WAL + manifest of this relation, when the store is durable.
+    durability: Option<Arc<RelationDurability>>,
 }
 
 impl VersionedRelation {
@@ -102,6 +115,7 @@ impl VersionedRelation {
         compaction_threshold: usize,
         overlay: OverlayConfig,
         sharding: ShardConfig,
+        durability: Option<Arc<RelationDurability>>,
     ) -> Self {
         let map = ShardMap::new(base.bounds(), sharding.shards_per_axis);
         let shard_snaps: Vec<Arc<ShardSnapshot>> = if map.num_shards() == 1 {
@@ -123,6 +137,58 @@ impl VersionedRelation {
                 })
                 .collect()
         };
+        Self::assemble(
+            name,
+            map,
+            shard_snaps,
+            config,
+            compaction_threshold,
+            overlay,
+            durability,
+        )
+    }
+
+    /// Rebuilds a relation from recovered state: one pre-loaded base (the
+    /// opened block file) per shard, with the shard map restored from the
+    /// persisted registration `bounds` and `per_axis` — the relation keeps
+    /// its persisted structure even if the store was reopened with a
+    /// different [`super::ShardConfig`]. Runtime knobs (compaction
+    /// threshold, overlay sizing) come from the current `store` config.
+    pub(crate) fn from_recovered(
+        name: String,
+        bounds: Rect,
+        per_axis: usize,
+        bases: Vec<BaseIndex>,
+        config: IndexConfig,
+        store: &StoreConfig,
+        durability: Arc<RelationDurability>,
+    ) -> Self {
+        let map = ShardMap::new(bounds, per_axis);
+        debug_assert_eq!(map.num_shards(), bases.len());
+        let shard_snaps = bases
+            .into_iter()
+            .map(|base| Arc::new(ShardSnapshot::clean(base, 0, store.overlay)))
+            .collect();
+        Self::assemble(
+            name,
+            map,
+            shard_snaps,
+            config,
+            store.compaction_threshold,
+            store.overlay,
+            Some(durability),
+        )
+    }
+
+    fn assemble(
+        name: String,
+        map: ShardMap,
+        shard_snaps: Vec<Arc<ShardSnapshot>>,
+        config: IndexConfig,
+        compaction_threshold: usize,
+        overlay: OverlayConfig,
+        durability: Option<Arc<RelationDurability>>,
+    ) -> Self {
         let shards = shard_snaps
             .iter()
             .map(|snap| ShardState {
@@ -142,7 +208,26 @@ impl VersionedRelation {
             config,
             compaction_threshold,
             overlay,
+            durability,
         }
+    }
+
+    /// The relation's durable state, when the store is durable.
+    pub(crate) fn durability(&self) -> Option<&Arc<RelationDurability>> {
+        self.durability.as_ref()
+    }
+
+    /// Writes every shard's current base as a block file and commits the
+    /// manifest — the registration-time persist that makes a fresh durable
+    /// relation recoverable. (Shard bases at this point cover no WAL
+    /// records, hence `covered_seq` 0.)
+    pub(crate) fn persist_initial(&self) -> std::io::Result<()> {
+        if let Some(d) = &self.durability {
+            for (s, state) in self.shards.iter().enumerate() {
+                d.persist_shard(s, state.snapshot().base().as_ref(), 0)?;
+            }
+        }
+        Ok(())
     }
 
     /// The relation's name.
@@ -205,6 +290,23 @@ impl VersionedRelation {
     /// shard plus the upsert in the new one, applied in the same publish so
     /// the point is never visible twice or not at all.
     pub(crate) fn ingest_with_receipt(&self, ops: &[WriteOp]) -> IngestReceipt {
+        self.ingest_full(ops, false)
+    }
+
+    /// Recovery-time ingest: applies a WAL record through the normal routing
+    /// and publish machinery but (a) never re-appends to the WAL and (b)
+    /// retracts *every* stale copy of a touched id. Shards persist their
+    /// bases independently, so after a crash a moved point can be visible in
+    /// two shards at once (old position in a shard persisted before the
+    /// move, new position in one persisted after); the move op itself has a
+    /// sequence number past the less-advanced shard's `covered_seq`, so it
+    /// is guaranteed to be among the replayed records and cleans up the
+    /// duplicate here.
+    pub(crate) fn ingest_replay(&self, ops: &[WriteOp]) {
+        self.ingest_full(ops, true);
+    }
+
+    fn ingest_full(&self, ops: &[WriteOp], replay: bool) -> IngestReceipt {
         let _ingest = self
             .ingest_lock
             .lock()
@@ -226,6 +328,22 @@ impl VersionedRelation {
             };
 
         let mut sub: Vec<Vec<WriteOp>> = vec![Vec::new(); nshards];
+        // In replay mode: pushes retractions for every shard beyond the
+        // first that still holds `id` — live ingest maintains the ≤ 1-shard
+        // invariant, but independently persisted shard bases can briefly
+        // break it (see `ingest_replay`). `known` distinguishes ids the
+        // batch itself already settled (the first touching op cleaned up).
+        let retract_stale =
+            |sub: &mut Vec<Vec<WriteOp>>, id: PointId, keep: Option<usize>, known: bool| {
+                if !replay || known {
+                    return;
+                }
+                for (s, snap) in shard_snaps.iter().enumerate() {
+                    if Some(s) != keep && snap.contains_id(id) {
+                        sub[s].push(WriteOp::Remove(id));
+                    }
+                }
+            };
         // Per op: the (shard, sub-batch index) of its primary sub-op, `None`
         // for ineffective removes that route nowhere.
         let mut primary: Vec<Option<(usize, usize)>> = Vec::with_capacity(ops.len());
@@ -233,6 +351,7 @@ impl VersionedRelation {
         for op in ops {
             match op {
                 WriteOp::Upsert(p) => {
+                    let known = where_is.contains_key(&p.id);
                     let target = self.map.shard_of(p);
                     let old = locate_id(&where_is, p.id);
                     visible_before.push(old.is_some());
@@ -243,11 +362,15 @@ impl VersionedRelation {
                             sub[o].push(WriteOp::Remove(p.id));
                         }
                     }
+                    // Replay: also retract stale duplicates from any shard
+                    // that is neither the routed-from nor the target shard.
+                    retract_stale(&mut sub, p.id, old.filter(|o| *o == target), known);
                     primary.push(Some((target, sub[target].len())));
                     sub[target].push(*op);
                     where_is.insert(p.id, Some(target));
                 }
                 WriteOp::Remove(id) => {
+                    let known = where_is.contains_key(id);
                     let old = locate_id(&where_is, *id);
                     visible_before.push(old.is_some());
                     match old {
@@ -258,6 +381,7 @@ impl VersionedRelation {
                         }
                         None => primary.push(None),
                     }
+                    retract_stale(&mut sub, *id, old, known);
                 }
             }
         }
@@ -312,6 +436,18 @@ impl VersionedRelation {
             })
             .collect();
         let effective = changed.iter().filter(|c| **c).count();
+
+        // Log the batch — the ORIGINAL ops, so a cross-shard Remove+Upsert
+        // pair is one atomic record — while every touched shard's writer
+        // lock is still held (see the module doc's ordering argument).
+        // Replay never re-appends, and a batch that touched no shard
+        // (ineffective removes only) replays as a no-op, so skip it.
+        if !replay && applied.iter().any(Option::is_some) {
+            if let Some(d) = &self.durability {
+                d.append_batch(ops)
+                    .expect("WAL append failed; cannot publish an unlogged batch");
+            }
+        }
 
         // Publish: swap the affected shard pointers and the recomposed
         // relation snapshot as one step, then release the writer locks.
@@ -372,11 +508,21 @@ impl VersionedRelation {
     }
 
     /// Captures shard `s`'s rebuild source under its writer lock: the shard
-    /// snapshot to merge and the log length it corresponds to.
-    pub(crate) fn capture_shard_for_compaction(&self, s: usize) -> (Arc<ShardSnapshot>, usize) {
+    /// snapshot to merge, the log length it corresponds to, and the WAL
+    /// sequence number the rebuilt base will cover. Reading the WAL head
+    /// under the shard's writer lock makes the coverage claim race-free:
+    /// every logged record that touches this shard is already applied to
+    /// the captured snapshot (batches append mid-publish, holding this
+    /// lock). Records touching only *other* shards may over-count — their
+    /// coverage claim for this shard is vacuously true.
+    pub(crate) fn capture_shard_for_compaction(
+        &self,
+        s: usize,
+    ) -> (Arc<ShardSnapshot>, usize, u64) {
         let state = &self.shards[s];
         let writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        (state.snapshot(), writer.len())
+        let covered_seq = self.durability.as_ref().map_or(0, |d| d.last_seq());
+        (state.snapshot(), writer.len(), covered_seq)
     }
 
     /// Publishes a rebuilt base for shard `s`: replays the shard ops
@@ -400,7 +546,7 @@ impl VersionedRelation {
         } else {
             let mut delta = Delta::with_config(self.overlay);
             for op in writer.iter() {
-                delta.apply(op, |id| clean.base_ids().contains_key(&id));
+                delta.apply(op, |id| clean.base_ids().get().contains_key(&id));
             }
             let version = clean.version();
             clean.with_delta(delta, version)
@@ -445,19 +591,64 @@ impl VersionedRelation {
         }
         let _slot = Slot(self, s);
 
-        let (source, captured_len) = self.capture_shard_for_compaction(s);
+        let (source, captured_len, covered_seq) = self.capture_shard_for_compaction(s);
         if source.delta().is_empty() {
             return None;
         }
         let points = gather(&source);
         let gathered = points.len() as u64;
         let base = self.config.build(points, source.base().bounds());
+        // Persist the rebuilt base *before* the in-memory publish and
+        // outside all locks. The block file's contents equal the captured
+        // visible set — exactly the WAL prefix up to `covered_seq` as it
+        // affects this shard — regardless of when the publish lands. A
+        // failed persist keeps the manifest on the previous generation
+        // (whose smaller covered_seq keeps the WAL suffix long enough), so
+        // durability degrades to slower recovery, never to data loss.
+        if let Some(d) = &self.durability {
+            if let Err(e) = d.persist_shard(s, base.as_ref(), covered_seq) {
+                eprintln!(
+                    "two-knn: failed to persist shard {s} of `{}`: {e} \
+                     (recovery will replay the WAL instead)",
+                    self.name
+                );
+            }
+        }
         let version = self.publish_shard_compacted(s, base, captured_len);
         let mut m = metrics.lock().unwrap_or_else(PoisonError::into_inner);
         m.compactions += 1;
         m.shards_compacted += 1;
         m.points_scanned += gathered;
         Some(version)
+    }
+
+    /// Checkpoints the relation: folds (and thereby persists) every dirty
+    /// shard, advances clean shards' covered sequence to the WAL head, and
+    /// trims WAL segments no shard needs anymore. No-op without durability.
+    ///
+    /// The clean-shard bump is sound because under the shard's writer lock,
+    /// an empty delta **and** empty writer log mean the shard's visible set
+    /// *is* its in-memory base, which (unless marked stale by a failed
+    /// persist — checked by `bump_covered`) is byte-for-byte the manifest's
+    /// block file; every logged record that touches the shard is reflected
+    /// in that visible set.
+    pub(crate) fn checkpoint(&self, pool: &WorkerPool, metrics: &Mutex<Metrics>) {
+        let Some(d) = &self.durability else { return };
+        let _ = super::compact::compact_relation(self, pool, metrics);
+        let head = d.last_seq();
+        for (s, state) in self.shards.iter().enumerate() {
+            let writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            if writer.is_empty() && state.snapshot().delta().is_empty() {
+                d.bump_covered(s, head);
+            }
+        }
+        if let Err(e) = d.sync_manifest_and_trim() {
+            eprintln!(
+                "two-knn: checkpoint of `{}` could not rewrite its manifest: {e} \
+                 (WAL segments are kept; recovery stays correct)",
+                self.name
+            );
+        }
     }
 }
 
@@ -495,6 +686,7 @@ mod tests {
             threshold,
             OverlayConfig::default(),
             ShardConfig::per_axis(shards_per_axis),
+            None,
         )
     }
 
@@ -600,7 +792,7 @@ mod tests {
         // Simulate a concurrent write landing between capture and publish:
         // capture first, ingest, then finish the rebuild from the capture.
         assert!(rel.begin_shard_compaction(0));
-        let (source, captured_len) = rel.capture_shard_for_compaction(0);
+        let (source, captured_len, _covered) = rel.capture_shard_for_compaction(0);
         rel.ingest(&[
             WriteOp::Upsert(Point::new(501, 4.0, 4.0)),
             WriteOp::Remove(7),

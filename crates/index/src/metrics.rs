@@ -62,6 +62,16 @@ pub struct Metrics {
     /// provably could not change the subscription's result (every write fell
     /// outside its guard region) — the guard's pruning power, observable.
     pub cq_skips: u64,
+    /// Number of batch records appended to write-ahead logs.
+    pub wal_appends: u64,
+    /// Total bytes appended to write-ahead logs (record framing included).
+    pub wal_bytes: u64,
+    /// Number of store checkpoints taken (dirty shards spilled to block
+    /// files, obsolete WAL segments trimmed).
+    pub checkpoints: u64,
+    /// Number of relations recovered from disk at open (block files loaded,
+    /// WAL suffix replayed).
+    pub recoveries: u64,
 }
 
 impl Metrics {
@@ -106,6 +116,10 @@ impl std::ops::AddAssign for Metrics {
         self.shards_compacted += rhs.shards_compacted;
         self.cq_reevals += rhs.cq_reevals;
         self.cq_skips += rhs.cq_skips;
+        self.wal_appends += rhs.wal_appends;
+        self.wal_bytes += rhs.wal_bytes;
+        self.checkpoints += rhs.checkpoints;
+        self.recoveries += rhs.recoveries;
     }
 }
 
@@ -123,7 +137,8 @@ impl std::fmt::Display for Metrics {
         write!(
             f,
             "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} \
-             shards={}/{} cache={}/{} ingest={} compactions={} shard_compactions={} cq={}/{}",
+             shards={}/{} cache={}/{} ingest={} compactions={} shard_compactions={} cq={}/{} \
+             wal={}r/{}B checkpoints={} recoveries={}",
             self.neighborhoods_computed,
             self.blocks_scanned,
             self.points_scanned,
@@ -140,6 +155,10 @@ impl std::fmt::Display for Metrics {
             self.shards_compacted,
             self.cq_reevals,
             self.cq_reevals + self.cq_skips,
+            self.wal_appends,
+            self.wal_bytes,
+            self.checkpoints,
+            self.recoveries,
         )
     }
 }
@@ -168,6 +187,10 @@ mod tests {
             shards_compacted: 17,
             cq_reevals: 13,
             cq_skips: 14,
+            wal_appends: 18,
+            wal_bytes: 19,
+            checkpoints: 20,
+            recoveries: 21,
         };
         a += a;
         assert_eq!(a.neighborhoods_computed, 2);
@@ -179,6 +202,10 @@ mod tests {
         assert_eq!(a.shards_scanned, 30);
         assert_eq!(a.shards_pruned, 32);
         assert_eq!(a.shards_compacted, 34);
+        assert_eq!(a.wal_appends, 36);
+        assert_eq!(a.wal_bytes, 38);
+        assert_eq!(a.checkpoints, 40);
+        assert_eq!(a.recoveries, 42);
         assert_eq!(a.work(), 2 + 4);
     }
 
