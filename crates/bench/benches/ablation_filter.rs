@@ -1,0 +1,180 @@
+//! Ablation A8: filtered-kNN execution strategy.
+//!
+//! A pre-kNN filter ("the k nearest *matching* points") can be evaluated
+//! two ways, and the planner's [`SelectStrategy`] picks between them:
+//!
+//! * **`FilteredKernel`** — the predicate-masked block kernel: visit blocks
+//!   in MINDIST order, mask each block's candidates against the predicate,
+//!   and prune against the running k-th *matching* distance. Work scales
+//!   with the neighborhood, not the relation.
+//! * **`FilterThenScan`** — materialize the matching subset by scanning the
+//!   whole relation, then brute-force the kNN over the survivors. Work is
+//!   `O(n)` per query regardless of how local the answer is.
+//!
+//! The same parsed textual query batch runs under both strategies at three
+//! filter selectivities (a rect covering ~1%, ~25%, and 100% of the
+//! extent, centered on the focal cluster). Latency is printed; the
+//! `--smoke` assertions pin the machine-independent work counters: the two
+//! strategies must return identical rows, the masked kernel must scan
+//! strictly fewer points at the selective settings, and it must never
+//! regress at selectivity 1.0 (where the mask accepts everything and the
+//! kernel degenerates to the plain kNN scan order).
+//!
+//! Usage: `cargo bench -p twoknn-bench --bench ablation_filter --
+//! [--points N] [--queries N] [--smoke]`
+
+use twoknn_bench::micro::BenchGroup;
+use twoknn_bench::workloads;
+use twoknn_core::plan::{Database, QuerySpec, SelectStrategy, Strategy};
+use twoknn_index::Metrics;
+
+/// The strategies under comparison.
+fn strategies() -> [(&'static str, SelectStrategy); 2] {
+    [
+        ("filtered_kernel", SelectStrategy::FilteredKernel),
+        ("filter_then_scan", SelectStrategy::FilterThenScan),
+    ]
+}
+
+/// A filtered kNN-select batch, parsed from query text: every query asks
+/// for the 8 nearest points inside a rect covering `fraction` of each axis,
+/// centered on the focal cluster, from focal points jittered around it.
+fn parsed_batch(db: &Database, queries: usize, fraction: f64) -> Vec<QuerySpec> {
+    let extent = workloads::extent();
+    let focal = workloads::focal_point();
+    let (hw, hh) = (
+        extent.width() * fraction * 0.5,
+        extent.height() * fraction * 0.5,
+    );
+    // Clamp the filter rect to the extent so fraction 1.0 covers everything.
+    let (x1, y1) = (
+        (focal.x - hw).max(extent.min_x),
+        (focal.y - hh).max(extent.min_y),
+    );
+    let (x2, y2) = (
+        (focal.x + hw).min(extent.max_x),
+        (focal.y + hh).min(extent.max_y),
+    );
+    (0..queries)
+        .map(|q| {
+            let offset = (q % 61) as f64 * 11.0;
+            let text = format!(
+                "FIND (Objects WHERE INSIDE(RECT({x1}, {y1}, {x2}, {y2}))) \
+                 WHERE KNN(8, {}, {})",
+                focal.x + offset,
+                focal.y - offset,
+            );
+            db.parse_query(&text).expect("bench query parses")
+        })
+        .collect()
+}
+
+/// Runs the batch under one explicit strategy, folding the per-query work
+/// counters and collecting the sorted result rows for cross-checking.
+fn run_batch(
+    db: &Database,
+    specs: &[QuerySpec],
+    strategy: SelectStrategy,
+) -> (Metrics, Vec<Vec<u64>>) {
+    let mut work = Metrics::default();
+    let mut rows: Vec<Vec<u64>> = Vec::new();
+    for spec in specs {
+        let result = db
+            .execute_with(spec, Strategy::Select(strategy))
+            .expect("filtered select");
+        work += result.metrics();
+        let mut ids: Vec<Vec<u64>> = result.rows().iter().map(|r| r.ids()).collect();
+        ids.sort_unstable();
+        rows.push(ids.into_iter().flatten().collect());
+    }
+    (work, rows)
+}
+
+fn main() {
+    let mut points = 120_000usize;
+    let mut queries = 256usize;
+    let mut smoke = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--points" => {
+                i += 1;
+                points = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(points);
+            }
+            "--queries" => {
+                i += 1;
+                queries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(queries);
+            }
+            "--smoke" => {
+                points = 20_000;
+                queries = 64;
+                smoke = true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    println!("ablation_filter: {points} points, {queries} parsed queries per selectivity");
+
+    let mut db = Database::new();
+    db.register("Objects", workloads::berlin_relation(points, 423));
+
+    for (sel_label, fraction) in [("sel_1pct", 0.1), ("sel_25pct", 0.5), ("sel_100pct", 1.0)] {
+        let specs = parsed_batch(&db, queries, fraction);
+        let mut per_strategy: Vec<(&str, Metrics, Vec<Vec<u64>>, f64)> = Vec::new();
+        let mut group = BenchGroup::new(&format!("filter_{sel_label}")).sample_size(5);
+        for (label, strategy) in strategies() {
+            let stat = group.bench(label, || {
+                for spec in &specs {
+                    db.execute_with(spec, Strategy::Select(strategy))
+                        .expect("filtered select");
+                }
+            });
+            let (work, rows) = run_batch(&db, &specs, strategy);
+            println!(
+                "{sel_label}/{label}: {:.0} points / {:.1} blocks scanned per kNN, \
+                 median {:.1} ms",
+                work.points_scanned as f64 / queries as f64,
+                work.blocks_scanned as f64 / queries as f64,
+                stat.median_ms,
+            );
+            per_strategy.push((label, work, rows, stat.median_ms));
+        }
+        let (kernel, scan) = (&per_strategy[0], &per_strategy[1]);
+        println!(
+            "{sel_label}: masked kernel scans {:.3}x the scan-then-filter points, \
+             latency {:.2}x",
+            kernel.1.points_scanned as f64 / scan.1.points_scanned.max(1) as f64,
+            kernel.3 / scan.3,
+        );
+        if smoke {
+            assert_eq!(
+                kernel.2, scan.2,
+                "{sel_label}: the two strategies must return identical rows"
+            );
+            assert!(
+                kernel.2.iter().any(|ids| !ids.is_empty()),
+                "{sel_label}: the workload must produce non-empty neighborhoods"
+            );
+            if fraction < 1.0 {
+                assert!(
+                    kernel.1.points_scanned < scan.1.points_scanned,
+                    "{sel_label}: the masked kernel must beat the full scan: \
+                     {} >= {}",
+                    kernel.1.points_scanned,
+                    scan.1.points_scanned
+                );
+            } else {
+                assert!(
+                    kernel.1.points_scanned <= scan.1.points_scanned,
+                    "sel_100pct: the masked kernel must never regress past the \
+                     full scan: {} > {}",
+                    kernel.1.points_scanned,
+                    scan.1.points_scanned
+                );
+            }
+        }
+    }
+    println!("ablation_filter: done");
+}

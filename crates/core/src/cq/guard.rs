@@ -36,12 +36,13 @@
 
 use std::collections::HashMap;
 
-use twoknn_geometry::{Point, Rect};
+use twoknn_geometry::{Point, Predicate, Rect};
 use twoknn_index::{get_knn, Metrics, SpatialIndex};
 
 use crate::output::{Pair, Triplet};
 use crate::plan::executor::QuerySpec;
 use crate::plan::Row;
+use crate::select::knn_select_filtered_neighborhood;
 use crate::store::DbSnapshot;
 
 use super::registry::Guard;
@@ -66,6 +67,25 @@ fn select_guard(
     }
     let kth = get_knn(relation, focal, k, metrics).radius();
     Guard::Regions(vec![circle(focal, kth)])
+}
+
+/// The focal-circle guard of a **filtered** kNN-select: the radius is the
+/// k-th *matching* distance — never smaller than the unfiltered k-th
+/// distance, so the circle still covers every position whose write could
+/// change the (filtered) membership. Fewer than `k` matching points means
+/// any matching insert anywhere joins the result: unbounded.
+fn filtered_select_guard(
+    relation: &dyn SpatialIndex,
+    focal: &Point,
+    k: usize,
+    predicate: &Predicate,
+    metrics: &mut Metrics,
+) -> Guard {
+    let nbr = knn_select_filtered_neighborhood(relation, focal, k, predicate, metrics);
+    if nbr.len() < k {
+        return Guard::Everything;
+    }
+    Guard::Regions(vec![circle(focal, nbr.radius())])
 }
 
 /// The block-expansion guard on `inner` for the join `outer ⋈_k inner`:
@@ -227,6 +247,43 @@ pub(crate) fn compute_guards(
             let g2 = select_guard(rel, &query.f2, query.k2, metrics);
             merge_into(&mut guards, relation, g1.merge(g2));
         }
+        QuerySpec::KnnSelect { relation, query } => {
+            let rel = snapshot.relation(relation)?;
+            merge_into(
+                &mut guards,
+                relation,
+                select_guard(rel, &query.focal, query.k, metrics),
+            );
+        }
+        QuerySpec::Filtered { spec, filters } => match spec.as_ref() {
+            // A filtered single select keeps a precise guard: the circle at
+            // the *filtered* k-th distance. Sound regardless of post
+            // filters — a write outside the circle cannot change the
+            // filtered kNN set, hence not any residual-filtered subset of
+            // it either.
+            QuerySpec::KnnSelect { relation, query } => {
+                let rel = snapshot.relation(relation)?;
+                let predicate = filters
+                    .pre
+                    .get(relation)
+                    .cloned()
+                    .unwrap_or(Predicate::True);
+                merge_into(
+                    &mut guards,
+                    relation,
+                    filtered_select_guard(rel, &query.focal, query.k, &predicate, metrics),
+                );
+            }
+            // Every other filtered shape falls back to unbounded guards on
+            // all referenced relations: always sound (every publish
+            // re-evaluates), at the cost of maintenance work. Tightening
+            // these is future work.
+            inner => {
+                for name in inner.relations() {
+                    merge_into(&mut guards, name, Guard::Everything);
+                }
+            }
+        },
     }
     Ok(guards)
 }

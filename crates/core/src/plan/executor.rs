@@ -24,9 +24,10 @@
 //! scheduled on the same pool. Readers never block on either — they keep
 //! their pinned snapshots.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
-use twoknn_geometry::{Point, PointId};
+use twoknn_geometry::{Point, PointId, Predicate};
 use twoknn_index::Metrics;
 
 use crate::cq::{CqEngine, MaintenancePolicy, ResultDelta, SubscriptionId};
@@ -38,6 +39,7 @@ use crate::plan::optimizer::Optimizer;
 use crate::plan::physical::{compile, PhysicalPlan, Row};
 use crate::plan::stats::RelationProfile;
 use crate::plan::strategy::Strategy;
+use crate::select::KnnSelectQuery;
 use crate::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
 use crate::selects2::TwoSelectsQuery;
 use crate::store::{
@@ -121,6 +123,78 @@ pub enum QuerySpec {
         /// Query parameters.
         query: TwoSelectsQuery,
     },
+    /// A single kNN-select `σ_{k,f}(E)` — the shape the textual front-end
+    /// ([`Database::query`]) produces for one `KNN` predicate.
+    KnnSelect {
+        /// Name of the relation.
+        relation: String,
+        /// Query parameters.
+        query: KnnSelectQuery,
+    },
+    /// A query with relational filters wrapped around an inner kNN query
+    /// shape. Filters are placed per relation name: **pre-kNN** filters
+    /// change what the kNN predicates see ("the k nearest *matching*
+    /// points"), **post-kNN** filters only prune result rows. The placement
+    /// is semantics-bearing (Section 3 of the paper), so
+    /// [`crate::plan::compile`] rejects pre-filters on
+    /// roles where the pushdown would change the answer.
+    Filtered {
+        /// The kNN query shape the filters wrap.
+        spec: Box<QuerySpec>,
+        /// The filters and their placement.
+        filters: QueryFilters,
+    },
+}
+
+/// Per-relation filter predicates of a [`QuerySpec::Filtered`] query, split
+/// by placement relative to the kNN predicates.
+///
+/// Keys are relation names (as they appear in the wrapped spec). A name in
+/// `pre` filters the relation *before* the kNN predicates run against it —
+/// valid only on roles where the paper's pushdown argument holds (the
+/// select/outer side, never a join's inner side). A name in `post` filters
+/// the finished result rows by that relation's component.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryFilters {
+    /// Filters applied before the kNN predicates (pushdown placement).
+    pub pre: BTreeMap<String, Predicate>,
+    /// Filters applied to the result rows (residual placement).
+    pub post: BTreeMap<String, Predicate>,
+}
+
+impl QueryFilters {
+    /// No filters in either placement.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds (ANDs onto) a pre-kNN filter for `relation`.
+    pub fn pre(mut self, relation: impl Into<String>, predicate: Predicate) -> Self {
+        let name = relation.into();
+        let combined = match self.pre.remove(&name) {
+            Some(existing) => existing.and(predicate),
+            None => predicate,
+        };
+        self.pre.insert(name, combined);
+        self
+    }
+
+    /// Adds (ANDs onto) a post-kNN filter for `relation`.
+    pub fn post(mut self, relation: impl Into<String>, predicate: Predicate) -> Self {
+        let name = relation.into();
+        let combined = match self.post.remove(&name) {
+            Some(existing) => existing.and(predicate),
+            None => predicate,
+        };
+        self.post.insert(name, combined);
+        self
+    }
+
+    /// True when neither placement holds any (non-trivial) filter.
+    pub fn is_empty(&self) -> bool {
+        self.pre.values().all(|p| matches!(p, Predicate::True))
+            && self.post.values().all(|p| matches!(p, Predicate::True))
+    }
 }
 
 impl QuerySpec {
@@ -133,7 +207,23 @@ impl QuerySpec {
             QuerySpec::UnchainedJoins { a, b, c, .. } | QuerySpec::ChainedJoins { a, b, c, .. } => {
                 vec![a, b, c]
             }
-            QuerySpec::TwoSelects { relation, .. } => vec![relation],
+            QuerySpec::TwoSelects { relation, .. } | QuerySpec::KnnSelect { relation, .. } => {
+                vec![relation]
+            }
+            QuerySpec::Filtered { spec, .. } => spec.relations(),
+        }
+    }
+
+    /// Wraps this query in filters, producing a [`QuerySpec::Filtered`] —
+    /// or returning `self` unchanged when `filters` is empty.
+    pub fn with_filters(self, filters: QueryFilters) -> QuerySpec {
+        if filters.is_empty() {
+            self
+        } else {
+            QuerySpec::Filtered {
+                spec: Box::new(self),
+                filters,
+            }
         }
     }
 }
@@ -676,6 +766,12 @@ impl Database {
             QuerySpec::TwoSelects { query, .. } => {
                 Strategy::TwoSelects(self.optimizer.choose_two_selects(query))
             }
+            QuerySpec::KnnSelect { relation, .. } => {
+                Strategy::Select(self.optimizer.choose_select(&profile(relation)?))
+            }
+            // Filters don't change the strategy family: plan the wrapped
+            // shape, `compile` threads the filters through the operator.
+            QuerySpec::Filtered { spec, .. } => self.plan_on(snapshot, spec)?,
         })
     }
 
@@ -705,6 +801,54 @@ impl Database {
         mode: ExecutionMode,
     ) -> Result<QueryResult, QueryError> {
         Ok(self.compile(spec, strategy)?.execute(mode))
+    }
+
+    // -----------------------------------------------------------------
+    // Textual queries
+    // -----------------------------------------------------------------
+
+    /// Parses a textual query (see [`crate::plan::lang`] for the grammar)
+    /// into a [`QuerySpec`] without executing it. Syntax and rewrite errors
+    /// come back as [`QueryError::Parse`] carrying the offending span.
+    pub fn parse_query(&self, text: &str) -> Result<QuerySpec, QueryError> {
+        Ok(crate::plan::lang::parse_query(text)?)
+    }
+
+    /// Parses and executes a textual query in one step: the declarative
+    /// front-end over [`Database::execute`].
+    ///
+    /// ```
+    /// # use twoknn_core::plan::Database;
+    /// # use twoknn_index::GridIndex;
+    /// # use twoknn_geometry::Point;
+    /// # let mut db = Database::new();
+    /// # let pts: Vec<Point> = (0..50).map(|i| Point::new(i, i as f64, 0.0)).collect();
+    /// # db.register("Sites", GridIndex::build(pts, 4).unwrap());
+    /// let result = db
+    ///     .query("FIND Sites WHERE KNN(3, 10, 0) AND ID <= 40")
+    ///     .unwrap();
+    /// assert_eq!(result.num_rows(), 3);
+    /// ```
+    pub fn query(&self, text: &str) -> Result<QueryResult, QueryError> {
+        let spec = self.parse_query(text)?;
+        self.execute(&spec)
+    }
+
+    /// Executes an already-parsed textual query — an alias for
+    /// [`Database::execute`] that completes the parse → plan → execute
+    /// pipeline when the caller keeps the [`QuerySpec`] around (e.g. to run
+    /// it repeatedly, or through [`Database::execute_batch`]).
+    pub fn execute_parsed(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
+        self.execute(spec)
+    }
+
+    /// Parses a textual query and registers it as a **standing query** (see
+    /// [`Database::subscribe`]). Guard regions are derived from the
+    /// *filtered* result — a filtered k-th-NN distance is never smaller
+    /// than the unfiltered one, so the guard circle stays sound.
+    pub fn subscribe_query(&self, text: &str) -> Result<SubscriptionId, QueryError> {
+        let spec = self.parse_query(text)?;
+        self.subscribe(&spec, None)
     }
 }
 
@@ -886,6 +1030,42 @@ mod tests {
             r.strategy(),
             Strategy::SelectOuter(SelectOuterStrategy::Pushdown)
         );
+    }
+
+    #[test]
+    fn textual_queries_run_end_to_end() {
+        let db = db();
+        let result = db.query("FIND B WHERE KNN(5, 30, 30)").unwrap();
+        assert_eq!(result.num_rows(), 5);
+        assert!(matches!(result.strategy(), Strategy::Select(_)));
+
+        // Filters in both placements execute through the same entry point.
+        let filtered = db
+            .query(
+                "FIND (B WHERE INSIDE(RECT(0, 0, 100, 100))) \
+                 WHERE KNN(5, 30, 30) AND ID BETWEEN 0 AND 200",
+            )
+            .unwrap();
+        assert!(filtered.num_rows() <= 5);
+
+        // Parse errors surface as QueryError::Parse with the span intact.
+        let err = db.query("FIND B WHERE").unwrap_err();
+        match err {
+            QueryError::Parse(parse) => assert!(parse.start <= parse.query.len()),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        // Unknown relations surface at execution, not parse, time.
+        assert!(matches!(
+            db.query("FIND Nope WHERE KNN(1, 0, 0)"),
+            Err(QueryError::UnknownRelation { .. })
+        ));
+
+        // `execute_parsed` + `execute_batch` run the same parsed spec.
+        let spec = db.parse_query("FIND B WHERE KNN(5, 30, 30)").unwrap();
+        assert_eq!(db.execute_parsed(&spec).unwrap().num_rows(), 5);
+        let batch = db.execute_batch(&[spec.clone(), spec]);
+        assert!(batch.iter().all(|r| r.as_ref().unwrap().num_rows() == 5));
     }
 
     #[test]

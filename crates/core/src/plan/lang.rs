@@ -1,0 +1,1119 @@
+//! The declarative textual query front-end.
+//!
+//! A hand-written lexer and recursive-descent parser (no dependencies) for
+//! a small `FIND … WHERE …` language over the catalog's relations, plus the
+//! rewriter that turns the parsed [`Query`] into an executable
+//! [`QuerySpec`]. Errors carry byte spans and render caret-style
+//! ([`ParseError`]).
+//!
+//! # Grammar
+//!
+//! ```text
+//! query     := FIND source WHERE condition
+//! source    := IDENT                          -- plain relation
+//!            | '(' IDENT WHERE condition ')'  -- pre-kNN filtered relation
+//! condition := and_cond (OR and_cond)*
+//! and_cond  := unary (AND unary)*
+//! unary     := NOT unary | atom
+//! atom      := TRUE | FALSE
+//!            | KNN '(' k ',' x ',' y ')'
+//!            | INSIDE '(' RECT '(' x1 ',' y1 ',' x2 ',' y2 ')' ')'
+//!            | INSIDE '(' CIRCLE '(' x ',' y ',' r ')' ')'
+//!            | ID IN '(' n (',' n)* ')'
+//!            | ID BETWEEN n AND n
+//!            | ID '<=' n | ID '>=' n | ID '=' n
+//!            | '(' condition ')'
+//! ```
+//!
+//! Keywords are case-insensitive; relation names are case-sensitive.
+//!
+//! # Filter placement
+//!
+//! The placement of a relational filter relative to the kNN predicates is
+//! **semantics-bearing** (Section 3 of the paper), so the language makes it
+//! explicit:
+//!
+//! * a condition inside the *source* parentheses is a **pre-kNN** filter —
+//!   the kNN predicates see only matching points ("the k nearest
+//!   *matching* sites");
+//! * a non-kNN condition in the main `WHERE` clause is a **post-kNN**
+//!   residual — it prunes the finished kNN result rows.
+//!
+//! `KNN` predicates must be top-level conjuncts of the main `WHERE` clause
+//! (not under `OR` or `NOT`, and never in the source filter): a
+//! disjunctive or negated kNN predicate has no well-defined pushdown, so
+//! the rewriter refuses it with a spanned error. One `KNN` conjunct
+//! produces a [`QuerySpec::KnnSelect`], two produce a
+//! [`QuerySpec::TwoSelects`] (the conceptual intersection of Figure 16);
+//! filters wrap the result as [`QuerySpec::Filtered`].
+
+use twoknn_geometry::{Point, Predicate, Rect};
+
+use crate::error::ParseError;
+use crate::plan::executor::{QueryFilters, QuerySpec};
+use crate::plan::logical::LogicalExpr;
+use crate::select::KnnSelectQuery;
+use crate::selects2::TwoSelectsQuery;
+
+/// A byte span `[start, end)` into the query text.
+pub type Span = (usize, usize);
+
+/// A parsed (but not yet rewritten) textual query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The relation named in the `FIND` source.
+    pub relation: String,
+    /// The pre-kNN filter of a parenthesized source, if any.
+    pub source_filter: Option<Cond>,
+    /// The main `WHERE` condition (kNN predicates still embedded).
+    pub condition: Cond,
+    /// Byte span of the main condition (for rewriter diagnostics).
+    pub condition_span: Span,
+}
+
+impl PartialEq for Query {
+    fn eq(&self, other: &Self) -> bool {
+        // Spans are positions, not meaning: two queries are equal when
+        // their relation and conditions are — which is what the
+        // parse → print → parse round-trip preserves.
+        self.relation == other.relation
+            && self.source_filter == other.source_filter
+            && self.condition == other.condition
+    }
+}
+
+/// A condition-tree node of the query language.
+#[derive(Debug, Clone)]
+pub enum Cond {
+    /// `TRUE`.
+    True,
+    /// `FALSE`.
+    False,
+    /// `KNN(k, x, y)`: among the `k` nearest to the focal point `(x, y)`.
+    Knn {
+        /// Number of neighbors.
+        k: usize,
+        /// Focal x coordinate.
+        x: f64,
+        /// Focal y coordinate.
+        y: f64,
+        /// Span of the whole `KNN(...)` atom, for rewriter diagnostics.
+        span: Span,
+    },
+    /// `INSIDE(RECT(x1, y1, x2, y2))`: closed containment in a rectangle.
+    InRect {
+        /// Lower-left x.
+        x1: f64,
+        /// Lower-left y.
+        y1: f64,
+        /// Upper-right x.
+        x2: f64,
+        /// Upper-right y.
+        y2: f64,
+    },
+    /// `INSIDE(CIRCLE(x, y, r))`: within distance `r` of `(x, y)`.
+    InCircle {
+        /// Center x.
+        x: f64,
+        /// Center y.
+        y: f64,
+        /// Radius.
+        r: f64,
+    },
+    /// `ID IN (a, b, …)`.
+    IdIn(Vec<u64>),
+    /// `ID BETWEEN lo AND hi` (inclusive; also produced by `ID <=`, `ID >=`
+    /// and `ID =`).
+    IdBetween {
+        /// Lowest matching id.
+        lo: u64,
+        /// Highest matching id.
+        hi: u64,
+    },
+    /// Conjunction of two or more conditions.
+    And(Vec<Cond>),
+    /// Disjunction of two or more conditions.
+    Or(Vec<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl PartialEq for Cond {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Cond::True, Cond::True) | (Cond::False, Cond::False) => true,
+            (
+                Cond::Knn { k, x, y, .. },
+                Cond::Knn {
+                    k: k2,
+                    x: x2,
+                    y: y2,
+                    ..
+                },
+            ) => k == k2 && x == x2 && y == y2,
+            (
+                Cond::InRect { x1, y1, x2, y2 },
+                Cond::InRect {
+                    x1: a,
+                    y1: b,
+                    x2: c,
+                    y2: d,
+                },
+            ) => x1 == a && y1 == b && x2 == c && y2 == d,
+            (Cond::InCircle { x, y, r }, Cond::InCircle { x: a, y: b, r: c }) => {
+                x == a && y == b && r == c
+            }
+            (Cond::IdIn(a), Cond::IdIn(b)) => a == b,
+            (Cond::IdBetween { lo, hi }, Cond::IdBetween { lo: a, hi: b }) => lo == a && hi == b,
+            (Cond::And(a), Cond::And(b)) | (Cond::Or(a), Cond::Or(b)) => a == b,
+            (Cond::Not(a), Cond::Not(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cond::True => write!(f, "TRUE"),
+            Cond::False => write!(f, "FALSE"),
+            Cond::Knn { k, x, y, .. } => write!(f, "KNN({k}, {x}, {y})"),
+            Cond::InRect { x1, y1, x2, y2 } => {
+                write!(f, "INSIDE(RECT({x1}, {y1}, {x2}, {y2}))")
+            }
+            Cond::InCircle { x, y, r } => write!(f, "INSIDE(CIRCLE({x}, {y}, {r}))"),
+            Cond::IdIn(ids) => {
+                write!(f, "ID IN (")?;
+                for (i, id) in ids.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{id}")?;
+                }
+                write!(f, ")")
+            }
+            Cond::IdBetween { lo, hi } => write!(f, "ID BETWEEN {lo} AND {hi}"),
+            Cond::And(items) | Cond::Or(items) => {
+                let sep = if matches!(self, Cond::And(_)) {
+                    " AND "
+                } else {
+                    " OR "
+                };
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "{sep}")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Cond::Not(inner) => write!(f, "(NOT {inner})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.source_filter {
+            Some(filter) => write!(
+                f,
+                "FIND ({} WHERE {}) WHERE {}",
+                self.relation, filter, self.condition
+            ),
+            None => write!(f, "FIND {} WHERE {}", self.relation, self.condition),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    Comma,
+    Le,
+    Ge,
+    Eq,
+    Find,
+    Where,
+    And,
+    Or,
+    Not,
+    Knn,
+    Inside,
+    Rect,
+    Circle,
+    Id,
+    In,
+    Between,
+    True,
+    False,
+    Eof,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("identifier `{name}`"),
+            Tok::Number(n) => format!("number `{n}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Eof => "end of query".into(),
+            keyword => format!("`{keyword:?}`").to_uppercase(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    span: Span,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "FIND" => Tok::Find,
+        "WHERE" => Tok::Where,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "NOT" => Tok::Not,
+        "KNN" => Tok::Knn,
+        "INSIDE" => Tok::Inside,
+        "RECT" => Tok::Rect,
+        "CIRCLE" => Tok::Circle,
+        "ID" => Tok::Id,
+        "IN" => Tok::In,
+        "BETWEEN" => Tok::Between,
+        "TRUE" => Tok::True,
+        "FALSE" => Tok::False,
+        _ => return None,
+    })
+}
+
+fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
+    let err = |start: usize, end: usize, message: String| ParseError {
+        message,
+        query: text.to_string(),
+        start,
+        end,
+    };
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' | b')' | b',' | b'=' => {
+                let tok = match b {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b',' => Tok::Comma,
+                    _ => Tok::Eq,
+                };
+                i += 1;
+                tokens.push(Token {
+                    tok,
+                    span: (start, i),
+                });
+            }
+            b'<' | b'>' => {
+                if bytes.get(i + 1) != Some(&b'=') {
+                    return Err(err(start, start + 1, format!("expected `{}=`", b as char)));
+                }
+                i += 2;
+                tokens.push(Token {
+                    tok: if b == b'<' { Tok::Le } else { Tok::Ge },
+                    span: (start, i),
+                });
+            }
+            b'-' | b'0'..=b'9' | b'.' => {
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let slice = text[start..i].replace('_', "");
+                let value: f64 = slice
+                    .parse()
+                    .map_err(|_| err(start, i, format!("`{}` is not a number", &text[start..i])))?;
+                tokens.push(Token {
+                    tok: Tok::Number(value),
+                    span: (start, i),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                let tok = keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()));
+                tokens.push(Token {
+                    tok,
+                    span: (start, i),
+                });
+            }
+            _ => {
+                return Err(err(
+                    start,
+                    start + 1,
+                    format!("unexpected character `{}`", &text[start..start + 1]),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: (text.len(), text.len()),
+    });
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    text: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn err(&self, span: Span, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            query: self.text.to_string(),
+            start: span.0,
+            end: span.1,
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<Token, ParseError> {
+        let token = self.peek().clone();
+        if token.tok == want {
+            Ok(self.bump())
+        } else {
+            Err(self.err(
+                token.span,
+                format!("expected {what}, found {}", token.tok.describe()),
+            ))
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseError> {
+        let token = self.peek().clone();
+        match token.tok {
+            Tok::Number(value) => {
+                self.bump();
+                Ok(value)
+            }
+            other => Err(self.err(
+                token.span,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// A non-negative integer literal, parsed from the raw text so 64-bit
+    /// ids survive exactly.
+    fn integer(&mut self, what: &str) -> Result<u64, ParseError> {
+        let token = self.peek().clone();
+        if !matches!(token.tok, Tok::Number(_)) {
+            return Err(self.err(
+                token.span,
+                format!("expected {what}, found {}", token.tok.describe()),
+            ));
+        }
+        let raw = self.text[token.span.0..token.span.1].replace('_', "");
+        let value: u64 = raw.parse().map_err(|_| {
+            self.err(
+                token.span,
+                format!("{what} must be a non-negative integer, found `{raw}`"),
+            )
+        })?;
+        self.bump();
+        Ok(value)
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect(Tok::Find, "`FIND`")?;
+        let (relation, source_filter) = self.source()?;
+        self.expect(Tok::Where, "`WHERE`")?;
+        let start = self.peek().span.0;
+        let condition = self.condition()?;
+        let end = self.tokens[self.pos.saturating_sub(1)].span.1;
+        let eof = self.peek().clone();
+        if eof.tok != Tok::Eof {
+            return Err(self.err(
+                eof.span,
+                format!("expected end of query, found {}", eof.tok.describe()),
+            ));
+        }
+        Ok(Query {
+            relation,
+            source_filter,
+            condition,
+            condition_span: (start, end),
+        })
+    }
+
+    fn source(&mut self) -> Result<(String, Option<Cond>), ParseError> {
+        let token = self.peek().clone();
+        match token.tok {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok((name, None))
+            }
+            Tok::LParen => {
+                self.bump();
+                let name = match self.peek().clone() {
+                    Token {
+                        tok: Tok::Ident(name),
+                        ..
+                    } => {
+                        self.bump();
+                        name
+                    }
+                    other => {
+                        return Err(self.err(
+                            other.span,
+                            format!("expected a relation name, found {}", other.tok.describe()),
+                        ))
+                    }
+                };
+                self.expect(Tok::Where, "`WHERE`")?;
+                let filter = self.condition()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok((name, Some(filter)))
+            }
+            other => Err(self.err(
+                token.span,
+                format!(
+                    "expected a relation name or `(relation WHERE …)`, found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Cond, ParseError> {
+        let mut items = vec![self.and_cond()?];
+        while self.peek().tok == Tok::Or {
+            self.bump();
+            items.push(self.and_cond()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            Cond::Or(items)
+        })
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut items = vec![self.unary()?];
+        while self.peek().tok == Tok::And {
+            self.bump();
+            items.push(self.unary()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            Cond::And(items)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Cond, ParseError> {
+        if self.peek().tok == Tok::Not {
+            self.bump();
+            return Ok(Cond::Not(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Cond, ParseError> {
+        let token = self.peek().clone();
+        match token.tok {
+            Tok::True => {
+                self.bump();
+                Ok(Cond::True)
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Cond::False)
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.condition()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Tok::Knn => {
+                let start = self.bump().span.0;
+                self.expect(Tok::LParen, "`(`")?;
+                let k_span = self.peek().span;
+                let k = self.integer("KNN's k")?;
+                if k == 0 {
+                    return Err(self.err(k_span, "KNN's k must be at least 1"));
+                }
+                self.expect(Tok::Comma, "`,`")?;
+                let x = self.number("the focal x coordinate")?;
+                self.expect(Tok::Comma, "`,`")?;
+                let y = self.number("the focal y coordinate")?;
+                let end = self.expect(Tok::RParen, "`)`")?.span.1;
+                Ok(Cond::Knn {
+                    k: k as usize,
+                    x,
+                    y,
+                    span: (start, end),
+                })
+            }
+            Tok::Inside => {
+                self.bump();
+                self.expect(Tok::LParen, "`(`")?;
+                let shape = self.peek().clone();
+                let cond = match shape.tok {
+                    Tok::Rect => {
+                        self.bump();
+                        self.expect(Tok::LParen, "`(`")?;
+                        let x1 = self.number("a rectangle coordinate")?;
+                        self.expect(Tok::Comma, "`,`")?;
+                        let y1 = self.number("a rectangle coordinate")?;
+                        self.expect(Tok::Comma, "`,`")?;
+                        let x2 = self.number("a rectangle coordinate")?;
+                        self.expect(Tok::Comma, "`,`")?;
+                        let y2 = self.number("a rectangle coordinate")?;
+                        self.expect(Tok::RParen, "`)`")?;
+                        Cond::InRect { x1, y1, x2, y2 }
+                    }
+                    Tok::Circle => {
+                        self.bump();
+                        self.expect(Tok::LParen, "`(`")?;
+                        let x = self.number("the circle center x")?;
+                        self.expect(Tok::Comma, "`,`")?;
+                        let y = self.number("the circle center y")?;
+                        self.expect(Tok::Comma, "`,`")?;
+                        let r = self.number("the circle radius")?;
+                        self.expect(Tok::RParen, "`)`")?;
+                        Cond::InCircle { x, y, r }
+                    }
+                    other => {
+                        return Err(self.err(
+                            shape.span,
+                            format!("expected `RECT` or `CIRCLE`, found {}", other.describe()),
+                        ))
+                    }
+                };
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(cond)
+            }
+            Tok::Id => {
+                self.bump();
+                let op = self.peek().clone();
+                match op.tok {
+                    Tok::In => {
+                        self.bump();
+                        self.expect(Tok::LParen, "`(`")?;
+                        let mut ids = vec![self.integer("an id")?];
+                        while self.peek().tok == Tok::Comma {
+                            self.bump();
+                            ids.push(self.integer("an id")?);
+                        }
+                        self.expect(Tok::RParen, "`)`")?;
+                        ids.sort_unstable();
+                        ids.dedup();
+                        Ok(Cond::IdIn(ids))
+                    }
+                    Tok::Between => {
+                        self.bump();
+                        let lo = self.integer("the lower id bound")?;
+                        self.expect(Tok::And, "`AND`")?;
+                        let hi = self.integer("the upper id bound")?;
+                        Ok(Cond::IdBetween { lo, hi })
+                    }
+                    Tok::Le => {
+                        self.bump();
+                        let hi = self.integer("an id bound")?;
+                        Ok(Cond::IdBetween { lo: 0, hi })
+                    }
+                    Tok::Ge => {
+                        self.bump();
+                        let lo = self.integer("an id bound")?;
+                        Ok(Cond::IdBetween { lo, hi: u64::MAX })
+                    }
+                    Tok::Eq => {
+                        self.bump();
+                        let id = self.integer("an id")?;
+                        Ok(Cond::IdIn(vec![id]))
+                    }
+                    other => Err(self.err(
+                        op.span,
+                        format!(
+                            "expected `IN`, `BETWEEN`, `<=`, `>=` or `=` after `ID`, found {}",
+                            other.describe()
+                        ),
+                    )),
+                }
+            }
+            other => Err(self.err(
+                token.span,
+                format!("expected a predicate, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+/// Parses query text into a [`Query`] AST (syntax only — see
+/// [`Query::to_spec`] / [`parse_query`] for the rewrite to a
+/// [`QuerySpec`]).
+pub fn parse(text: &str) -> Result<Query, ParseError> {
+    let tokens = lex(text)?;
+    Parser {
+        text,
+        tokens,
+        pos: 0,
+    }
+    .query()
+}
+
+/// Parses and rewrites query text into an executable [`QuerySpec`] — what
+/// [`Database::query`](crate::plan::Database::query) runs.
+pub fn parse_query(text: &str) -> Result<QuerySpec, ParseError> {
+    parse(text)?.to_spec(text)
+}
+
+// ---------------------------------------------------------------------
+// Rewriter
+// ---------------------------------------------------------------------
+
+/// The first `KNN` atom anywhere inside `cond`, if any.
+fn find_knn(cond: &Cond) -> Option<Span> {
+    match cond {
+        Cond::Knn { span, .. } => Some(*span),
+        Cond::And(items) | Cond::Or(items) => items.iter().find_map(find_knn),
+        Cond::Not(inner) => find_knn(inner),
+        _ => None,
+    }
+}
+
+/// The top-level conjuncts of a condition, flattening nested `AND`s.
+fn conjuncts(cond: &Cond) -> Vec<&Cond> {
+    match cond {
+        Cond::And(items) => items.iter().flat_map(conjuncts).collect(),
+        other => vec![other],
+    }
+}
+
+/// Converts a kNN-free condition tree into a [`Predicate`].
+fn to_predicate(cond: &Cond) -> Predicate {
+    match cond {
+        Cond::True => Predicate::True,
+        Cond::False => Predicate::False,
+        Cond::Knn { .. } => unreachable!("kNN atoms are extracted before predicate conversion"),
+        Cond::InRect { x1, y1, x2, y2 } => Predicate::InRect(Rect::new(*x1, *y1, *x2, *y2)),
+        Cond::InCircle { x, y, r } => Predicate::InCircle {
+            center: Point::anonymous(*x, *y),
+            radius: *r,
+        },
+        Cond::IdIn(ids) => Predicate::id_in(ids.clone()),
+        Cond::IdBetween { lo, hi } => Predicate::IdRange { lo: *lo, hi: *hi },
+        Cond::And(items) => Predicate::And(items.iter().map(to_predicate).collect()),
+        Cond::Or(items) => Predicate::Or(items.iter().map(to_predicate).collect()),
+        Cond::Not(inner) => Predicate::Not(Box::new(to_predicate(inner))),
+    }
+}
+
+impl Query {
+    /// Rewrites the parsed query into an executable [`QuerySpec`]:
+    /// extracts the top-level `KNN` conjuncts (one → kNN-select, two →
+    /// two-kNN-selects), turns the source filter into a **pre**-kNN
+    /// predicate and the remaining `WHERE` residue into a **post**-kNN
+    /// predicate, and wraps the shape in [`QuerySpec::Filtered`] when any
+    /// filter is non-trivial.
+    ///
+    /// `text` is the source the query was parsed from, kept only for the
+    /// caret rendering of rewrite errors (kNN under `OR`/`NOT`, kNN in
+    /// the source filter, zero or too many kNN predicates).
+    pub fn to_spec(&self, text: &str) -> Result<QuerySpec, ParseError> {
+        let err = |span: Span, message: &str| ParseError {
+            message: message.into(),
+            query: text.to_string(),
+            start: span.0,
+            end: span.1,
+        };
+        if let Some(filter) = &self.source_filter {
+            if let Some(span) = find_knn(filter) {
+                return Err(err(
+                    span,
+                    "a KNN predicate cannot appear in the source filter; write it in the \
+                     main WHERE clause",
+                ));
+            }
+        }
+        let mut knns: Vec<(usize, Point, Span)> = Vec::new();
+        let mut residual: Vec<&Cond> = Vec::new();
+        for item in conjuncts(&self.condition) {
+            match item {
+                Cond::Knn { k, x, y, span } => {
+                    knns.push((*k, Point::anonymous(*x, *y), *span));
+                }
+                other => {
+                    if let Some(span) = find_knn(other) {
+                        return Err(err(
+                            span,
+                            "a KNN predicate must be a top-level conjunct of the WHERE \
+                             clause — under OR or NOT its pushdown is not well-defined",
+                        ));
+                    }
+                    residual.push(other);
+                }
+            }
+        }
+        let spec = match knns.as_slice() {
+            [] => {
+                return Err(err(
+                    self.condition_span,
+                    "the WHERE clause needs at least one KNN predicate",
+                ))
+            }
+            [(k, focal, _)] => QuerySpec::KnnSelect {
+                relation: self.relation.clone(),
+                query: KnnSelectQuery::new(*k, *focal),
+            },
+            [(k1, f1, _), (k2, f2, _)] => QuerySpec::TwoSelects {
+                relation: self.relation.clone(),
+                query: TwoSelectsQuery::new(*k1, *f1, *k2, *f2),
+            },
+            [_, _, third, ..] => {
+                return Err(err(third.2, "at most two KNN predicates are supported"));
+            }
+        };
+        let mut filters = QueryFilters::none();
+        if let Some(filter) = &self.source_filter {
+            let predicate = to_predicate(filter);
+            if !matches!(predicate, Predicate::True) {
+                filters = filters.pre(self.relation.clone(), predicate);
+            }
+        }
+        if !residual.is_empty() {
+            let predicate = residual
+                .into_iter()
+                .map(to_predicate)
+                .reduce(|acc, p| acc.and(p))
+                .expect("non-empty residual");
+            if !matches!(predicate, Predicate::True) {
+                filters = filters.post(self.relation.clone(), predicate);
+            }
+        }
+        let spec = spec.with_filters(filters);
+        // The textual grammar can only express select shapes, whose filter
+        // placements are always valid — the logical-algebra bridge agrees.
+        debug_assert!(self.to_logical().validate().is_ok());
+        Ok(spec)
+    }
+
+    /// The query as a [`LogicalExpr`] tree — the algebra the validator and
+    /// rewrite rules of [`crate::plan::logical`] operate on. The source
+    /// filter becomes a [`Predicate`] filter *below* each kNN-select (the
+    /// valid pre-kNN placement); the residual becomes a filter *above*
+    /// the result.
+    pub fn to_logical(&self) -> LogicalExpr {
+        let base = || {
+            let relation = LogicalExpr::relation(self.relation.clone());
+            match &self.source_filter {
+                Some(filter) => relation.filter(to_predicate(filter)),
+                None => relation,
+            }
+        };
+        let mut knns: Vec<(usize, Point)> = Vec::new();
+        let mut residual: Vec<Predicate> = Vec::new();
+        for item in conjuncts(&self.condition) {
+            match item {
+                Cond::Knn { k, x, y, .. } => knns.push((*k, Point::anonymous(*x, *y))),
+                other if find_knn(other).is_none() => residual.push(to_predicate(other)),
+                _ => {}
+            }
+        }
+        let mut expr = match knns.as_slice() {
+            [(k, focal)] => base().knn_select(*k, *focal),
+            [(k1, f1), (k2, f2), ..] => LogicalExpr::Intersect {
+                left: Box::new(base().knn_select(*k1, *f1)),
+                right: Box::new(base().knn_select(*k2, *f2)),
+            },
+            [] => base(),
+        };
+        if let Some(predicate) = residual.into_iter().reduce(|acc, p| acc.and(p)) {
+            expr = expr.filter(predicate);
+        }
+        expr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_single_select_with_filters() {
+        let text = "FIND (Sites WHERE INSIDE(RECT(0, 0, 50, 50))) \
+                    WHERE KNN(4, 10, 10) AND ID <= 100";
+        let spec = parse_query(text).unwrap();
+        match spec {
+            QuerySpec::Filtered { spec, filters } => {
+                match *spec {
+                    QuerySpec::KnnSelect { relation, query } => {
+                        assert_eq!(relation, "Sites");
+                        assert_eq!(query.k, 4);
+                        assert_eq!((query.focal.x, query.focal.y), (10.0, 10.0));
+                    }
+                    other => panic!("expected a kNN-select, got {other:?}"),
+                }
+                assert!(matches!(filters.pre["Sites"], Predicate::InRect(_)));
+                assert_eq!(filters.post["Sites"], Predicate::IdRange { lo: 0, hi: 100 });
+            }
+            other => panic!("expected a filtered spec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_knn_conjuncts_become_two_selects() {
+        let spec = parse_query("FIND Hotels WHERE KNN(5, 0, 0) AND KNN(9, 30, 40)").unwrap();
+        match spec {
+            QuerySpec::TwoSelects { relation, query } => {
+                assert_eq!(relation, "Hotels");
+                assert_eq!((query.k1, query.k2), (5, 9));
+                assert_eq!((query.f2.x, query.f2.y), (30.0, 40.0));
+            }
+            other => panic!("expected two-selects, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_ids_are_exact() {
+        let spec =
+            parse_query("find Sites where knn(2, 1, 1) and id in (18446744073709551615)").unwrap();
+        match spec {
+            QuerySpec::Filtered { filters, .. } => {
+                assert_eq!(filters.post["Sites"], Predicate::id_in(vec![u64::MAX]));
+            }
+            other => panic!("expected a filtered spec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_the_offending_span() {
+        let err = parse("FIND Sites WHERE KNN(5, 10 20)").unwrap_err();
+        assert_eq!(&err.query[err.start..err.end], "20");
+        assert!(err.message.contains("expected `,`"), "{}", err.message);
+
+        let err = parse("FIND Sites WHERE KNN(0, 1, 2)").unwrap_err();
+        assert_eq!(&err.query[err.start..err.end], "0");
+        assert!(err.message.contains("at least 1"));
+
+        let err = parse("FIND WHERE KNN(1, 0, 0)").unwrap_err();
+        assert!(err.message.contains("relation name"), "{}", err.message);
+
+        let err = parse("FIND Sites WHERE ID ! 3").unwrap_err();
+        assert!(
+            err.message.contains("unexpected character"),
+            "{}",
+            err.message
+        );
+
+        // The caret rendering shows the span under the query line.
+        let rendered = parse("FIND Sites WHERE KNN(5, 10 20)")
+            .unwrap_err()
+            .to_string();
+        assert!(rendered.lines().count() == 3 && rendered.ends_with("^^"));
+    }
+
+    #[test]
+    fn rewriter_refuses_misplaced_knn_predicates() {
+        let err = parse_query("FIND Sites WHERE KNN(3, 0, 0) OR TRUE").unwrap_err();
+        assert!(
+            err.message.contains("top-level conjunct"),
+            "{}",
+            err.message
+        );
+        assert_eq!(&err.query[err.start..err.end], "KNN(3, 0, 0)");
+
+        let err = parse_query("FIND Sites WHERE NOT KNN(3, 0, 0)").unwrap_err();
+        assert!(err.message.contains("top-level conjunct"));
+
+        let err = parse_query("FIND (Sites WHERE KNN(2, 1, 1)) WHERE KNN(3, 0, 0)").unwrap_err();
+        assert!(err.message.contains("source filter"), "{}", err.message);
+
+        let err = parse_query("FIND Sites WHERE TRUE").unwrap_err();
+        assert!(err.message.contains("at least one KNN"), "{}", err.message);
+
+        let err = parse_query("FIND Sites WHERE KNN(1, 0, 0) AND KNN(1, 1, 1) AND KNN(1, 2, 2)")
+            .unwrap_err();
+        assert!(err.message.contains("at most two"), "{}", err.message);
+        assert_eq!(&err.query[err.start..err.end], "KNN(1, 2, 2)");
+    }
+
+    #[test]
+    fn logical_bridge_builds_a_valid_algebra() {
+        let q = parse("FIND (Sites WHERE ID <= 10) WHERE KNN(3, 1, 2) AND ID >= 4").unwrap();
+        let expr = q.to_logical();
+        expr.validate().unwrap();
+        let printed = expr.to_string();
+        assert!(printed.contains("σ[k=3, f=(1, 2)]"), "{printed}");
+        assert!(printed.contains("filter["), "{printed}");
+    }
+
+    // ------------------------------------------------------------------
+    // Seeded parse → print → parse round-trip
+    // ------------------------------------------------------------------
+
+    /// A tiny deterministic generator (xorshift64) — no external
+    /// property-testing dependency, same failures on every run.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        /// A coordinate on a quarter-unit lattice: exactly representable,
+        /// so printing and reparsing reproduce the same bits.
+        fn coord(&mut self) -> f64 {
+            self.below(4001) as f64 * 0.25 - 500.0
+        }
+    }
+
+    fn gen_leaf(rng: &mut Rng) -> Cond {
+        match rng.below(6) {
+            0 => Cond::True,
+            1 => Cond::False,
+            2 => {
+                let (x1, y1) = (rng.coord(), rng.coord());
+                Cond::InRect {
+                    x1,
+                    y1,
+                    x2: x1 + rng.below(100) as f64,
+                    y2: y1 + rng.below(100) as f64,
+                }
+            }
+            3 => Cond::InCircle {
+                x: rng.coord(),
+                y: rng.coord(),
+                r: rng.below(200) as f64 * 0.5,
+            },
+            4 => {
+                let mut ids: Vec<u64> = (0..1 + rng.below(4)).map(|_| rng.below(10_000)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                Cond::IdIn(ids)
+            }
+            _ => {
+                let lo = rng.below(5_000);
+                Cond::IdBetween {
+                    lo,
+                    hi: lo + rng.below(5_000),
+                }
+            }
+        }
+    }
+
+    fn gen_cond(rng: &mut Rng, depth: u32) -> Cond {
+        if depth == 0 {
+            return gen_leaf(rng);
+        }
+        match rng.below(4) {
+            0 => Cond::And(
+                (0..2 + rng.below(2))
+                    .map(|_| gen_cond(rng, depth - 1))
+                    .collect(),
+            ),
+            1 => Cond::Or(
+                (0..2 + rng.below(2))
+                    .map(|_| gen_cond(rng, depth - 1))
+                    .collect(),
+            ),
+            2 => Cond::Not(Box::new(gen_cond(rng, depth - 1))),
+            _ => gen_leaf(rng),
+        }
+    }
+
+    fn gen_query(rng: &mut Rng) -> Query {
+        let relations = ["Sites", "Vehicles", "Hotels", "R_2"];
+        let relation = relations[rng.below(4) as usize].to_string();
+        let mut items: Vec<Cond> = (0..1 + rng.below(2))
+            .map(|_| Cond::Knn {
+                k: 1 + rng.below(20) as usize,
+                x: rng.coord(),
+                y: rng.coord(),
+                span: (0, 0),
+            })
+            .collect();
+        for _ in 0..rng.below(3) {
+            items.push(gen_cond(rng, 2));
+        }
+        let condition = if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            Cond::And(items)
+        };
+        let source_filter = (rng.below(2) == 0).then(|| gen_cond(rng, 1));
+        Query {
+            relation,
+            source_filter,
+            condition,
+            condition_span: (0, 0),
+        }
+    }
+
+    #[test]
+    fn seeded_parse_print_parse_round_trip() {
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for i in 0..200 {
+            let query = gen_query(&mut rng);
+            let text = query.to_string();
+            let reparsed = parse(&text).unwrap_or_else(|e| panic!("iteration {i}:\n{e}"));
+            // AST round-trip (span-insensitive equality) and a stable print.
+            assert_eq!(reparsed, query, "iteration {i}: `{text}`");
+            assert_eq!(reparsed.to_string(), text, "iteration {i}");
+            // The rewrite to an executable spec agrees on both sides.
+            assert_eq!(
+                reparsed.to_spec(&text).unwrap(),
+                query.to_spec(&text).unwrap(),
+                "iteration {i}: `{text}`"
+            );
+        }
+    }
+}

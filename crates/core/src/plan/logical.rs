@@ -21,7 +21,7 @@
 //! [`LogicalExpr::apply`] refuses the invalid ones with a
 //! [`QueryError::InvalidTransformation`].
 
-use twoknn_geometry::Point;
+use twoknn_geometry::{Point, Predicate};
 
 use crate::error::QueryError;
 
@@ -67,6 +67,22 @@ pub enum LogicalExpr {
         left: Box<LogicalExpr>,
         /// Right point-producing expression.
         right: Box<LogicalExpr>,
+    },
+    /// `filter_p(input)`: the rows of `input` whose point (for pair output:
+    /// whose *outer* point) satisfies the predicate.
+    ///
+    /// Placement is semantics-bearing, exactly like the paper's kNN-selects:
+    /// a filter **below** a kNN predicate changes its candidate set ("the k
+    /// nearest *matching* points"), a filter **above** it keeps the candidate
+    /// set and drops rows from the answer. The two are different queries, so
+    /// [`LogicalExpr::apply`] refuses to move a filter across a kNN operator
+    /// except in the one provably-safe direction (below the join's *outer*
+    /// input, the Figure 3 analogue).
+    Filter {
+        /// Input expression.
+        input: Box<LogicalExpr>,
+        /// The filter predicate.
+        predicate: Predicate,
     },
 }
 
@@ -119,6 +135,14 @@ impl LogicalExpr {
         }
     }
 
+    /// Wraps this expression in a filter.
+    pub fn filter(self, predicate: Predicate) -> Self {
+        LogicalExpr::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
     /// The kind of collection the expression produces.
     pub fn kind(&self) -> ExprKind {
         match self {
@@ -126,6 +150,7 @@ impl LogicalExpr {
             | LogicalExpr::KnnSelect { .. }
             | LogicalExpr::Intersect { .. } => ExprKind::Points,
             LogicalExpr::KnnJoin { .. } | LogicalExpr::IntersectOnInner { .. } => ExprKind::Pairs,
+            LogicalExpr::Filter { input, .. } => input.kind(),
         }
     }
 
@@ -140,6 +165,23 @@ impl LogicalExpr {
             LogicalExpr::IntersectOnInner { left, right }
             | LogicalExpr::Intersect { left, right } => {
                 left.num_knn_predicates() + right.num_knn_predicates()
+            }
+            LogicalExpr::Filter { input, .. } => input.num_knn_predicates(),
+        }
+    }
+
+    /// Whether the expression contains any [`LogicalExpr::Filter`] node.
+    pub fn contains_filter(&self) -> bool {
+        match self {
+            LogicalExpr::Relation { .. } => false,
+            LogicalExpr::Filter { .. } => true,
+            LogicalExpr::KnnSelect { input, .. } => input.contains_filter(),
+            LogicalExpr::KnnJoin { outer, inner, .. } => {
+                outer.contains_filter() || inner.contains_filter()
+            }
+            LogicalExpr::IntersectOnInner { left, right }
+            | LogicalExpr::Intersect { left, right } => {
+                left.contains_filter() || right.contains_filter()
             }
         }
     }
@@ -195,6 +237,18 @@ impl LogicalExpr {
                             .to_string(),
                     });
                 }
+                // Figure 2 analogue for filters: reducing the inner relation
+                // changes every outer point's neighborhood, so a filter may
+                // not ride below the join's inner input either.
+                if inner.contains_filter() {
+                    return Err(QueryError::InvalidTransformation {
+                        reason: "a filter below the inner relation of a kNN-join changes every \
+                                 neighborhood the join computes (the Figure 2 pushdown argument \
+                                 applies to any predicate that reduces the inner relation); \
+                                 apply the filter to the join's output instead"
+                            .to_string(),
+                    });
+                }
                 if outer.kind() == ExprKind::Pairs {
                     return Err(QueryError::UnsupportedPlanShape {
                         description: "kNN-join whose outer input produces pairs".to_string(),
@@ -222,6 +276,31 @@ impl LogicalExpr {
                 left.validate()?;
                 right.validate()
             }
+            LogicalExpr::Filter { input, .. } => input.validate(),
+        }
+    }
+}
+
+impl std::fmt::Display for LogicalExpr {
+    /// Prints the algebraic form of the expression: `σ[k,f](E)` for selects,
+    /// `(E1 ⋈[k] E2)` for joins, `∩_B`/`∩` for the intersections, and
+    /// `filter[p](E)` with the predicate's concrete syntax for filters.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogicalExpr::Relation { name } => write!(f, "{name}"),
+            LogicalExpr::KnnSelect { input, k, focal } => {
+                write!(f, "σ[k={k}, f=({}, {})]({input})", focal.x, focal.y)
+            }
+            LogicalExpr::KnnJoin { outer, inner, k } => {
+                write!(f, "({outer} ⋈[k={k}] {inner})")
+            }
+            LogicalExpr::IntersectOnInner { left, right } => {
+                write!(f, "∩_B({left}, {right})")
+            }
+            LogicalExpr::Intersect { left, right } => write!(f, "∩({left}, {right})"),
+            LogicalExpr::Filter { input, predicate } => {
+                write!(f, "filter[{predicate}]({input})")
+            }
         }
     }
 }
@@ -242,6 +321,20 @@ pub enum Rewrite {
     /// Turn the independent evaluation of two kNN-selects into a sequential
     /// one — invalid (Figures 14–15); applying it returns an error.
     SequentializeTwoSelects,
+    /// Push a filter over a kNN-join's output down to the join's **outer**
+    /// input — valid, the Figure 3 analogue for filters (the filter tests
+    /// the pair's outer point, and reducing the outer relation only removes
+    /// whole neighborhoods, never reshapes one).
+    PushFilterBelowJoinOuter,
+    /// Push a filter below the **inner** relation of a kNN-join — invalid
+    /// (the Figure 2 argument applies to any predicate reducing the inner
+    /// relation); applying it returns an error.
+    PushFilterBelowJoinInner,
+    /// Move a filter from above a kNN-select to below it (post-kNN → pre-kNN
+    /// placement) — invalid: "the k nearest points, then keep the matching
+    /// ones" and "the k nearest *matching* points" are different queries;
+    /// applying it returns an error.
+    PushFilterBelowSelect,
 }
 
 impl LogicalExpr {
@@ -306,6 +399,36 @@ impl LogicalExpr {
                     }),
                 }
             }
+            Rewrite::PushFilterBelowJoinInner => Err(QueryError::InvalidTransformation {
+                reason: "pushing a filter below the inner relation of a kNN-join is invalid: \
+                         filter(E1 ⋈kNN E2) ≢ E1 ⋈kNN filter(E2) — reducing the inner relation \
+                         changes every computed neighborhood (the Figure 2 argument)"
+                    .to_string(),
+            }),
+            Rewrite::PushFilterBelowSelect => Err(QueryError::InvalidTransformation {
+                reason: "moving a filter below a kNN-select changes the query: \
+                         filter(σ_{k,f}(E)) keeps the matching members of the k nearest points, \
+                         σ_{k,f}(filter(E)) returns the k nearest *matching* points — different \
+                         answers whenever the filter removes a neighbor"
+                    .to_string(),
+            }),
+            Rewrite::PushFilterBelowJoinOuter => match self {
+                LogicalExpr::Filter { input, predicate } => match &**input {
+                    LogicalExpr::KnnJoin { outer, inner, k } => Ok(LogicalExpr::KnnJoin {
+                        outer: Box::new(outer.clone().filter(predicate.clone())),
+                        inner: inner.clone(),
+                        k: *k,
+                    }),
+                    _ => Err(QueryError::UnsupportedPlanShape {
+                        description: "outer-filter pushdown expects a filter directly over a \
+                                      kNN-join"
+                            .to_string(),
+                    }),
+                },
+                _ => Err(QueryError::UnsupportedPlanShape {
+                    description: "outer-filter pushdown expects a filter expression".to_string(),
+                }),
+            },
             Rewrite::ReorderChainedJoins => match self {
                 // (A ⋈ B) as outer of (· ⋈ C)  ⇄  A ⋈ (B ⋈ C): both orders are
                 // legal; this rewrite just answers "is reordering allowed",
@@ -404,6 +527,90 @@ mod tests {
         assert!(LogicalExpr::relation("A")
             .apply(Rewrite::ReorderChainedJoins)
             .is_err());
+    }
+
+    fn region() -> Predicate {
+        Predicate::InRect(twoknn_geometry::Rect::new(0.0, 0.0, 10.0, 10.0))
+    }
+
+    #[test]
+    fn filters_validate_in_both_placements() {
+        // Pre-kNN: filter below the select input (k nearest matching points).
+        let expr = LogicalExpr::relation("Sites")
+            .filter(region())
+            .knn_select(5, focal());
+        expr.validate().unwrap();
+
+        // Post-kNN: filter over the select output.
+        let expr = LogicalExpr::relation("Sites")
+            .knn_select(5, focal())
+            .filter(region());
+        expr.validate().unwrap();
+
+        // Filter below the join's *outer* input is valid (Figure 3 analogue).
+        let expr = LogicalExpr::relation("Stations")
+            .filter(region())
+            .knn_join(LogicalExpr::relation("Vehicles"), 2);
+        expr.validate().unwrap();
+
+        // Post-filter over pair output is valid.
+        let expr = LogicalExpr::relation("Stations")
+            .knn_join(LogicalExpr::relation("Vehicles"), 2)
+            .filter(region());
+        expr.validate().unwrap();
+    }
+
+    #[test]
+    fn filter_below_join_inner_is_rejected() {
+        let expr = LogicalExpr::relation("Stations")
+            .knn_join(LogicalExpr::relation("Vehicles").filter(region()), 2);
+        let err = expr.validate().unwrap_err();
+        assert!(matches!(err, QueryError::InvalidTransformation { .. }));
+        assert!(err.to_string().contains("inner"));
+    }
+
+    #[test]
+    fn filter_rewrites_report_validity() {
+        let joined = LogicalExpr::relation("Stations")
+            .knn_join(LogicalExpr::relation("Vehicles"), 2)
+            .filter(region());
+        // The valid direction: post-filter on a join pushes to the outer.
+        let pushed = joined.apply(Rewrite::PushFilterBelowJoinOuter).unwrap();
+        assert_eq!(
+            pushed,
+            LogicalExpr::relation("Stations")
+                .filter(region())
+                .knn_join(LogicalExpr::relation("Vehicles"), 2)
+        );
+        pushed.validate().unwrap();
+
+        // Both forbidden directions error with an explanation.
+        let err = joined.apply(Rewrite::PushFilterBelowJoinInner).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidTransformation { .. }));
+        let post = LogicalExpr::relation("Sites")
+            .knn_select(5, focal())
+            .filter(region());
+        let err = post.apply(Rewrite::PushFilterBelowSelect).unwrap_err();
+        assert!(err.to_string().contains("matching"));
+
+        // Shape mismatch is reported as such, not as invalidity.
+        assert!(matches!(
+            LogicalExpr::relation("A").apply(Rewrite::PushFilterBelowJoinOuter),
+            Err(QueryError::UnsupportedPlanShape { .. })
+        ));
+    }
+
+    #[test]
+    fn display_prints_the_algebra() {
+        let expr = LogicalExpr::relation("Sites")
+            .filter(region())
+            .knn_select(5, focal());
+        assert_eq!(
+            expr.to_string(),
+            "σ[k=5, f=(1, 2)](filter[INSIDE(RECT(0, 0, 10, 10))](Sites))"
+        );
+        let join = LogicalExpr::relation("A").knn_join(LogicalExpr::relation("B"), 2);
+        assert_eq!(join.to_string(), "(A ⋈[k=2] B)");
     }
 
     #[test]

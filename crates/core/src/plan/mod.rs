@@ -19,6 +19,11 @@
 //!   a `(QuerySpec, Strategy)` pair into a [`PhysicalPlan`] operator that
 //!   owns its snapshot handles and runs serially or partitioned over the
 //!   persistent worker pool;
+//! * [`lang`] — the declarative textual front-end: a hand-written lexer and
+//!   recursive-descent parser for `FIND … WHERE …` queries, plus the
+//!   rewriter that extracts the kNN predicates and classifies the residual
+//!   filters as pre-kNN ("the k nearest *matching* points") or post-kNN
+//!   (result pruning), producing a [`QuerySpec`];
 //! * [`executor`] — the catalog (`Database`, backed by the versioned
 //!   [`crate::store::RelationStore`] and owning a handle to the shared
 //!   [`crate::exec::WorkerPool`]) plus the thin driver chaining
@@ -29,18 +34,20 @@
 //!   versions and trigger background compactions.
 
 pub mod executor;
+pub mod lang;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
 pub mod stats;
 pub mod strategy;
 
-pub use executor::{Database, QueryResult, QuerySpec};
+pub use executor::{Database, QueryFilters, QueryResult, QuerySpec};
+pub use lang::parse_query;
 pub use logical::{LogicalExpr, Rewrite};
 pub use optimizer::Optimizer;
 pub use physical::{compile, PhysicalPlan, Relation, Row, RowSchema};
 pub use stats::RelationProfile;
 pub use strategy::{
-    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,
-    UnchainedStrategy,
+    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, SelectStrategy, Strategy,
+    TwoSelectsStrategy, UnchainedStrategy,
 };

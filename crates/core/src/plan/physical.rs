@@ -20,6 +20,20 @@
 //! | [`UnchainedJoinsOp`] | two unchained joins | Section 4.1 |
 //! | [`ChainedJoinsOp`] | two chained joins | Section 4.2 |
 //! | [`TwoSelectsOp`] | two kNN-selects | Section 5 |
+//! | [`KnnSelectOp`] | single (optionally filtered) kNN-select | — |
+//! | [`FilteredTwoSelectsOp`] | two filtered kNN-selects | — |
+//! | [`ResidualFilterOp`] | post-kNN residual filter over any plan | — |
+//!
+//! A [`QuerySpec::Filtered`] spec compiles through [`compile`]'s filter
+//! path: **pre**-kNN filters either flow into the operator's predicate
+//! (single select: the masked kernel; two selects: the filtered
+//! conceptual intersection) or materialize a filtered copy of the relation
+//! that the wrapped shape's operator is compiled against (join outer
+//! roles). Pre-filters on a join's *inner* role are rejected with
+//! [`QueryError::InvalidTransformation`] — they change every neighborhood,
+//! the same Figure 2 argument that forbids pushing a select below a join's
+//! inner relation. **Post**-kNN filters wrap the compiled plan in a
+//! [`ResidualFilterOp`] that prunes finished rows by component.
 //!
 //! Every operator implements [`PhysicalPlan`]: it knows its [`Strategy`], its
 //! output [`RowSchema`], and how to [`PhysicalPlan::execute`] under a given
@@ -32,30 +46,34 @@
 //! means adding an operator struct and a `compile` arm; the driver
 //! ([`Database::execute`](crate::plan::Database::execute)) never changes.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use twoknn_geometry::Point;
-use twoknn_index::SpatialIndex;
+use twoknn_geometry::{Point, Predicate};
+use twoknn_index::{brute_force_knn_filtered, GridIndex, Metrics, SpatialIndex};
 
 use crate::error::QueryError;
-use crate::exec::ExecutionMode;
+use crate::exec::{run_partitioned, ExecutionMode};
 use crate::joins2::{
     chained_join_intersection_with_mode, chained_nested_cached_with_mode, chained_nested_with_mode,
     chained_right_deep_with_mode, unchained_block_marking_with_mode,
     unchained_conceptual_with_mode, ChainedJoinQuery, UnchainedJoinQuery,
 };
 use crate::output::{Pair, QueryOutput, Triplet};
-use crate::plan::executor::{QueryResult, QuerySpec};
+use crate::plan::executor::{QueryFilters, QueryResult, QuerySpec};
 use crate::plan::strategy::{
-    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, Strategy, TwoSelectsStrategy,
-    UnchainedStrategy,
+    ChainedStrategy, SelectInnerStrategy, SelectOuterStrategy, SelectStrategy, Strategy,
+    TwoSelectsStrategy, UnchainedStrategy,
 };
+use crate::select::{knn_select_filtered, knn_select_filtered_neighborhood, KnnSelectQuery};
 use crate::select_join::{
     block_marking_with_mode, conceptual_with_mode, counting_with_mode,
     select_on_outer_after_join_with_mode, select_on_outer_pushdown, BlockMarkingConfig,
     SelectInnerJoinQuery, SelectOuterJoinQuery,
 };
-use crate::selects2::{two_knn_select, two_selects_conceptual_with_mode, TwoSelectsQuery};
+use crate::selects2::{
+    intersect_output, two_knn_select, two_selects_conceptual_with_mode, TwoSelectsQuery,
+};
 use crate::store::DbSnapshot;
 
 /// A shared handle to one pinned, immutable version of an indexed relation.
@@ -156,7 +174,29 @@ pub fn compile(
     spec: &QuerySpec,
     strategy: Strategy,
 ) -> Result<Box<dyn PhysicalPlan>, QueryError> {
+    match spec {
+        QuerySpec::Filtered { spec, filters } => {
+            compile_filtered(snapshot, spec, filters, strategy)
+        }
+        _ => compile_with_overrides(snapshot, spec, strategy, &BTreeMap::new()),
+    }
+}
+
+/// The filter-free compile path, with an escape hatch: relation names in
+/// `overrides` resolve to the supplied (typically pre-filtered) index
+/// instead of the snapshot. [`compile_filtered`] uses this to push a valid
+/// pre-kNN filter below a join's outer role without every operator having
+/// to learn about predicates.
+fn compile_with_overrides(
+    snapshot: &DbSnapshot,
+    spec: &QuerySpec,
+    strategy: Strategy,
+    overrides: &BTreeMap<String, Relation>,
+) -> Result<Box<dyn PhysicalPlan>, QueryError> {
     let pin = |name: &str| -> Result<Relation, QueryError> {
+        if let Some(filtered) = overrides.get(name) {
+            return Ok(Arc::clone(filtered));
+        }
         Ok(Arc::clone(snapshot.snapshot(name)?) as Relation)
     };
     match (spec, strategy) {
@@ -227,10 +267,176 @@ pub fn compile(
                 strategy: s,
             }))
         }
+        (QuerySpec::KnnSelect { relation, query }, Strategy::Select(s)) => {
+            Ok(Box::new(KnnSelectOp {
+                relation: pin(relation)?,
+                query: query.clone(),
+                predicate: Predicate::True,
+                strategy: s,
+            }))
+        }
         (spec, strategy) => Err(QueryError::UnsupportedPlanShape {
             description: format!("strategy {strategy} does not match query {spec:?}"),
         }),
     }
+}
+
+/// Compiles a [`QuerySpec::Filtered`] query: validates filter placement,
+/// threads pre-kNN filters into the wrapped shape, and wraps post-kNN
+/// filters as a [`ResidualFilterOp`].
+fn compile_filtered(
+    snapshot: &DbSnapshot,
+    inner: &QuerySpec,
+    filters: &QueryFilters,
+    strategy: Strategy,
+) -> Result<Box<dyn PhysicalPlan>, QueryError> {
+    if matches!(inner, QuerySpec::Filtered { .. }) {
+        return Err(QueryError::UnsupportedPlanShape {
+            description: "nested Filtered query specs are not supported; merge the filters \
+                          into one wrapper"
+                .into(),
+        });
+    }
+    validate_filter_placement(inner, filters)?;
+    let mismatch = || QueryError::UnsupportedPlanShape {
+        description: format!("strategy {strategy} does not match query {inner:?}"),
+    };
+    let pre = |relation: &str| -> Predicate {
+        filters
+            .pre
+            .get(relation)
+            .cloned()
+            .unwrap_or(Predicate::True)
+    };
+    let plan: Box<dyn PhysicalPlan> = match inner {
+        // Single select: the pre-filter IS the masked kernel's predicate.
+        QuerySpec::KnnSelect { relation, query } => {
+            let Strategy::Select(s) = strategy else {
+                return Err(mismatch());
+            };
+            Box::new(KnnSelectOp {
+                relation: Arc::clone(snapshot.snapshot(relation)?) as Relation,
+                query: query.clone(),
+                predicate: pre(relation),
+                strategy: s,
+            })
+        }
+        // Two selects under a pre-filter: the bounded-locality 2-kNN-select
+        // (Procedure 5) is not established under filtering, so both filtered
+        // selects run in full through the masked kernel and intersect — the
+        // conceptual QEP of Figure 16, filter-aware.
+        QuerySpec::TwoSelects { relation, query } if !matches!(pre(relation), Predicate::True) => {
+            let Strategy::TwoSelects(s) = strategy else {
+                return Err(mismatch());
+            };
+            Box::new(FilteredTwoSelectsOp {
+                relation: Arc::clone(snapshot.snapshot(relation)?) as Relation,
+                query: *query,
+                predicate: pre(relation),
+                strategy: s,
+            })
+        }
+        // Join shapes (and unfiltered two-selects): pre-filters sit on
+        // outer roles only (the validator guarantees it), so each one
+        // materializes a filtered copy of its relation and the wrapped
+        // shape compiles unchanged against the override.
+        _ => {
+            let mut overrides = BTreeMap::new();
+            for (name, predicate) in &filters.pre {
+                if matches!(predicate, Predicate::True) {
+                    continue;
+                }
+                let base = Arc::clone(snapshot.snapshot(name)?) as Relation;
+                overrides.insert(name.clone(), materialize_filtered(&base, predicate)?);
+            }
+            compile_with_overrides(snapshot, inner, strategy, &overrides)?
+        }
+    };
+    // Post-filters resolve to role indices against the row components: a
+    // relation playing several roles is filtered in every one of them.
+    let roles = inner.relations();
+    let mut post: Vec<(usize, Predicate)> = Vec::new();
+    for (name, predicate) in &filters.post {
+        if matches!(predicate, Predicate::True) {
+            continue;
+        }
+        for (idx, role) in roles.iter().enumerate() {
+            if role == name {
+                post.push((idx, predicate.clone()));
+            }
+        }
+    }
+    if post.is_empty() {
+        Ok(plan)
+    } else {
+        Ok(Box::new(ResidualFilterOp {
+            input: plan,
+            filters: post,
+        }))
+    }
+}
+
+/// Checks that every filtered relation name exists in the wrapped shape and
+/// that no **pre**-kNN filter lands on a role where the pushdown would
+/// change the query's answer — the inner relation of any kNN-join
+/// (Section 3, Figure 2: filtering the inner side changes every outer
+/// point's neighborhood, so rows the unfiltered query never produced would
+/// appear). Post-filters are valid on every role.
+fn validate_filter_placement(inner: &QuerySpec, filters: &QueryFilters) -> Result<(), QueryError> {
+    let roles = inner.relations();
+    for name in filters.pre.keys().chain(filters.post.keys()) {
+        if !roles.iter().any(|role| role == name) {
+            return Err(QueryError::UnknownRelation { name: name.clone() });
+        }
+    }
+    // Role names playing a join-inner part, per shape. A name listed here
+    // refuses pre-filters even if it also plays an outer role (same
+    // relation joined against itself): the inner occurrence taints it.
+    let join_inner_roles: Vec<&str> = match inner {
+        QuerySpec::SelectInnerOfJoin { inner, .. } | QuerySpec::SelectOuterOfJoin { inner, .. } => {
+            vec![inner]
+        }
+        QuerySpec::UnchainedJoins { b, .. } => vec![b],
+        QuerySpec::ChainedJoins { b, c, .. } => vec![b, c],
+        QuerySpec::TwoSelects { .. } | QuerySpec::KnnSelect { .. } => vec![],
+        QuerySpec::Filtered { .. } => unreachable!("nesting rejected before validation"),
+    };
+    for (name, predicate) in &filters.pre {
+        if matches!(predicate, Predicate::True) {
+            continue;
+        }
+        if join_inner_roles.iter().any(|role| role == name) {
+            return Err(QueryError::InvalidTransformation {
+                reason: format!(
+                    "cannot apply a pre-kNN filter to `{name}`: it is the inner relation of \
+                     a kNN-join, and filtering it changes every outer point's neighborhood \
+                     (Section 3 of the paper). Apply the filter to the join's output instead \
+                     (post placement)."
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Materializes the subset of `base` matching `predicate` as a fresh
+/// [`GridIndex`] over the **base relation's bounds** (so MINDIST geometry
+/// stays comparable), sized for ~64 points per occupied block. An empty
+/// match is fine — the downstream operators already handle relations with
+/// fewer points than `k`.
+fn materialize_filtered(base: &Relation, predicate: &Predicate) -> Result<Relation, QueryError> {
+    let points: Vec<Point> = base
+        .all_points()
+        .into_iter()
+        .filter(|p| predicate.matches_point(p))
+        .collect();
+    let cells = ((points.len() as f64 / 64.0).sqrt().ceil() as usize).max(1);
+    let index = GridIndex::build_with_bounds(points, base.bounds(), cells).map_err(|err| {
+        QueryError::UnsupportedPlanShape {
+            description: format!("cannot materialize filtered relation: {err}"),
+        }
+    })?;
+    Ok(Arc::new(index) as Relation)
 }
 
 /// The Counting algorithm (Procedure 1) bound to its relations.
@@ -541,6 +747,204 @@ impl PhysicalPlan for TwoSelectsOp {
     }
 }
 
+/// A single kNN-select `σ_{k,f}(E)`, optionally restricted to the points
+/// matching a **pre-kNN** predicate: "the k nearest *matching* points".
+pub struct KnnSelectOp {
+    /// The relation the select runs against.
+    pub relation: Relation,
+    /// Query parameters.
+    pub query: KnnSelectQuery,
+    /// The pre-kNN filter; [`Predicate::True`] for the unfiltered select.
+    pub predicate: Predicate,
+    /// Masked kernel, or the scan-then-filter baseline.
+    pub strategy: SelectStrategy,
+}
+
+impl PhysicalPlan for KnnSelectOp {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            SelectStrategy::FilteredKernel => "knn-select",
+            SelectStrategy::FilterThenScan => "knn-select-scan",
+        }
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::Select(self.strategy)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Points
+    }
+
+    fn execute(&self, _mode: ExecutionMode) -> QueryResult {
+        // A single select is one neighborhood computation — inherently
+        // sequential; batch-level parallelism covers the many-query case.
+        let output = match self.strategy {
+            SelectStrategy::FilteredKernel => knn_select_filtered(
+                &*self.relation,
+                &self.query.focal,
+                self.query.k,
+                &self.predicate,
+            ),
+            SelectStrategy::FilterThenScan => {
+                // The baseline reads and ranks every point; its counters
+                // reflect that, which is what `ablation_filter` compares.
+                let mut metrics = Metrics::default();
+                metrics.neighborhoods_computed += 1;
+                let n = self.relation.num_points() as u64;
+                metrics.points_scanned += n;
+                metrics.distance_computations += n;
+                let nbr = brute_force_knn_filtered(
+                    &*self.relation,
+                    &self.query.focal,
+                    self.query.k,
+                    &self.predicate,
+                );
+                let rows: Vec<Point> = nbr.points().copied().collect();
+                metrics.tuples_emitted += rows.len() as u64;
+                QueryOutput::new(rows, metrics)
+            }
+        };
+        QueryResult::Points {
+            output,
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// Two kNN-selects under one **pre-kNN** filter: both filtered selects run
+/// in full through the masked kernel and their results intersect — the
+/// conceptual QEP of Figure 16 made filter-aware. (Procedure 5's bounded
+/// locality is not established under filtering, so it is never used here.)
+pub struct FilteredTwoSelectsOp {
+    /// The relation both selects run against.
+    pub relation: Relation,
+    /// Query parameters.
+    pub query: TwoSelectsQuery,
+    /// The pre-kNN filter both selects apply.
+    pub predicate: Predicate,
+    /// The strategy the optimizer picked for the wrapped shape (reported,
+    /// not dispatched on — filtering forces the conceptual evaluation).
+    pub strategy: TwoSelectsStrategy,
+}
+
+impl PhysicalPlan for FilteredTwoSelectsOp {
+    fn name(&self) -> &'static str {
+        "filtered-two-selects"
+    }
+
+    fn strategy(&self) -> Strategy {
+        Strategy::TwoSelects(self.strategy)
+    }
+
+    fn schema(&self) -> RowSchema {
+        RowSchema::Points
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        let mut metrics = Metrics::default();
+        let predicates = [
+            (self.query.k1, self.query.f1),
+            (self.query.k2, self.query.f2),
+        ];
+        let mut neighborhoods = run_partitioned(
+            &predicates,
+            mode,
+            &mut metrics,
+            |(k, focal), out, metrics| {
+                out.push(knn_select_filtered_neighborhood(
+                    &*self.relation,
+                    focal,
+                    *k,
+                    &self.predicate,
+                    metrics,
+                ));
+            },
+        );
+        let nbr2 = neighborhoods.pop().expect("two predicates evaluated");
+        let nbr1 = neighborhoods.pop().expect("two predicates evaluated");
+        QueryResult::Points {
+            output: intersect_output(&nbr1, &nbr2, metrics),
+            strategy: self.strategy(),
+        }
+    }
+}
+
+/// The **post-kNN** residual filter: runs any wrapped plan, then keeps only
+/// the rows whose filtered components match. Filters are `(role index,
+/// predicate)` pairs resolved against the row components in relation-role
+/// order (pair: `0 = outer`, `1 = inner`; triplet: `0 = a`, `1 = b`,
+/// `2 = c`; point: `0`).
+pub struct ResidualFilterOp {
+    /// The plan producing the unfiltered rows.
+    pub input: Box<dyn PhysicalPlan>,
+    /// Component filters, by role index.
+    pub filters: Vec<(usize, Predicate)>,
+}
+
+impl ResidualFilterOp {
+    fn row_matches(&self, components: &[&Point]) -> bool {
+        self.filters
+            .iter()
+            .all(|(idx, predicate)| predicate.matches_point(components[*idx]))
+    }
+}
+
+impl PhysicalPlan for ResidualFilterOp {
+    fn name(&self) -> &'static str {
+        "residual-filter"
+    }
+
+    fn strategy(&self) -> Strategy {
+        self.input.strategy()
+    }
+
+    fn schema(&self) -> RowSchema {
+        self.input.schema()
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        match self.input.execute(mode) {
+            QueryResult::Pairs {
+                mut output,
+                strategy,
+            } => {
+                output
+                    .rows
+                    .retain(|p| self.row_matches(&[&p.left, &p.right]));
+                output.metrics.tuples_emitted = output.rows.len() as u64;
+                QueryResult::Pairs { output, strategy }
+            }
+            QueryResult::Triplets {
+                mut output,
+                strategy,
+            } => {
+                output
+                    .rows
+                    .retain(|t| self.row_matches(&[&t.a, &t.b, &t.c]));
+                output.metrics.tuples_emitted = output.rows.len() as u64;
+                QueryResult::Triplets { output, strategy }
+            }
+            QueryResult::Points {
+                mut output,
+                strategy,
+            } => {
+                output.rows.retain(|p| self.row_matches(&[p]));
+                output.metrics.tuples_emitted = output.rows.len() as u64;
+                QueryResult::Points { output, strategy }
+            }
+        }
+    }
+
+    fn explain(&self) -> String {
+        format!(
+            "residual-filter({} roles) <- {}",
+            self.filters.len(),
+            self.input.explain()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +1046,197 @@ mod tests {
         let via_db = db.execute_with(&spec, strategy).unwrap();
         assert_eq!(direct.num_rows(), via_db.num_rows());
         assert_eq!(direct.strategy(), strategy);
+    }
+
+    #[test]
+    fn knn_select_strategies_agree_and_match_brute_force() {
+        let db = db();
+        let spec = QuerySpec::KnnSelect {
+            relation: "B".into(),
+            query: KnnSelectQuery::new(7, Point::anonymous(40.0, 40.0)),
+        };
+        let snapshot = db.snapshot();
+        let want = twoknn_index::brute_force_knn(
+            &**snapshot.snapshot("B").unwrap(),
+            &Point::anonymous(40.0, 40.0),
+            7,
+        )
+        .ids();
+        for s in [
+            SelectStrategy::FilteredKernel,
+            SelectStrategy::FilterThenScan,
+        ] {
+            let plan = compile(&snapshot, &spec, Strategy::Select(s)).unwrap();
+            assert_eq!(plan.schema(), RowSchema::Points);
+            let result = plan.execute(ExecutionMode::Serial);
+            let got: Vec<u64> = result.rows().iter().flat_map(|r| r.ids()).collect();
+            assert_eq!(got, want, "strategy {s:?}");
+        }
+    }
+
+    #[test]
+    fn pre_filter_flows_into_the_masked_select_kernel() {
+        let db = db();
+        let predicate = Predicate::IdRange { lo: 40, hi: 160 };
+        let spec = QuerySpec::KnnSelect {
+            relation: "B".into(),
+            query: KnnSelectQuery::new(6, Point::anonymous(40.0, 40.0)),
+        }
+        .with_filters(QueryFilters::none().pre("B", predicate.clone()));
+        let snapshot = db.snapshot();
+        let want = brute_force_knn_filtered(
+            &**snapshot.snapshot("B").unwrap(),
+            &Point::anonymous(40.0, 40.0),
+            6,
+            &predicate,
+        )
+        .ids();
+        let plan = compile(
+            &snapshot,
+            &spec,
+            Strategy::Select(SelectStrategy::FilteredKernel),
+        )
+        .unwrap();
+        assert_eq!(plan.name(), "knn-select");
+        let got: Vec<u64> = plan
+            .execute(ExecutionMode::Serial)
+            .rows()
+            .iter()
+            .flat_map(|r| r.ids())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pre_filter_on_a_join_inner_is_rejected() {
+        let db = db();
+        let filters = QueryFilters::none().pre("B", Predicate::IdRange { lo: 0, hi: 50 });
+        for inner in [
+            QuerySpec::SelectInnerOfJoin {
+                outer: "A".into(),
+                inner: "B".into(),
+                query: SelectInnerJoinQuery::new(2, 3, Point::anonymous(30.0, 40.0)),
+            },
+            QuerySpec::UnchainedJoins {
+                a: "A".into(),
+                b: "B".into(),
+                c: "C".into(),
+                query: UnchainedJoinQuery::new(2, 2),
+            },
+            QuerySpec::ChainedJoins {
+                a: "A".into(),
+                b: "B".into(),
+                c: "C".into(),
+                query: ChainedJoinQuery::new(2, 2),
+            },
+        ] {
+            let strategy = db.plan(&inner).unwrap();
+            let spec = inner.with_filters(filters.clone());
+            let err = match compile(&db.snapshot(), &spec, strategy) {
+                Err(err) => err,
+                Ok(_) => panic!("expected an error for {spec:?}"),
+            };
+            assert!(
+                matches!(err, QueryError::InvalidTransformation { .. }),
+                "{spec:?}: {err}"
+            );
+            // The same filter in *post* placement is always accepted.
+            let QuerySpec::Filtered { spec: inner, .. } = spec else {
+                unreachable!()
+            };
+            let post = (*inner)
+                .clone()
+                .with_filters(QueryFilters::none().post("B", Predicate::IdRange { lo: 0, hi: 50 }));
+            compile(&db.snapshot(), &post, strategy).unwrap();
+        }
+    }
+
+    #[test]
+    fn pre_filter_on_a_join_outer_equals_the_post_filtered_rows() {
+        let db = db();
+        let inner = QuerySpec::SelectInnerOfJoin {
+            outer: "A".into(),
+            inner: "B".into(),
+            query: SelectInnerJoinQuery::new(2, 25, Point::anonymous(40.0, 40.0)),
+        };
+        let predicate = Predicate::InRect(twoknn_geometry::Rect::new(0.0, 0.0, 70.0, 70.0));
+        // Filtering the *outer* side before the join only removes whole
+        // rows (each outer point's neighborhood is independent), so the
+        // pushdown must produce exactly the post-filtered rows.
+        let pre = db
+            .execute(
+                &inner
+                    .clone()
+                    .with_filters(QueryFilters::none().pre("A", predicate.clone())),
+            )
+            .unwrap();
+        let post = db
+            .execute(&inner.with_filters(QueryFilters::none().post("A", predicate)))
+            .unwrap();
+        // Row order may differ (the materialized filtered index has its own
+        // block layout), so compare as sorted id tuples.
+        let ids = |r: &QueryResult| -> Vec<Vec<u64>> {
+            let mut tuples: Vec<Vec<u64>> = r.rows().iter().map(|x| x.ids()).collect();
+            tuples.sort_unstable();
+            tuples
+        };
+        assert!(pre.num_rows() > 0, "filter should keep some rows");
+        assert_eq!(ids(&pre), ids(&post));
+    }
+
+    #[test]
+    fn residual_filter_prunes_rows_by_component() {
+        let db = db();
+        let inner = QuerySpec::TwoSelects {
+            relation: "B".into(),
+            query: TwoSelectsQuery::new(
+                5,
+                Point::anonymous(30.0, 30.0),
+                50,
+                Point::anonymous(35.0, 35.0),
+            ),
+        };
+        let unfiltered = db.execute(&inner).unwrap();
+        let keep: Vec<u64> = unfiltered
+            .rows()
+            .iter()
+            .flat_map(|r| r.ids())
+            .take(2)
+            .collect();
+        let filtered = db
+            .execute(
+                &inner.with_filters(QueryFilters::none().post("B", Predicate::id_in(keep.clone()))),
+            )
+            .unwrap();
+        let got: Vec<u64> = filtered.rows().iter().flat_map(|r| r.ids()).collect();
+        assert_eq!(got, keep);
+        assert_eq!(filtered.metrics().tuples_emitted, keep.len() as u64);
+    }
+
+    #[test]
+    fn bad_filter_shapes_are_rejected() {
+        let db = db();
+        let base = QuerySpec::KnnSelect {
+            relation: "B".into(),
+            query: KnnSelectQuery::new(3, Point::anonymous(0.0, 0.0)),
+        };
+        // Unknown relation name in the filter map.
+        let spec = base
+            .clone()
+            .with_filters(QueryFilters::none().post("Nope", Predicate::False));
+        assert!(matches!(
+            db.execute(&spec),
+            Err(QueryError::UnknownRelation { .. })
+        ));
+        // Nested Filtered wrappers.
+        let nested = QuerySpec::Filtered {
+            spec: Box::new(base.with_filters(QueryFilters::none().post("B", Predicate::False))),
+            filters: QueryFilters::none().post("B", Predicate::True),
+        };
+        assert!(matches!(
+            db.execute(&nested),
+            Err(QueryError::UnsupportedPlanShape { .. })
+        ));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 mod conceptual;
 mod two_knn_select;
 
+pub(crate) use conceptual::intersect_output;
 pub use conceptual::{
     two_selects_conceptual, two_selects_conceptual_with_mode, two_selects_wrong_sequential,
 };

@@ -23,12 +23,14 @@
 
 mod distance;
 mod point;
+mod predicate;
 mod rect;
 
 pub use distance::{
     baseline, euclidean, euclidean_sq, euclidean_sq_batch, maxdist, maxdist_sq, mindist, mindist_sq,
 };
 pub use point::{Point, PointId};
+pub use predicate::Predicate;
 pub use rect::Rect;
 
 /// Result alias used across the workspace geometry layer.

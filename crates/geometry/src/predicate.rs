@@ -1,0 +1,342 @@
+//! Point-level filter predicates.
+//!
+//! The paper's "mixed predicate" scenarios combine a kNN predicate with
+//! ordinary attribute filters ("the k nearest *open* sites inside a region").
+//! This module supplies the filter half: a small, closed tree of tests over a
+//! point's id and coordinates that every layer above (logical plan, optimizer,
+//! physical operators, the filtered kNN kernel) can share without callbacks.
+//!
+//! Two evaluation entry points exist:
+//!
+//! * [`Predicate::matches`] — one point at a time, used by residual
+//!   (post-kNN) filtering of result rows;
+//! * [`Predicate::eval_block`] — a whole SoA block column at once into a
+//!   reusable boolean mask, used by the predicate-aware block scan so the
+//!   kNN hot path stays batched and allocation-free.
+//!
+//! The [`std::fmt::Display`] impl prints the concrete syntax the query parser
+//! accepts, so predicates round-trip through parse → print → parse.
+
+use crate::{euclidean_sq, Point, PointId, Rect};
+
+/// A boolean filter over a single point, evaluated on `(id, x, y)`.
+///
+/// Leaves test either the point's location (rectangle / circle containment)
+/// or its identifier (set membership / inclusive range); interior nodes are
+/// the usual AND / OR / NOT combinators. The tree is `Clone + PartialEq` so
+/// logical plans carrying predicates stay comparable in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true — the neutral residual left after kNN extraction.
+    True,
+    /// Always false — e.g. a contradiction detected by the rewriter.
+    False,
+    /// Point lies inside the closed rectangle.
+    InRect(Rect),
+    /// Point lies inside the closed disk of `radius` around `center`.
+    InCircle {
+        /// Disk center.
+        center: Point,
+        /// Disk radius (must be finite and non-negative).
+        radius: f64,
+    },
+    /// Point id is a member of the (sorted, deduplicated) set.
+    IdIn(Vec<PointId>),
+    /// Point id lies in the inclusive range `[lo, hi]`.
+    IdRange {
+        /// Lower bound, inclusive.
+        lo: PointId,
+        /// Upper bound, inclusive.
+        hi: PointId,
+    },
+    /// Every sub-predicate holds.
+    And(Vec<Predicate>),
+    /// At least one sub-predicate holds.
+    Or(Vec<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Builds an id-set predicate, sorting and deduplicating the ids.
+    pub fn id_in(mut ids: Vec<PointId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Predicate::IdIn(ids)
+    }
+
+    /// Conjunction of `self` and `other`, flattening nested ANDs and
+    /// dropping `True` operands.
+    pub fn and(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), p) => {
+                a.push(p);
+                Predicate::And(a)
+            }
+            (p, Predicate::And(mut b)) => {
+                b.insert(0, p);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// Evaluates the predicate on a single point given as `(id, x, y)`.
+    #[inline]
+    pub fn matches(&self, id: PointId, x: f64, y: f64) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::InRect(r) => x >= r.min_x && x <= r.max_x && y >= r.min_y && y <= r.max_y,
+            Predicate::InCircle { center, radius } => {
+                euclidean_sq(center, &Point::anonymous(x, y)) <= radius * radius
+            }
+            Predicate::IdIn(ids) => ids.binary_search(&id).is_ok(),
+            Predicate::IdRange { lo, hi } => id >= *lo && id <= *hi,
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(id, x, y)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(id, x, y)),
+            Predicate::Not(p) => !p.matches(id, x, y),
+        }
+    }
+
+    /// Evaluates the predicate on a whole point.
+    #[inline]
+    pub fn matches_point(&self, p: &Point) -> bool {
+        self.matches(p.id, p.x, p.y)
+    }
+
+    /// Evaluates the predicate over SoA block columns into `mask`.
+    ///
+    /// `mask` is cleared and resized to the column length; `mask[i]` is set
+    /// iff `(ids[i], xs[i], ys[i])` matches. Leaves run as tight column
+    /// loops so the common single-leaf filters stay branch-predictable;
+    /// combinators recurse with a scratch mask only where required (OR/NOT),
+    /// which the caller amortizes by reusing the same buffers every block.
+    pub fn eval_block(&self, ids: &[PointId], xs: &[f64], ys: &[f64], mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.resize(ids.len(), true);
+        self.apply_block(ids, xs, ys, mask);
+    }
+
+    /// ANDs this predicate into an existing mask (`mask[i] &= matches(i)`).
+    fn apply_block(&self, ids: &[PointId], xs: &[f64], ys: &[f64], mask: &mut [bool]) {
+        match self {
+            Predicate::True => {}
+            Predicate::False => mask.fill(false),
+            Predicate::InRect(r) => {
+                for i in 0..ids.len() {
+                    mask[i] &= xs[i] >= r.min_x
+                        && xs[i] <= r.max_x
+                        && ys[i] >= r.min_y
+                        && ys[i] <= r.max_y;
+                }
+            }
+            Predicate::InCircle { center, radius } => {
+                let r_sq = radius * radius;
+                for i in 0..ids.len() {
+                    let dx = xs[i] - center.x;
+                    let dy = ys[i] - center.y;
+                    mask[i] &= dx * dx + dy * dy <= r_sq;
+                }
+            }
+            Predicate::IdIn(set) => {
+                for i in 0..ids.len() {
+                    mask[i] &= set.binary_search(&ids[i]).is_ok();
+                }
+            }
+            Predicate::IdRange { lo, hi } => {
+                for i in 0..ids.len() {
+                    mask[i] &= ids[i] >= *lo && ids[i] <= *hi;
+                }
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    p.apply_block(ids, xs, ys, mask);
+                }
+            }
+            Predicate::Or(_) | Predicate::Not(_) => {
+                // Disjunctions and negations don't distribute over the
+                // AND-mask; fall back to the scalar test per lane.
+                for i in 0..ids.len() {
+                    mask[i] = mask[i] && self.matches(ids[i], xs[i], ys[i]);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    /// Prints the parser's concrete syntax (round-trips through the query
+    /// language): `INSIDE(RECT(..))`, `INSIDE(CIRCLE(..))`, `ID IN (..)`,
+    /// `ID BETWEEN a AND b`, `TRUE`, `FALSE`, and parenthesized AND/OR/NOT.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::False => write!(f, "FALSE"),
+            Predicate::InRect(r) => write!(
+                f,
+                "INSIDE(RECT({}, {}, {}, {}))",
+                r.min_x, r.min_y, r.max_x, r.max_y
+            ),
+            Predicate::InCircle { center, radius } => {
+                write!(f, "INSIDE(CIRCLE({}, {}, {radius}))", center.x, center.y)
+            }
+            Predicate::IdIn(ids) => {
+                write!(f, "ID IN (")?;
+                for (i, id) in ids.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{id}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::IdRange { lo, hi } => write!(f, "ID BETWEEN {lo} AND {hi}"),
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "(NOT {p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect_pred() -> Predicate {
+        Predicate::InRect(Rect::new(0.0, 0.0, 10.0, 10.0))
+    }
+
+    #[test]
+    fn leaves_match_expected_points() {
+        let r = rect_pred();
+        assert!(r.matches(1, 5.0, 5.0));
+        assert!(r.matches(1, 10.0, 10.0), "rect containment is closed");
+        assert!(!r.matches(1, 10.1, 5.0));
+
+        let c = Predicate::InCircle {
+            center: Point::anonymous(0.0, 0.0),
+            radius: 5.0,
+        };
+        assert!(c.matches(1, 3.0, 4.0), "on the boundary is inside");
+        assert!(!c.matches(1, 3.1, 4.0));
+
+        let ids = Predicate::id_in(vec![7, 3, 3, 9]);
+        assert_eq!(ids, Predicate::IdIn(vec![3, 7, 9]));
+        assert!(ids.matches(7, 0.0, 0.0));
+        assert!(!ids.matches(8, 0.0, 0.0));
+
+        let range = Predicate::IdRange { lo: 10, hi: 20 };
+        assert!(range.matches(10, 0.0, 0.0) && range.matches(20, 0.0, 0.0));
+        assert!(!range.matches(9, 0.0, 0.0) && !range.matches(21, 0.0, 0.0));
+    }
+
+    #[test]
+    fn combinators_follow_boolean_semantics() {
+        let p = Predicate::And(vec![rect_pred(), Predicate::IdRange { lo: 0, hi: 5 }]);
+        assert!(p.matches(3, 5.0, 5.0));
+        assert!(!p.matches(9, 5.0, 5.0));
+        assert!(!p.matches(3, 50.0, 5.0));
+
+        let q = Predicate::Or(vec![
+            Predicate::IdIn(vec![42]),
+            Predicate::InRect(Rect::new(100.0, 100.0, 101.0, 101.0)),
+        ]);
+        assert!(q.matches(42, 0.0, 0.0));
+        assert!(q.matches(1, 100.5, 100.5));
+        assert!(!q.matches(1, 0.0, 0.0));
+
+        let n = Predicate::Not(Box::new(rect_pred()));
+        assert!(!n.matches(1, 5.0, 5.0));
+        assert!(n.matches(1, 50.0, 5.0));
+
+        assert!(Predicate::True.matches(0, 0.0, 0.0));
+        assert!(!Predicate::False.matches(0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn and_builder_flattens_and_drops_true() {
+        let a = rect_pred();
+        assert_eq!(a.clone().and(Predicate::True), a);
+        assert_eq!(Predicate::True.and(a.clone()), a);
+        let b = Predicate::IdRange { lo: 0, hi: 9 };
+        let c = Predicate::IdIn(vec![1]);
+        let combined = a.clone().and(b.clone()).and(c.clone());
+        assert_eq!(combined, Predicate::And(vec![a, b, c]));
+    }
+
+    #[test]
+    fn eval_block_agrees_with_scalar_matches() {
+        let preds = [
+            Predicate::True,
+            Predicate::False,
+            rect_pred(),
+            Predicate::InCircle {
+                center: Point::anonymous(5.0, 5.0),
+                radius: 3.0,
+            },
+            Predicate::id_in(vec![2, 4, 6]),
+            Predicate::IdRange { lo: 3, hi: 7 },
+            Predicate::And(vec![rect_pred(), Predicate::IdRange { lo: 0, hi: 4 }]),
+            Predicate::Or(vec![
+                Predicate::IdIn(vec![0]),
+                Predicate::Not(Box::new(rect_pred())),
+            ]),
+        ];
+        let ids: Vec<PointId> = (0..16).collect();
+        let xs: Vec<f64> = (0..16).map(|i| i as f64 * 0.9).collect();
+        let ys: Vec<f64> = (0..16).map(|i| 14.0 - i as f64).collect();
+        let mut mask = Vec::new();
+        for p in &preds {
+            p.eval_block(&ids, &xs, &ys, &mut mask);
+            assert_eq!(mask.len(), ids.len());
+            for i in 0..ids.len() {
+                assert_eq!(
+                    mask[i],
+                    p.matches(ids[i], xs[i], ys[i]),
+                    "mask lane {i} disagrees with scalar matches for {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_concrete_syntax() {
+        let p = Predicate::And(vec![
+            Predicate::InRect(Rect::new(0.0, 0.0, 10.0, 10.0)),
+            Predicate::IdRange { lo: 1, hi: 5 },
+        ]);
+        assert_eq!(
+            p.to_string(),
+            "(INSIDE(RECT(0, 0, 10, 10)) AND ID BETWEEN 1 AND 5)"
+        );
+        assert_eq!(Predicate::id_in(vec![3, 1]).to_string(), "ID IN (1, 3)");
+        assert_eq!(
+            Predicate::Not(Box::new(Predicate::True)).to_string(),
+            "(NOT TRUE)"
+        );
+    }
+}

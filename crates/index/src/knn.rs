@@ -29,7 +29,7 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 
-use twoknn_geometry::Point;
+use twoknn_geometry::{Point, Predicate};
 
 use crate::locality::{collect_locality_blocks, collect_locality_blocks_in, Locality};
 use crate::metrics::Metrics;
@@ -109,6 +109,102 @@ pub fn get_knn_bounded_in<I: SpatialIndex + ?Sized>(
     }
     collect_locality_blocks(index, p, k, Some(threshold), metrics, &mut scratch.locality);
     scan_locality_blocks(index, p, k, metrics, scratch)
+}
+
+/// Computes the `k` nearest points of `p` **matching a predicate** — the
+/// "k nearest *matching* points" semantics of a pre-kNN filter placement.
+///
+/// Locality construction is deliberately **not** used here: block counts
+/// overcount the matching points, so a locality sized by counts could stop
+/// collecting blocks before `k` matching candidates are reachable. Instead,
+/// every non-empty block is visited in increasing MINDIST² order and scanned
+/// through the predicate-masked batched kernel
+/// ([`crate::KthHeap::scan_block_masked`]); once the candidate heap holds `k`
+/// *matching* points, the walk stops at the first block whose MINDIST²
+/// exceeds τ² (strictly — id tie-breaks at exactly τ stay reachable). τ is
+/// the k-th **matching** distance, never smaller than the unfiltered one, so
+/// this pruning is conservative and the result is exact. The same walk is
+/// correct on sharded indexes because composed block ids are global.
+///
+/// Uses the calling thread's shared [`ScratchSpace`]; see
+/// [`get_knn_filtered_in`] for explicit reuse.
+pub fn get_knn_filtered<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    predicate: &Predicate,
+    metrics: &mut Metrics,
+) -> Neighborhood {
+    with_thread_scratch(|scratch| get_knn_filtered_in(index, p, k, predicate, metrics, scratch))
+}
+
+/// [`get_knn_filtered`] with an explicit, reusable [`ScratchSpace`]: the
+/// predicate mask, block-order buffer, distance buffer, and candidate heap
+/// are all borrowed from the scratch, so the filtered hot path allocates
+/// nothing but the returned [`Neighborhood`] after warm-up.
+pub fn get_knn_filtered_in<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    predicate: &Predicate,
+    metrics: &mut Metrics,
+    scratch: &mut ScratchSpace,
+) -> Neighborhood {
+    metrics.neighborhoods_computed += 1;
+    if k == 0 || index.num_points() == 0 {
+        return Neighborhood::empty(*p, k);
+    }
+    scratch.kth.reset(k);
+    let ScratchSpace {
+        dist,
+        kth,
+        mask,
+        block_order,
+        ..
+    } = scratch;
+
+    block_order.clear();
+    for b in index.blocks() {
+        if b.count > 0 {
+            block_order.push((OrderedF64(b.mindist_sq(p)), b.id));
+        }
+    }
+    block_order.sort_unstable();
+
+    for i in 0..block_order.len() {
+        let (mindist_sq, id) = block_order[i];
+        if kth.is_full() && mindist_sq.0 > kth.threshold_sq() {
+            metrics.blocks_pruned += (block_order.len() - i) as u64;
+            break;
+        }
+        let points = index.block_points(id);
+        metrics.blocks_scanned += 1;
+        metrics.points_scanned += points.len() as u64;
+        metrics.distance_computations += points.len() as u64;
+        predicate.eval_block(points.ids(), points.xs(), points.ys(), mask);
+        kth.scan_block_masked(p, points, mask, dist);
+    }
+    kth.finish(*p, k)
+}
+
+/// Ground-truth filtered kNN: filters every indexed point by the predicate,
+/// then sorts. The reference the filtered kernel is tested against.
+pub fn brute_force_knn_filtered<I: SpatialIndex + ?Sized>(
+    index: &I,
+    p: &Point,
+    k: usize,
+    predicate: &Predicate,
+) -> Neighborhood {
+    let members = index
+        .all_points()
+        .into_iter()
+        .filter(|q| predicate.matches_point(q))
+        .map(|q| Neighbor {
+            point: q,
+            distance: p.distance(&q),
+        })
+        .collect();
+    Neighborhood::from_unsorted(*p, k, members)
 }
 
 /// The partitions of `index` when scatter-gather is worthwhile: more than one
@@ -749,6 +845,108 @@ mod tests {
         assert_eq!(m.neighborhoods_computed, 2);
         assert!(m.points_scanned > 0);
         assert!(m.distance_computations >= m.points_scanned);
+    }
+
+    #[test]
+    fn filtered_knn_matches_brute_force_across_index_families() {
+        use twoknn_geometry::Rect;
+        let data = pts(1500);
+        let g = GridIndex::build(data.clone(), 14).unwrap();
+        let qt = QuadtreeIndex::build(data.clone(), 24).unwrap();
+        let rt = StrRTree::build(data, 24).unwrap();
+        let preds = [
+            Predicate::True,
+            Predicate::InRect(Rect::new(20.0, 20.0, 70.0, 70.0)),
+            Predicate::InCircle {
+                center: Point::anonymous(55.0, 64.0),
+                radius: 15.0,
+            },
+            Predicate::IdRange { lo: 100, hi: 700 },
+            Predicate::And(vec![
+                Predicate::InRect(Rect::new(0.0, 0.0, 90.0, 90.0)),
+                Predicate::Not(Box::new(Predicate::IdRange { lo: 0, hi: 50 })),
+            ]),
+            // Zero-match filter: the neighborhood must come back empty.
+            Predicate::False,
+        ];
+        let mut m = Metrics::default();
+        for pred in &preds {
+            for (x, y, k) in [(10.0, 20.0, 1), (55.0, 64.0, 7), (0.0, 0.0, 25)] {
+                let q = Point::anonymous(x, y);
+                let want = brute_force_knn_filtered(&g, &q, k, pred);
+                assert_eq!(
+                    get_knn_filtered(&g, &q, k, pred, &mut m),
+                    want,
+                    "{pred} grid"
+                );
+                assert_eq!(
+                    get_knn_filtered(&qt, &q, k, pred, &mut m),
+                    want,
+                    "{pred} qt"
+                );
+                assert_eq!(
+                    get_knn_filtered(&rt, &q, k, pred, &mut m),
+                    want,
+                    "{pred} rt"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_knn_matches_brute_force_on_sharded_index() {
+        use twoknn_geometry::Rect;
+        let data = pts(1600);
+        let sharded = ShardedGrid::build(data, 8);
+        let pred = Predicate::And(vec![
+            Predicate::InRect(Rect::new(10.0, 10.0, 100.0, 100.0)),
+            Predicate::IdRange { lo: 0, hi: 1200 },
+        ]);
+        let mut m = Metrics::default();
+        for (x, y, k) in [(10.0, 20.0, 3), (55.0, 64.0, 12), (111.0, 1.0, 40)] {
+            let q = Point::anonymous(x, y);
+            assert_eq!(
+                get_knn_filtered(&sharded, &q, k, &pred, &mut m),
+                brute_force_knn_filtered(&sharded, &q, k, &pred),
+                "({x},{y}) k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_knn_with_permissive_filter_prunes_blocks() {
+        // Selectivity 1.0: τ converges exactly as in the unfiltered kernel,
+        // so the MINDIST-ordered walk must prune far blocks.
+        let g = GridIndex::build(pts(2000), 18).unwrap();
+        let q = Point::anonymous(50.0, 50.0);
+        let mut m = Metrics::default();
+        let got = get_knn_filtered(&g, &q, 8, &Predicate::True, &mut m);
+        let mut mu = Metrics::default();
+        assert_eq!(got, get_knn(&g, &q, 8, &mut mu));
+        assert!(m.blocks_pruned > 0, "{m}");
+        assert!(
+            m.points_scanned < g.num_points() as u64,
+            "τ-pruning must avoid the full scan: {m}"
+        );
+    }
+
+    #[test]
+    fn filtered_knn_survives_a_filter_eliminating_the_tau_neighborhood() {
+        // The filter excludes everything near the query: the k nearest
+        // *matching* points are far away, so τ stays wide and the walk must
+        // keep going past the (unfiltered) τ-neighborhood without losing
+        // exactness.
+        let g = GridIndex::build(pts(1500), 14).unwrap();
+        let q = Point::anonymous(55.0, 64.0);
+        let near = Predicate::InCircle {
+            center: q,
+            radius: 30.0,
+        };
+        let pred = Predicate::Not(Box::new(near));
+        let mut m = Metrics::default();
+        let got = get_knn_filtered(&g, &q, 5, &pred, &mut m);
+        assert_eq!(got, brute_force_knn_filtered(&g, &q, 5, &pred));
+        assert!(got.radius() > 30.0, "all matches are outside the disk");
     }
 
     /// Reusing one scratch across queries must not leak state between them.

@@ -79,8 +79,9 @@ mod traits;
 pub use block::{BlockId, BlockMeta};
 pub use grid::GridIndex;
 pub use knn::{
-    brute_force_knn, get_knn, get_knn_best_first, get_knn_best_first_in, get_knn_bounded,
-    get_knn_bounded_in, get_knn_in, get_knn_scalar, neighborhood_from_locality,
+    brute_force_knn, brute_force_knn_filtered, get_knn, get_knn_best_first, get_knn_best_first_in,
+    get_knn_bounded, get_knn_bounded_in, get_knn_filtered, get_knn_filtered_in, get_knn_in,
+    get_knn_scalar, neighborhood_from_locality,
 };
 pub use locality::Locality;
 pub use metrics::Metrics;

@@ -164,6 +164,36 @@ impl KthHeap {
         }
     }
 
+    /// The predicate-masked variant of [`KthHeap::scan_block`]: the batched
+    /// distance pass runs over the whole block exactly as before, but only
+    /// lanes whose `mask` bit is set are offered to the heap.
+    ///
+    /// Used by the filtered kNN kernel: τ then tracks the k-th *matching*
+    /// distance, which is never smaller than the unfiltered one, so MINDIST
+    /// pruning against it stays conservative (sound) under filtering.
+    pub fn scan_block_masked(
+        &mut self,
+        q: &Point,
+        block: crate::points::BlockPoints<'_>,
+        mask: &[bool],
+        dist: &mut Vec<f64>,
+    ) {
+        let n = block.len();
+        debug_assert_eq!(mask.len(), n, "mask must cover the block");
+        if n == 0 {
+            return;
+        }
+        dist.clear();
+        dist.resize(n, 0.0);
+        euclidean_sq_batch(q.x, q.y, block.xs(), block.ys(), dist);
+        let (ids, xs, ys) = (block.ids(), block.xs(), block.ys());
+        for i in 0..n {
+            if mask[i] {
+                self.insert(dist[i], Point::new(ids[i], xs[i], ys[i]));
+            }
+        }
+    }
+
     /// Drains the heap into a [`Neighborhood`] of the query point, sorted and
     /// truncated by the usual `(distance, id)` order.
     pub fn finish(&mut self, query: Point, k: usize) -> Neighborhood {
@@ -205,6 +235,12 @@ pub struct ScratchSpace {
     /// `(MINDIST², partition index)` order buffer of the scatter-gather
     /// driver over a sharded index's partitions.
     pub(crate) shard_order: Vec<(OrderedF64, u32)>,
+    /// Reusable predicate mask of the filtered block kernel: one bool per
+    /// lane of the block being scanned, refilled per block.
+    pub(crate) mask: Vec<bool>,
+    /// `(MINDIST², block index)` order buffer of the filtered kernel's
+    /// whole-index block walk.
+    pub(crate) block_order: Vec<(OrderedF64, u32)>,
 }
 
 impl ScratchSpace {

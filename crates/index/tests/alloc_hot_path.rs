@@ -14,10 +14,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use twoknn_geometry::Point;
+use twoknn_geometry::{Point, Predicate, Rect};
 use twoknn_index::{
-    get_knn_best_first_in, get_knn_bounded_in, get_knn_in, GridIndex, Metrics, Neighborhood,
-    ScratchSpace, SpatialIndex,
+    get_knn_best_first_in, get_knn_bounded_in, get_knn_filtered_in, get_knn_in, GridIndex, Metrics,
+    Neighborhood, ScratchSpace, SpatialIndex,
 };
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -120,6 +120,21 @@ fn warm_knn_queries_allocate_only_the_returned_neighborhood() {
         queries.len()
     );
 
-    // The three paths stayed on the same index and really did the work.
+    // Filtered kernel: the predicate mask and block-order buffer live in the
+    // scratch too, so pre-kNN filter pushdown keeps the same guarantee.
+    let predicate = Predicate::And(vec![
+        Predicate::InRect(Rect::new(0.0, 0.0, 1000.0, 1000.0)),
+        Predicate::IdRange { lo: 0, hi: 15_000 },
+    ]);
+    let (allocs, _) = warm_allocations(&queries, |q| {
+        get_knn_filtered_in(&index, q, k, &predicate, &mut metrics, &mut scratch)
+    });
+    assert!(
+        allocs <= 2 * queries.len() as u64,
+        "filtered path: {allocs} allocations for {} warm queries",
+        queries.len()
+    );
+
+    // The four paths stayed on the same index and really did the work.
     assert!(index.num_points() == 20_000 && metrics.neighborhoods_computed > 0);
 }

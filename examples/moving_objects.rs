@@ -14,7 +14,9 @@
 //! against the subscription's guard region, re-evaluates only when a
 //! vehicle movement could actually change the answer, and emits the
 //! changed rows as [`ResultDelta`]s — the streaming monitor below just
-//! polls and prints them.
+//! polls and prints them. One monitor is registered **textually**
+//! ([`Database::subscribe_query`]): a `FIND … WHERE …` geofence watch
+//! whose pre-kNN filter ranks only the vehicles inside the fence.
 //!
 //! The store runs **durably** ([`DurabilityConfig`]): every position batch
 //! is write-ahead-logged before it publishes, compacted shard bases spill
@@ -79,10 +81,23 @@ fn main() {
         .subscribe(&monitor_spec, None)
         .expect("subscribe monitor");
     let initial = db.poll(monitor).expect("initial monitor delta");
+
+    // The declarative front-end drives the same machinery: a textual
+    // geofence watch whose *pre*-kNN filter means the query ranks only the
+    // vehicles inside the fence — "the 12 nearest *fenced* vehicles", not
+    // "the 12 nearest, fenced afterwards".
+    let geofence_text = "FIND (Vehicles WHERE INSIDE(RECT(45000, 43000, 57000, 54000))) \
+                         WHERE KNN(12, 51000, 48500)";
+    let geofence = db
+        .subscribe_query(geofence_text)
+        .expect("subscribe geofence watch");
+    let fenced = db.poll(geofence).expect("initial geofence delta");
     println!(
         "standing queries registered: dispatch {dispatch}, hotspot monitor {monitor} \
-         ({} vehicles initially on watch)\n",
+         ({} vehicles initially on watch), textual geofence watch {geofence} \
+         ({} fenced vehicles)\n",
         initial.iter().map(|d| d.added.len()).sum::<usize>(),
+        fenced.iter().map(|d| d.added.len()).sum::<usize>(),
     );
 
     println!(
@@ -92,8 +107,16 @@ fn main() {
         db.store().config().compaction_threshold,
     );
     println!(
-        "{:>5} {:>10} {:>9} {:>12} {:>12} {:>8} {:>14} {:>14}",
-        "tick", "version", "delta", "compactions", "rows", "ms", "cq re/skip", "monitor Δ"
+        "{:>5} {:>10} {:>9} {:>12} {:>12} {:>8} {:>14} {:>12} {:>10}",
+        "tick",
+        "version",
+        "delta",
+        "compactions",
+        "rows",
+        "ms",
+        "cq re/skip",
+        "monitor Δ",
+        "fence Δ"
     );
 
     // Ten ticks of the position stream: every tick, 1500 vehicles report a
@@ -122,11 +145,15 @@ fn main() {
         let (entered, left) = deltas.iter().fold((0usize, 0usize), |(a, r), d| {
             (a + d.added.len(), r + d.removed.len())
         });
+        let fence_deltas = db.poll(geofence).unwrap();
+        let (fence_in, fence_out) = fence_deltas.iter().fold((0usize, 0usize), |(a, r), d| {
+            (a + d.added.len(), r + d.removed.len())
+        });
 
         let snap = db.relation("Vehicles").unwrap();
         let m = db.store_metrics();
         println!(
-            "{tick:>5} {:>10} {:>9} {:>12} {:>12} {:>8.1} {:>14} {:>14}",
+            "{tick:>5} {:>10} {:>9} {:>12} {:>12} {:>8.1} {:>14} {:>12} {:>10}",
             snap.version(),
             snap.delta_len(),
             m.compactions,
@@ -134,6 +161,7 @@ fn main() {
             ms,
             format!("{}/{}", m.cq_reevals, m.cq_skips),
             format!("+{entered}/-{left}"),
+            format!("+{fence_in}/-{fence_out}"),
         );
     }
 
@@ -162,15 +190,21 @@ fn main() {
     db.checkpoint();
     let saved_points = db.relation("Vehicles").unwrap().num_points();
     let saved_rows = db.execute(&spec).unwrap().num_rows();
+    let saved_fenced = db.query(geofence_text).unwrap().num_rows();
     drop(db);
 
     let db = Database::open(&dir, config).expect("recover the durable store");
     let recovered = db.relation("Vehicles").unwrap().num_points();
     let rows_after = db.execute(&spec).unwrap().num_rows();
-    assert_eq!((recovered, rows_after), (saved_points, saved_rows));
+    let fenced_after = db.query(geofence_text).unwrap().num_rows();
+    assert_eq!(
+        (recovered, rows_after, fenced_after),
+        (saved_points, saved_rows, saved_fenced)
+    );
     println!(
         "\nrestart: recovered {} relation(s), {recovered} vehicles, dispatch \
-         answers {rows_after} rows — identical to before the shutdown",
+         answers {rows_after} rows and the geofence query {fenced_after} — \
+         identical to before the shutdown",
         db.store_metrics().recoveries,
     );
     let resume: Vec<WriteOp> = vehicles

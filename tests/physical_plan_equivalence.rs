@@ -15,13 +15,17 @@ use std::collections::BTreeSet;
 
 use two_knn::core::joins2::{ChainedJoinQuery, UnchainedJoinQuery};
 use two_knn::core::plan::{
-    ChainedStrategy, Database, QueryResult, QuerySpec, RowSchema, SelectInnerStrategy,
-    SelectOuterStrategy, Strategy, TwoSelectsStrategy, UnchainedStrategy,
+    ChainedStrategy, Database, QueryFilters, QueryResult, QuerySpec, RowSchema,
+    SelectInnerStrategy, SelectOuterStrategy, SelectStrategy, Strategy, TwoSelectsStrategy,
+    UnchainedStrategy,
 };
+use two_knn::core::select::KnnSelectQuery;
 use two_knn::core::select_join::{SelectInnerJoinQuery, SelectOuterJoinQuery};
 use two_knn::core::selects2::TwoSelectsQuery;
 use two_knn::core::ExecutionMode;
 use two_knn::datagen::{berlinmod, BerlinModConfig};
+use two_knn::geometry::Predicate;
+use two_knn::Rect;
 use two_knn::{GridIndex, Point, QuadtreeIndex, StrRTree};
 
 /// The strategies available for each query shape.
@@ -51,6 +55,12 @@ fn strategies_for(spec: &QuerySpec) -> Vec<Strategy> {
             Strategy::TwoSelects(TwoSelectsStrategy::Conceptual),
             Strategy::TwoSelects(TwoSelectsStrategy::TwoKnnSelect),
         ],
+        QuerySpec::KnnSelect { .. } => vec![
+            Strategy::Select(SelectStrategy::FilteredKernel),
+            Strategy::Select(SelectStrategy::FilterThenScan),
+        ],
+        // A filtered wrapper compiles against the wrapped shape's strategy.
+        QuerySpec::Filtered { spec, .. } => strategies_for(spec),
     }
 }
 
@@ -138,6 +148,43 @@ fn specs() -> Vec<(QuerySpec, RowSchema)> {
                 relation: "B".into(),
                 query: TwoSelectsQuery::new(8, focal, 64, Point::anonymous(48_500.0, 51_500.0)),
             },
+            RowSchema::Points,
+        ),
+        (
+            QuerySpec::KnnSelect {
+                relation: "B".into(),
+                query: KnnSelectQuery { k: 9, focal },
+            },
+            RowSchema::Points,
+        ),
+        // Filtered wrapper around a select: pre-filter (masked kernel or
+        // filter-then-scan, both strategies above) plus a post residual.
+        (
+            QuerySpec::KnnSelect {
+                relation: "B".into(),
+                query: KnnSelectQuery { k: 12, focal },
+            }
+            .with_filters(
+                QueryFilters::none()
+                    .pre(
+                        "B",
+                        Predicate::InRect(Rect::new(45_000.0, 43_000.0, 57_000.0, 54_000.0)),
+                    )
+                    .post("B", Predicate::IdRange { lo: 0, hi: 800 }),
+            ),
+            RowSchema::Points,
+        ),
+        // Filtered wrapper around two selects: both TwoSelects strategies
+        // route through the filtered conceptual intersection.
+        (
+            QuerySpec::TwoSelects {
+                relation: "B".into(),
+                query: TwoSelectsQuery::new(10, focal, 48, Point::anonymous(48_500.0, 51_500.0)),
+            }
+            .with_filters(QueryFilters::none().pre(
+                "B",
+                Predicate::InRect(Rect::new(45_000.0, 43_000.0, 57_000.0, 54_000.0)),
+            )),
             RowSchema::Points,
         ),
     ]
