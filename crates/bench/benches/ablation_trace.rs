@@ -1,0 +1,209 @@
+//! Ablation A9: observability overhead.
+//!
+//! The observability layer makes two promises the store's hot paths rely
+//! on: with tracing **off**, a query pays only a timestamp pair and a few
+//! relaxed atomics (the always-on latency histograms), and with tracing
+//! **on**, every executed query yields a well-formed per-operator trace
+//! tree whose counters reconcile.
+//!
+//! This bench runs the same parsed filtered-kNN batch untraced and traced
+//! and prints both medians. The `--smoke` assertions pin the promises
+//! machine-independently where possible:
+//!
+//! * the *untraced* instrumentation cost (two `Instant::now` calls, one
+//!   histogram record, one trace-gate load per query — exactly what the
+//!   executor adds) must stay under 3% of the untraced batch median;
+//! * a traced batch retains one labelled trace per query, with monotone
+//!   sequence numbers and non-degenerate operator trees;
+//! * the query-exec histogram reconciles: bucket counts sum to the sample
+//!   count and `p50 <= p90 <= p99 <= max`.
+//!
+//! Usage: `cargo bench -p twoknn-bench --bench ablation_trace --
+//! [--points N] [--queries N] [--smoke]`
+
+use std::time::Instant;
+
+use twoknn_bench::micro::BenchGroup;
+use twoknn_bench::workloads;
+use twoknn_core::plan::{Database, QuerySpec};
+use twoknn_core::store::StoreConfig;
+use twoknn_core::{HistogramKind, Observability, TraceConfig};
+
+/// A filtered kNN-select batch parsed from query text: the 8 nearest
+/// points inside a rect covering half of each axis, focal points jittered
+/// around the cluster center.
+fn parsed_batch(db: &Database, queries: usize) -> Vec<QuerySpec> {
+    let extent = workloads::extent();
+    let focal = workloads::focal_point();
+    let (hw, hh) = (extent.width() * 0.25, extent.height() * 0.25);
+    let (x1, y1) = (focal.x - hw, focal.y - hh);
+    let (x2, y2) = (focal.x + hw, focal.y + hh);
+    (0..queries)
+        .map(|q| {
+            let offset = (q % 61) as f64 * 11.0;
+            let text = format!(
+                "FIND (Objects WHERE INSIDE(RECT({x1}, {y1}, {x2}, {y2}))) \
+                 WHERE KNN(8, {}, {})",
+                focal.x + offset,
+                focal.y - offset,
+            );
+            db.parse_query(&text).expect("bench query parses")
+        })
+        .collect()
+}
+
+/// The untraced per-query instrumentation, measured in isolation: exactly
+/// what [`Database::execute_batch`] adds around each query when tracing is
+/// off. Returns the *fastest* of a few sweeps (seconds) to denoise.
+fn instrumentation_cost(queries: usize) -> f64 {
+    let obs = Observability::default();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let sweep = Instant::now();
+        for _ in 0..queries {
+            let start = Instant::now();
+            std::hint::black_box(obs.trace_enabled());
+            obs.record(HistogramKind::QueryExec, start.elapsed());
+        }
+        best = best.min(sweep.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut points = 120_000usize;
+    let mut queries = 256usize;
+    let mut smoke = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--points" => {
+                i += 1;
+                points = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(points);
+            }
+            "--queries" => {
+                i += 1;
+                queries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(queries);
+            }
+            "--smoke" => {
+                points = 20_000;
+                queries = 128;
+                smoke = true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    println!("ablation_trace: {points} points, one {queries}-query parsed batch");
+
+    // Retention must cover the whole batch (the default ring keeps 64).
+    let mut db = Database::with_store_config(StoreConfig {
+        trace: TraceConfig {
+            enabled: false,
+            capacity: queries,
+        },
+        ..StoreConfig::default()
+    });
+    db.register("Objects", workloads::berlin_relation(points, 423));
+    let specs = parsed_batch(&db, queries);
+
+    let mut group = BenchGroup::new("trace_overhead").sample_size(5);
+    db.set_tracing(false);
+    let untraced = group.bench("tracing_off", || {
+        for result in db.execute_batch(&specs) {
+            result.expect("batch query");
+        }
+    });
+    db.set_tracing(true);
+    let traced = group.bench("tracing_on", || {
+        for result in db.execute_batch(&specs) {
+            result.expect("batch query");
+        }
+        // Draining is part of using traces; keep the retention ring flat.
+        std::hint::black_box(db.drain_traces());
+    });
+    db.set_tracing(false);
+
+    let instr_s = instrumentation_cost(queries);
+    let overhead_pct = instr_s / (untraced.median_ms / 1e3) * 100.0;
+    println!(
+        "tracing off: {:.2} ms median; on: {:.2} ms ({:.2}x); untraced \
+         instrumentation: {:.1} µs per batch = {overhead_pct:.3}% of the batch",
+        untraced.median_ms,
+        traced.median_ms,
+        traced.median_ms / untraced.median_ms,
+        instr_s * 1e6,
+    );
+
+    // One explicitly traced batch for the well-formedness checks.
+    db.set_tracing(true);
+    db.drain_traces();
+    for result in db.execute_batch(&specs) {
+        result.expect("traced batch query");
+    }
+    let traces = db.drain_traces();
+    db.set_tracing(false);
+    let query_exec = db.store().obs().histogram(HistogramKind::QueryExec);
+    let (p50, p90, p99) = (
+        query_exec.percentile(0.50),
+        query_exec.percentile(0.90),
+        query_exec.percentile(0.99),
+    );
+    println!(
+        "traced batch: {} trace(s) retained; query_exec histogram: {} samples, \
+         p50={p50}ns p90={p90}ns p99={p99}ns max={}ns",
+        traces.len(),
+        query_exec.count,
+        query_exec.max_nanos,
+    );
+
+    if smoke {
+        assert!(
+            overhead_pct < 3.0,
+            "untraced instrumentation must stay under 3% of the batch: \
+             {overhead_pct:.3}%"
+        );
+        assert_eq!(
+            traces.len(),
+            queries,
+            "a traced batch retains one trace per query"
+        );
+        let mut seqs: Vec<u64> = traces.iter().map(|t| t.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(
+            seqs.len(),
+            traces.len(),
+            "trace sequence numbers must be unique (parallel batch members \
+             may retain out of order)"
+        );
+        for trace in &traces {
+            assert!(
+                trace.label.starts_with("batch["),
+                "batch traces carry batch labels, got `{}`",
+                trace.label
+            );
+            assert!(
+                trace.root.num_ops() >= 1,
+                "a trace has at least one operator"
+            );
+            assert!(
+                trace.root.inclusive.neighborhoods_computed > 0,
+                "every bench query computes a neighborhood"
+            );
+        }
+        assert_eq!(
+            query_exec.buckets.iter().sum::<u64>(),
+            query_exec.count,
+            "histogram bucket counts must sum to the sample count"
+        );
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= query_exec.max_nanos,
+            "histogram percentiles must be monotone: \
+             p50={p50} p90={p90} p99={p99} max={}",
+            query_exec.max_nanos
+        );
+    }
+    println!("ablation_trace: done");
+}

@@ -46,6 +46,7 @@ use twoknn_index::Metrics;
 
 use crate::error::QueryError;
 use crate::exec::{ExecutionMode, WorkerPool};
+use crate::obs::{EventKind, HistogramKind};
 use crate::plan::executor::QuerySpec;
 use crate::plan::physical::compile;
 use crate::plan::strategy::Strategy;
@@ -329,6 +330,17 @@ impl CqEngine {
             m.cq_reevals += to_run.len() as u64;
             m.cq_skips += skips;
         }
+        // A guard-probe storm — one publish fanning out into many
+        // re-evaluations — is the cq pathology worth flagging.
+        if to_run.len() >= 8 {
+            self.store.obs().event(
+                EventKind::CqReevalStorm,
+                format!(
+                    "publish on `{relation}` scheduled {} re-evaluation(s)",
+                    to_run.len()
+                ),
+            );
+        }
         for sub in &to_run {
             self.spawn_reevaluation(sub);
         }
@@ -399,7 +411,16 @@ impl CqEngine {
         let Ok(plan) = compile(&snapshot, &sub.spec, sub.strategy) else {
             return;
         };
-        let result = plan.execute(ExecutionMode::default_mode());
+        let obs = self.store.obs();
+        let start = std::time::Instant::now();
+        let result = if obs.trace_enabled() {
+            let (result, trace) = plan.execute_traced(ExecutionMode::default_mode());
+            obs.push_trace(format!("cq sub#{}", sub.id.0), trace);
+            result
+        } else {
+            plan.execute(ExecutionMode::default_mode())
+        };
+        obs.record(HistogramKind::CqReeval, start.elapsed());
         let rows = result.rows();
         let mut work = result.metrics();
         let version = snapshot

@@ -420,6 +420,19 @@ impl WorkerPool {
         }
     }
 
+    /// Number of queued jobs not yet picked up by a worker — an
+    /// instantaneous observability gauge (the value may be stale by the time
+    /// the caller reads it).
+    pub fn queue_depth(&self) -> usize {
+        lock_ignore_poison(&self.shared.queue).jobs.len()
+    }
+
+    /// Number of detached ([`WorkerPool::spawn`]) jobs currently in flight
+    /// (queued or running). An instantaneous observability gauge.
+    pub fn detached_in_flight(&self) -> usize {
+        *lock_ignore_poison(&self.shared.detached)
+    }
+
     /// Spawns the worker threads exactly once.
     fn ensure_workers(&self) {
         self.spawn.call_once(|| {

@@ -40,6 +40,7 @@
 //! | [`store`] | versioned relation store: spatially sharded relations, snapshot reads, delta ingest, per-shard background rebuilds on the worker pool, and the optional durability subsystem (WAL + immutable shard block files + crash recovery, [`DurabilityConfig`]) |
 //! | [`cq`] | continuous queries: standing two-kNN queries, guard-region registry, incremental maintenance over ingest |
 //! | [`exec`] | execution modes and the persistent [`WorkerPool`] shared by batches, operators, and compactions |
+//! | [`obs`] | observability: `EXPLAIN` / `EXPLAIN ANALYZE` plan introspection, per-operator execution traces, and the latency-histogram metrics registry with lifecycle events ([`TraceConfig`]) |
 //! | [`output`] | typed result rows ([`Pair`], [`Triplet`]) and the output container |
 //! | [`error`] | the [`QueryError`] taxonomy |
 //!
@@ -79,6 +80,7 @@ pub mod error;
 pub mod exec;
 pub mod join;
 pub mod joins2;
+pub mod obs;
 pub mod output;
 pub mod plan;
 pub mod select;
@@ -89,6 +91,10 @@ pub mod store;
 pub use cq::{MaintenancePolicy, ResultDelta, SubscriptionId};
 pub use error::QueryError;
 pub use exec::{ExecutionMode, WorkerPool};
+pub use obs::{
+    AnalyzedQuery, Event, EventKind, HistogramKind, MetricsReport, Observability, OpTrace,
+    PlanExplain, QueryTrace, TraceConfig,
+};
 pub use output::{Pair, QueryOutput, Triplet};
 pub use store::{
     DbSnapshot, DurabilityConfig, IndexConfig, OverlayConfig, RecoveryError, RelationStore,

@@ -1,0 +1,283 @@
+//! Lock-light latency histograms: log2-bucketed, atomic, alloc-free.
+//!
+//! Every timed subsystem records into one [`LatencyHistogram`] per
+//! [`HistogramKind`], held in a fixed-size [`MetricsRegistry`]. Recording is
+//! a handful of relaxed atomic adds — no locks, no allocation — so the
+//! registry can sit on every hot path (query execution, WAL append, ingest
+//! publish) without a measurable cost. Reads take a point-in-time
+//! [`HistogramSnapshot`] and derive percentiles from the bucket counts:
+//! log2 buckets bound the relative error of any quantile by 2x, which is
+//! plenty for p50/p90/p99 triage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The timed subsystems the registry keeps one histogram for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramKind {
+    /// One query through `execute` / `execute_with` (compile + run).
+    QueryExec,
+    /// One whole `execute_batch` call, all queries included.
+    BatchWindow,
+    /// One ingest batch: WAL append + apply + atomic publish.
+    IngestPublish,
+    /// One WAL record append (serialize + write, excluding fsync).
+    WalAppend,
+    /// One WAL fsync (`EveryBatch` / `EveryN` sync policies only).
+    WalFsync,
+    /// One shard compaction: capture + gather + index rebuild + publish.
+    Compaction,
+    /// One store checkpoint: spill dirty shards + trim the WAL.
+    Checkpoint,
+    /// One durable-store recovery (all relations).
+    Recovery,
+    /// One continuous-query re-evaluation.
+    CqReeval,
+}
+
+impl HistogramKind {
+    /// Every kind, in registry order.
+    pub const ALL: [HistogramKind; 9] = [
+        HistogramKind::QueryExec,
+        HistogramKind::BatchWindow,
+        HistogramKind::IngestPublish,
+        HistogramKind::WalAppend,
+        HistogramKind::WalFsync,
+        HistogramKind::Compaction,
+        HistogramKind::Checkpoint,
+        HistogramKind::Recovery,
+        HistogramKind::CqReeval,
+    ];
+
+    /// Number of kinds (the registry's array length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case label, used in both text and JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HistogramKind::QueryExec => "query_exec",
+            HistogramKind::BatchWindow => "batch_window",
+            HistogramKind::IngestPublish => "ingest_publish",
+            HistogramKind::WalAppend => "wal_append",
+            HistogramKind::WalFsync => "wal_fsync",
+            HistogramKind::Compaction => "compaction",
+            HistogramKind::Checkpoint => "checkpoint",
+            HistogramKind::Recovery => "recovery",
+            HistogramKind::CqReeval => "cq_reeval",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            HistogramKind::QueryExec => 0,
+            HistogramKind::BatchWindow => 1,
+            HistogramKind::IngestPublish => 2,
+            HistogramKind::WalAppend => 3,
+            HistogramKind::WalFsync => 4,
+            HistogramKind::Compaction => 5,
+            HistogramKind::Checkpoint => 6,
+            HistogramKind::Recovery => 7,
+            HistogramKind::CqReeval => 8,
+        }
+    }
+}
+
+/// Number of log2 buckets: bucket `i` holds samples whose nanosecond value
+/// has its highest set bit at position `i`, i.e. durations in
+/// `[2^i, 2^{i+1})` ns (zero maps to bucket 0).
+const BUCKETS: usize = 64;
+
+/// A concurrent log2-bucketed latency histogram.
+///
+/// [`LatencyHistogram::record`] is lock-free and allocation-free: four
+/// relaxed atomic RMW ops. Snapshots are not linearizable with respect to
+/// concurrent recording (`count` may momentarily run ahead of the bucket it
+/// lands in), but every recorded sample eventually appears in exactly one
+/// bucket, so quiescent reads reconcile exactly.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample. Lock-free and allocation-free.
+    pub fn record(&self, duration: Duration) {
+        let nanos = duration.as_nanos().min(u64::MAX as u128) as u64;
+        // `| 1` maps a zero-length sample to bucket 0 instead of UB on
+        // `leading_zeros` arithmetic; it does not perturb any other bucket.
+        let idx = 63 - (nanos | 1).leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-log2-bucket sample counts; bucket `i` covers `[2^i, 2^{i+1})` ns.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded sample durations, in nanoseconds.
+    pub sum_nanos: u64,
+    /// The largest recorded sample, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `p`-quantile (`0.0 ..= 1.0`) in nanoseconds, estimated as the
+    /// upper bound of the bucket holding the rank-`ceil(p * count)` sample,
+    /// clamped to the observed maximum. The estimate is monotone in `p` and
+    /// never exceeds [`HistogramSnapshot::max_nanos`], so
+    /// `p50 <= p90 <= p99 <= max` always holds. Zero when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let upper = if idx >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (idx + 1)) - 1
+                };
+                return upper.min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// The arithmetic mean in nanoseconds (exact, from the running sum).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The fixed-size registry: one [`LatencyHistogram`] per [`HistogramKind`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    histograms: [LatencyHistogram; HistogramKind::COUNT],
+}
+
+impl MetricsRegistry {
+    /// Records one sample into `kind`'s histogram. Lock- and alloc-free.
+    pub fn record(&self, kind: HistogramKind, duration: Duration) {
+        self.histograms[kind.index()].record(duration);
+    }
+
+    /// A snapshot of `kind`'s histogram.
+    pub fn snapshot(&self, kind: HistogramKind) -> HistogramSnapshot {
+        self.histograms[kind.index()].snapshot()
+    }
+
+    /// Snapshots of every histogram, in [`HistogramKind::ALL`] order.
+    pub fn snapshots(&self) -> Vec<(HistogramKind, HistogramSnapshot)> {
+        HistogramKind::ALL
+            .into_iter()
+            .map(|kind| (kind, self.snapshot(kind)))
+            .collect()
+    }
+}
+
+/// Renders a nanosecond duration with an adaptive unit (`ns`/`µs`/`ms`/`s`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_count_and_percentiles_are_sane() {
+        let h = LatencyHistogram::default();
+        for micros in [1u64, 2, 4, 100, 100, 100, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        assert_eq!(snap.max_nanos, 5_000_000);
+        let (p50, p90, p99) = (
+            snap.percentile(0.50),
+            snap.percentile(0.90),
+            snap.percentile(0.99),
+        );
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= snap.max_nanos);
+        // The median sample is one of the 100µs records: its log2 bucket
+        // upper bound is < 2 * 100µs.
+        assert!((100_000..200_000).contains(&p50), "p50 = {p50}");
+        assert!(snap.mean_nanos() > 0);
+    }
+
+    #[test]
+    fn empty_and_zero_samples_are_handled() {
+        let h = LatencyHistogram::default();
+        let empty = h.snapshot();
+        assert_eq!(empty.percentile(0.99), 0);
+        assert_eq!(empty.mean_nanos(), 0);
+        h.record(Duration::ZERO);
+        let snap = h.snapshot();
+        assert_eq!((snap.count, snap.buckets[0]), (1, 1));
+        assert_eq!(snap.percentile(0.5), 0); // clamped to max = 0
+    }
+
+    #[test]
+    fn registry_routes_by_kind() {
+        let reg = MetricsRegistry::default();
+        reg.record(HistogramKind::WalFsync, Duration::from_micros(3));
+        reg.record(HistogramKind::WalFsync, Duration::from_micros(5));
+        reg.record(HistogramKind::QueryExec, Duration::from_millis(1));
+        assert_eq!(reg.snapshot(HistogramKind::WalFsync).count, 2);
+        assert_eq!(reg.snapshot(HistogramKind::QueryExec).count, 1);
+        assert_eq!(reg.snapshot(HistogramKind::Recovery).count, 0);
+        let all = reg.snapshots();
+        assert_eq!(all.len(), HistogramKind::COUNT);
+        assert_eq!(all.iter().map(|(_, s)| s.count).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn fmt_nanos_picks_units() {
+        assert_eq!(fmt_nanos(17), "17ns");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.50ms");
+        assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+    }
+}

@@ -26,14 +26,19 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use twoknn_geometry::{Point, PointId, Predicate};
-use twoknn_index::Metrics;
+use twoknn_index::{Metrics, SpatialIndex};
 
 use crate::cq::{CqEngine, MaintenancePolicy, ResultDelta, SubscriptionId};
 use crate::error::QueryError;
 use crate::exec::{ExecutionMode, WorkerPool};
 use crate::joins2::{ChainedJoinQuery, UnchainedJoinQuery};
+use crate::obs::{
+    AnalyzedQuery, Event, HistogramKind, MetricsReport, OpNode, PlanExplain, QueryTrace,
+    RelationGauges,
+};
 use crate::output::{Pair, QueryOutput, Triplet};
 use crate::plan::optimizer::Optimizer;
 use crate::plan::physical::{compile, PhysicalPlan, Row};
@@ -405,7 +410,7 @@ impl Database {
     ///
     /// The index's family and granularity are remembered
     /// ([`StoredIndex::rebuild_config`]), so compactions rebuild the same
-    /// kind of index. Custom [`SpatialIndex`](twoknn_index::SpatialIndex)
+    /// kind of index. Custom [`SpatialIndex`]
     /// implementations go through [`Database::register_with_config`].
     ///
     /// With spatial sharding configured ([`crate::store::ShardConfig`]), the
@@ -657,7 +662,30 @@ impl Database {
         mode: ExecutionMode,
     ) -> Result<QueryResult, QueryError> {
         let snapshot = self.snapshot();
-        Ok(self.compile_planned_on(&snapshot, spec)?.execute(mode))
+        let plan = self.compile_planned_on(&snapshot, spec)?;
+        Ok(self.run_plan(&*plan, mode, || "query".to_string()))
+    }
+
+    /// Runs one compiled plan with the always-on query latency histogram
+    /// and, when tracing is enabled, a retained per-operator trace. The
+    /// label closure only runs (and allocates) on the traced path.
+    fn run_plan(
+        &self,
+        plan: &dyn PhysicalPlan,
+        mode: ExecutionMode,
+        label: impl FnOnce() -> String,
+    ) -> QueryResult {
+        let obs = self.store.obs();
+        let start = Instant::now();
+        let result = if obs.trace_enabled() {
+            let (result, trace) = plan.execute_traced(mode);
+            obs.push_trace(label(), trace);
+            result
+        } else {
+            plan.execute(mode)
+        };
+        obs.record(HistogramKind::QueryExec, start.elapsed());
+        result
     }
 
     /// Executes a batch of independent queries, each with the
@@ -686,23 +714,35 @@ impl Database {
     /// the first query warms a worker up, the select hot path allocates
     /// nothing per query beyond the returned neighborhoods.
     pub fn execute_batch(&self, specs: &[QuerySpec]) -> Vec<Result<QueryResult, QueryError>> {
+        let window = Instant::now();
         let snapshot = self.snapshot();
-        if !cfg!(feature = "parallel") {
-            return specs
+        let results = if !cfg!(feature = "parallel") {
+            specs
                 .iter()
-                .map(|spec| {
+                .enumerate()
+                .map(|(i, spec)| {
                     self.compile_planned_on(&snapshot, spec)
-                        .map(|plan| plan.execute(ExecutionMode::Serial))
+                        .map(|plan| self.run_plan(&*plan, ExecutionMode::Serial, || batch_label(i)))
                 })
-                .collect();
-        }
-        let mut scratch = Metrics::default();
-        crate::exec::run_partitioned_on(specs, &self.pool, &mut scratch, |spec, out, _| {
-            out.push(
-                self.compile_planned_on(&snapshot, spec)
-                    .map(|plan| plan.execute(ExecutionMode::Pooled)),
-            );
-        })
+                .collect()
+        } else {
+            let indexed: Vec<(usize, &QuerySpec)> = specs.iter().enumerate().collect();
+            let mut scratch = Metrics::default();
+            crate::exec::run_partitioned_on(
+                &indexed,
+                &self.pool,
+                &mut scratch,
+                |&(i, spec), out, _| {
+                    out.push(self.compile_planned_on(&snapshot, spec).map(|plan| {
+                        self.run_plan(&*plan, ExecutionMode::Pooled, || batch_label(i))
+                    }));
+                },
+            )
+        };
+        self.store
+            .obs()
+            .record(HistogramKind::BatchWindow, window.elapsed());
+        results
     }
 
     /// Compiles a query with the optimizer-chosen strategy into an
@@ -800,7 +840,8 @@ impl Database {
         strategy: Strategy,
         mode: ExecutionMode,
     ) -> Result<QueryResult, QueryError> {
-        Ok(self.compile(spec, strategy)?.execute(mode))
+        let plan = self.compile(spec, strategy)?;
+        Ok(self.run_plan(&*plan, mode, || "query (pinned strategy)".to_string()))
     }
 
     // -----------------------------------------------------------------
@@ -850,6 +891,160 @@ impl Database {
         let spec = self.parse_query(text)?;
         self.subscribe(&spec, None)
     }
+
+    // -----------------------------------------------------------------
+    // Observability
+    // -----------------------------------------------------------------
+
+    /// `EXPLAIN` for a textual query: parses it (without executing) and
+    /// reports the full decision chain — the parsed AST, the logical plan
+    /// the rewriter produced, the filter-placement rewrites, the strategy
+    /// the optimizer chose on the current snapshots, and the compiled
+    /// physical operator tree.
+    pub fn explain(&self, text: &str) -> Result<PlanExplain, QueryError> {
+        let query = crate::plan::lang::parse(text)?;
+        let spec = query.to_spec(text)?;
+        let mut explain = self.explain_spec(&spec)?;
+        explain.query = Some(text.trim().to_string());
+        explain.ast = Some(query.to_string());
+        explain.logical = Some(query.to_logical().to_string());
+        Ok(explain)
+    }
+
+    /// `EXPLAIN` for a pre-built [`QuerySpec`]: the rewrites, chosen
+    /// strategy, and compiled operator tree (no AST or logical stage —
+    /// the query never went through the parser).
+    pub fn explain_spec(&self, spec: &QuerySpec) -> Result<PlanExplain, QueryError> {
+        let snapshot = self.snapshot();
+        let strategy = self.plan_on(&snapshot, spec)?;
+        let plan = compile(&snapshot, spec, strategy)?;
+        Ok(PlanExplain {
+            query: None,
+            ast: None,
+            logical: None,
+            rewrites: rewrites_of(spec),
+            strategy,
+            root: OpNode::from_plan(&*plan),
+        })
+    }
+
+    /// `EXPLAIN ANALYZE` for a textual query: explains it, executes it
+    /// (default mode), and annotates every operator with wall time, rows
+    /// emitted, and its [`Metrics`] counter delta. The root trace's
+    /// inclusive counters reconcile exactly with the result's metrics.
+    pub fn explain_analyze(&self, text: &str) -> Result<AnalyzedQuery, QueryError> {
+        let query = crate::plan::lang::parse(text)?;
+        let spec = query.to_spec(text)?;
+        let mut analyzed = self.explain_analyze_spec(&spec)?;
+        analyzed.explain.query = Some(text.trim().to_string());
+        analyzed.explain.ast = Some(query.to_string());
+        analyzed.explain.logical = Some(query.to_logical().to_string());
+        Ok(analyzed)
+    }
+
+    /// `EXPLAIN ANALYZE` for a pre-built [`QuerySpec`].
+    pub fn explain_analyze_spec(&self, spec: &QuerySpec) -> Result<AnalyzedQuery, QueryError> {
+        let snapshot = self.snapshot();
+        let strategy = self.plan_on(&snapshot, spec)?;
+        let plan = compile(&snapshot, spec, strategy)?;
+        let explain = PlanExplain {
+            query: None,
+            ast: None,
+            logical: None,
+            rewrites: rewrites_of(spec),
+            strategy,
+            root: OpNode::from_plan(&*plan),
+        };
+        let obs = self.store.obs();
+        let start = Instant::now();
+        let (result, trace) = plan.execute_traced(ExecutionMode::default_mode());
+        obs.record(HistogramKind::QueryExec, start.elapsed());
+        Ok(AnalyzedQuery {
+            explain,
+            trace,
+            result,
+        })
+    }
+
+    /// A point-in-time report over the whole database: the cumulative
+    /// [`Metrics`] counters, every latency histogram, pool gauges,
+    /// per-relation version/size/shard gauges, and the pending lifecycle
+    /// event count. Renders as text via `Display` or as line-oriented JSON
+    /// via [`MetricsReport::to_json_lines`].
+    pub fn metrics_report(&self) -> MetricsReport {
+        let obs = self.store.obs();
+        let mut relations: Vec<RelationGauges> = Vec::new();
+        for name in self.store.names() {
+            let Ok(rel) = self.store.get(&name) else {
+                continue; // deregistered between listing and lookup
+            };
+            let snap = rel.load();
+            relations.push(RelationGauges {
+                name,
+                version: snap.version(),
+                num_points: snap.num_points(),
+                delta_len: snap.delta_len(),
+                shards: rel.num_shards(),
+            });
+        }
+        MetricsReport {
+            counters: self.store.metrics(),
+            histograms: obs.histograms(),
+            pool_queue_depth: self.pool.queue_depth(),
+            pool_detached: self.pool.detached_in_flight(),
+            relations,
+            events_pending: obs.events_pending(),
+        }
+    }
+
+    /// Removes and returns every pending lifecycle event (compactions,
+    /// checkpoints, WAL segment trims, recoveries, cq re-eval storms),
+    /// oldest first.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.store.obs().drain_events()
+    }
+
+    /// Removes and returns every retained execution trace, oldest first.
+    /// Empty unless tracing is on ([`Database::set_tracing`] or
+    /// [`crate::store::StoreConfig::trace`]).
+    pub fn drain_traces(&self) -> Vec<QueryTrace> {
+        self.store.obs().drain_traces()
+    }
+
+    /// Turns per-operator execution tracing on or off at runtime.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.store.obs().set_trace_enabled(enabled);
+    }
+
+    /// Whether per-operator execution tracing is currently on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.store.obs().trace_enabled()
+    }
+}
+
+/// Label for a retained batch-member trace.
+fn batch_label(i: usize) -> String {
+    format!("batch[{i}]")
+}
+
+/// Human-readable filter-placement rewrite lines for a spec (empty unless
+/// the spec is [`QuerySpec::Filtered`]).
+fn rewrites_of(spec: &QuerySpec) -> Vec<String> {
+    let QuerySpec::Filtered { filters, .. } = spec else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (relation, predicate) in &filters.pre {
+        out.push(format!(
+            "pre-kNN filter on `{relation}`: {predicate} (pushed below the kNN predicates)"
+        ));
+    }
+    for (relation, predicate) in &filters.post {
+        out.push(format!(
+            "post-kNN filter on `{relation}`: {predicate} (residual filter over result rows)"
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

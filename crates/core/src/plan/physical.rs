@@ -145,6 +145,37 @@ pub trait PhysicalPlan: Send + Sync {
     /// Runs the operator.
     fn execute(&self, mode: ExecutionMode) -> QueryResult;
 
+    /// Runs the operator with a per-operator trace: wall time, rows
+    /// emitted, and the [`Metrics`] delta of the subtree. The default
+    /// covers leaf operators (every operator except the residual filter);
+    /// nesting operators override it to trace their children too. The
+    /// root trace's `inclusive` equals `result.metrics()` exactly.
+    fn execute_traced(&self, mode: ExecutionMode) -> (QueryResult, crate::obs::OpTrace) {
+        let start = std::time::Instant::now();
+        let result = self.execute(mode);
+        let trace = crate::obs::OpTrace {
+            name: self.name(),
+            strategy: self.strategy(),
+            rows: result.num_rows(),
+            wall: start.elapsed(),
+            inclusive: result.metrics(),
+            children: Vec::new(),
+        };
+        (result, trace)
+    }
+
+    /// Operator-specific parameters for `EXPLAIN` output (`k=…`, roles).
+    /// Empty by default.
+    fn detail(&self) -> String {
+        String::new()
+    }
+
+    /// Nested input operators, for plan-tree introspection. Leaf operators
+    /// (the default) have none.
+    fn children(&self) -> Vec<&dyn PhysicalPlan> {
+        Vec::new()
+    }
+
     /// A one-line, EXPLAIN-style description of the plan.
     fn explain(&self) -> String {
         format!(
@@ -439,6 +470,22 @@ fn materialize_filtered(base: &Relation, predicate: &Predicate) -> Result<Relati
     Ok(Arc::new(index) as Relation)
 }
 
+/// Shared [`PhysicalPlan::detail`] rendering for the select-inner family.
+fn select_inner_detail(query: &SelectInnerJoinQuery) -> String {
+    format!(
+        "k_join={} k_select={} focal=({}, {})",
+        query.k_join, query.k_select, query.focal.x, query.focal.y
+    )
+}
+
+/// Shared [`PhysicalPlan::detail`] rendering for the two-selects family.
+fn two_selects_detail(query: &TwoSelectsQuery) -> String {
+    format!(
+        "k1={} f1=({}, {}) k2={} f2=({}, {})",
+        query.k1, query.f1.x, query.f1.y, query.k2, query.f2.x, query.f2.y
+    )
+}
+
 /// The Counting algorithm (Procedure 1) bound to its relations.
 pub struct CountingOp {
     /// The outer relation `E1`.
@@ -467,6 +514,10 @@ impl PhysicalPlan for CountingOp {
             output: counting_with_mode(&*self.outer, &*self.inner, &self.query, mode),
             strategy: self.strategy(),
         }
+    }
+
+    fn detail(&self) -> String {
+        select_inner_detail(&self.query)
     }
 }
 
@@ -507,6 +558,10 @@ impl PhysicalPlan for BlockMarkingOp {
             strategy: self.strategy(),
         }
     }
+
+    fn detail(&self) -> String {
+        select_inner_detail(&self.query)
+    }
 }
 
 /// The conceptually correct join-then-intersect QEP (Figure 1).
@@ -537,6 +592,10 @@ impl PhysicalPlan for SelectInnerConceptualOp {
             output: conceptual_with_mode(&*self.outer, &*self.inner, &self.query, mode),
             strategy: self.strategy(),
         }
+    }
+
+    fn detail(&self) -> String {
+        select_inner_detail(&self.query)
     }
 }
 
@@ -584,6 +643,13 @@ impl PhysicalPlan for OuterPushdownOp {
             output,
             strategy: self.strategy(),
         }
+    }
+
+    fn detail(&self) -> String {
+        format!(
+            "k_join={} k_select={} focal=({}, {})",
+            self.query.k_join, self.query.k_select, self.query.focal.x, self.query.focal.y
+        )
     }
 }
 
@@ -646,6 +712,10 @@ impl PhysicalPlan for UnchainedJoinsOp {
             strategy: self.strategy(),
         }
     }
+
+    fn detail(&self) -> String {
+        format!("k_ab={} k_cb={}", self.query.k_ab, self.query.k_cb)
+    }
 }
 
 /// Two chained kNN-joins `A → B → C` (Section 4.2).
@@ -700,6 +770,10 @@ impl PhysicalPlan for ChainedJoinsOp {
             strategy: self.strategy(),
         }
     }
+
+    fn detail(&self) -> String {
+        format!("k_ab={} k_bc={}", self.query.k_ab, self.query.k_bc)
+    }
 }
 
 /// Two kNN-selects over one relation (Section 5).
@@ -744,6 +818,10 @@ impl PhysicalPlan for TwoSelectsOp {
             output,
             strategy: self.strategy(),
         }
+    }
+
+    fn detail(&self) -> String {
+        two_selects_detail(&self.query)
     }
 }
 
@@ -810,6 +888,17 @@ impl PhysicalPlan for KnnSelectOp {
             strategy: self.strategy(),
         }
     }
+
+    fn detail(&self) -> String {
+        let mut detail = format!(
+            "k={} focal=({}, {})",
+            self.query.k, self.query.focal.x, self.query.focal.y
+        );
+        if !matches!(self.predicate, Predicate::True) {
+            detail.push_str(" pre-filtered");
+        }
+        detail
+    }
 }
 
 /// Two kNN-selects under one **pre-kNN** filter: both filtered selects run
@@ -868,6 +957,10 @@ impl PhysicalPlan for FilteredTwoSelectsOp {
             strategy: self.strategy(),
         }
     }
+
+    fn detail(&self) -> String {
+        format!("{} pre-filtered", two_selects_detail(&self.query))
+    }
 }
 
 /// The **post-kNN** residual filter: runs any wrapped plan, then keeps only
@@ -888,23 +981,12 @@ impl ResidualFilterOp {
             .iter()
             .all(|(idx, predicate)| predicate.matches_point(components[*idx]))
     }
-}
 
-impl PhysicalPlan for ResidualFilterOp {
-    fn name(&self) -> &'static str {
-        "residual-filter"
-    }
-
-    fn strategy(&self) -> Strategy {
-        self.input.strategy()
-    }
-
-    fn schema(&self) -> RowSchema {
-        self.input.schema()
-    }
-
-    fn execute(&self, mode: ExecutionMode) -> QueryResult {
-        match self.input.execute(mode) {
+    /// Prunes an input result's rows by the component filters, resetting
+    /// `tuples_emitted` to the surviving row count — the shared step behind
+    /// both [`PhysicalPlan::execute`] and [`PhysicalPlan::execute_traced`].
+    fn apply(&self, input: QueryResult) -> QueryResult {
+        match input {
             QueryResult::Pairs {
                 mut output,
                 strategy,
@@ -934,6 +1016,47 @@ impl PhysicalPlan for ResidualFilterOp {
                 QueryResult::Points { output, strategy }
             }
         }
+    }
+}
+
+impl PhysicalPlan for ResidualFilterOp {
+    fn name(&self) -> &'static str {
+        "residual-filter"
+    }
+
+    fn strategy(&self) -> Strategy {
+        self.input.strategy()
+    }
+
+    fn schema(&self) -> RowSchema {
+        self.input.schema()
+    }
+
+    fn execute(&self, mode: ExecutionMode) -> QueryResult {
+        self.apply(self.input.execute(mode))
+    }
+
+    fn execute_traced(&self, mode: ExecutionMode) -> (QueryResult, crate::obs::OpTrace) {
+        let start = std::time::Instant::now();
+        let (input, child) = self.input.execute_traced(mode);
+        let result = self.apply(input);
+        let trace = crate::obs::OpTrace {
+            name: self.name(),
+            strategy: self.strategy(),
+            rows: result.num_rows(),
+            wall: start.elapsed(),
+            inclusive: result.metrics(),
+            children: vec![child],
+        };
+        (result, trace)
+    }
+
+    fn detail(&self) -> String {
+        format!("{} filtered roles", self.filters.len())
+    }
+
+    fn children(&self) -> Vec<&dyn PhysicalPlan> {
+        vec![&*self.input]
     }
 
     fn explain(&self) -> String {

@@ -29,11 +29,13 @@
 //! ingest call — synchronous, but semantically identical.
 
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use twoknn_geometry::Point;
 use twoknn_index::{BlockId, Metrics, SpatialIndex};
 
 use crate::exec::{run_partitioned_on, WorkerPool};
+use crate::obs::{EventKind, HistogramKind, Observability};
 
 use super::version::VersionedRelation;
 
@@ -70,8 +72,30 @@ pub(crate) fn compact_shard(
     s: usize,
     pool: &WorkerPool,
     metrics: &Mutex<Metrics>,
+    obs: &Observability,
 ) -> Option<u64> {
-    rel.compact_shard_with(s, |snapshot| gather_points_sharded(snapshot, pool), metrics)
+    obs.event(
+        EventKind::CompactionStarted,
+        format!("{} shard {s}", rel.name()),
+    );
+    let start = Instant::now();
+    let published =
+        rel.compact_shard_with(s, |snapshot| gather_points_sharded(snapshot, pool), metrics);
+    match published {
+        Some(version) => {
+            obs.record(HistogramKind::Compaction, start.elapsed());
+            obs.event(
+                EventKind::CompactionFinished,
+                format!("{} shard {s} published version {version}", rel.name()),
+            );
+        }
+        // Slot held or empty delta: nothing rebuilt, no duration recorded.
+        None => obs.event(
+            EventKind::CompactionFinished,
+            format!("{} shard {s} skipped (slot held or clean)", rel.name()),
+        ),
+    }
+    published
 }
 
 /// Synchronously folds **every** dirty shard of `rel` on the calling thread
@@ -84,10 +108,11 @@ pub(crate) fn compact_relation(
     rel: &VersionedRelation,
     pool: &WorkerPool,
     metrics: &Mutex<Metrics>,
+    obs: &Observability,
 ) -> Option<u64> {
     let mut published = None;
     for s in 0..rel.num_shards() {
-        if let Some(version) = compact_shard(rel, s, pool, metrics) {
+        if let Some(version) = compact_shard(rel, s, pool, metrics, obs) {
             published = Some(version);
         }
     }
@@ -101,18 +126,20 @@ pub(crate) fn schedule_compaction(
     rel: &Arc<VersionedRelation>,
     pool: &Arc<WorkerPool>,
     metrics: &Arc<Mutex<Metrics>>,
+    obs: &Arc<Observability>,
 ) -> bool {
     let dirty = rel.shards_needing_compaction();
     for &s in &dirty {
         let rel = Arc::clone(rel);
         let metrics = Arc::clone(metrics);
+        let obs = Arc::clone(obs);
         pool.spawn(move || {
             // The serving pool (or, inline on a 1-pool, the bound submitting
             // pool) shards the gather; `compact_shard_with` re-checks the
             // per-shard in-flight slot, so racing duplicate jobs degenerate
             // to no-ops.
             let pool = WorkerPool::current();
-            let _ = compact_shard(&rel, s, &pool, &metrics);
+            let _ = compact_shard(&rel, s, &pool, &metrics, &obs);
         });
     }
     !dirty.is_empty()
@@ -194,36 +221,42 @@ mod tests {
     #[test]
     fn scheduled_compaction_publishes_on_the_pool() {
         let rel = relation(2);
-        let pool = WorkerPool::new(2);
+        let pool = Arc::new(WorkerPool::new(2));
         let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let obs = Arc::new(Observability::default());
         rel.ingest(&[
             WriteOp::Upsert(Point::new(9_000, 3.0, 3.0)),
             WriteOp::Remove(17),
         ]);
-        assert!(schedule_compaction(&rel, &pool, &metrics));
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-        while rel.load().delta_len() > 0 {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "background compaction did not publish"
-            );
-            std::thread::yield_now();
-        }
+        assert!(schedule_compaction(&rel, &pool, &metrics, &obs));
+        // No sleep/poll loop: the pool drains its queue, then the publish is
+        // visible and the event ring holds the rebuild's lifecycle pair.
+        pool.wait_idle();
         let snap = rel.load();
+        assert_eq!(snap.delta_len(), 0, "background compaction published");
         assert_eq!(snap.num_points(), 500);
         assert!(snap.contains_id(9_000) && !snap.contains_id(17));
         assert_eq!(metrics.lock().unwrap().compactions, 1);
+        let events = obs.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::CompactionStarted));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::CompactionFinished && e.detail.contains("published")));
+        assert_eq!(obs.histogram(HistogramKind::Compaction).count, 1);
         // Below threshold now: nothing to schedule.
-        assert!(!schedule_compaction(&rel, &pool, &metrics));
+        assert!(!schedule_compaction(&rel, &pool, &metrics, &obs));
     }
 
     #[test]
     fn scheduled_compaction_is_synchronous_on_a_one_thread_pool() {
         let rel = relation(1);
-        let pool = WorkerPool::new(1);
+        let pool = Arc::new(WorkerPool::new(1));
         let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let obs = Arc::new(Observability::default());
         rel.ingest(&[WriteOp::Remove(3)]);
-        assert!(schedule_compaction(&rel, &pool, &metrics));
+        assert!(schedule_compaction(&rel, &pool, &metrics, &obs));
         // Inline spawn: the publish already happened.
         assert_eq!(rel.load().delta_len(), 0);
         assert_eq!(rel.load().num_points(), 499);
@@ -232,8 +265,9 @@ mod tests {
     #[test]
     fn scheduling_rebuilds_only_the_dirty_shards() {
         let rel = relation_sharded(4, 2);
-        let pool = WorkerPool::new(1); // inline spawn: deterministic
+        let pool = Arc::new(WorkerPool::new(1)); // inline spawn: deterministic
         let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let obs = Arc::new(Observability::default());
         let extent = rel.load().bounds();
         // One burst confined to the low-corner shard, one stray write in the
         // high corner: only the bursty shard crosses the threshold.
@@ -252,7 +286,7 @@ mod tests {
             extent.max_y - 0.5,
         )));
         rel.ingest(&ops);
-        assert!(schedule_compaction(&rel, &pool, &metrics));
+        assert!(schedule_compaction(&rel, &pool, &metrics, &obs));
         let m = *metrics.lock().unwrap();
         assert_eq!(
             (m.compactions, m.shards_compacted),
@@ -261,7 +295,7 @@ mod tests {
         );
         assert_eq!(rel.load().delta_len(), 1, "the stray write stays deltaed");
         // compact_relation (the compact_now path) folds the stragglers too.
-        assert!(compact_relation(&rel, &pool, &metrics).is_some());
+        assert!(compact_relation(&rel, &pool, &metrics, &obs).is_some());
         assert_eq!(rel.load().delta_len(), 0);
         assert_eq!(metrics.lock().unwrap().shards_compacted, 2);
         assert_eq!(rel.load().num_points(), 507);

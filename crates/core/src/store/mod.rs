@@ -80,16 +80,21 @@ pub use snapshot::{BaseIndex, IndexConfig, ShardSnapshot, StoredIndex};
 pub use version::VersionedRelation;
 pub use wal::SyncPolicy;
 
+// Re-exported next to the other `StoreConfig` field types.
+pub use crate::obs::TraceConfig;
+
 pub(crate) use version::IngestReceipt;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Instant;
 
 use twoknn_index::{Metrics, SpatialIndex};
 
 use crate::error::QueryError;
 use crate::exec::WorkerPool;
+use crate::obs::{EventKind, HistogramKind, Observability};
 
 /// Durability mode of the relation store.
 ///
@@ -195,6 +200,11 @@ pub struct StoreConfig {
     /// ingest batch and persists compacted shard bases as immutable block
     /// files, making the store recoverable via [`RelationStore::open`].
     pub durability: DurabilityConfig,
+    /// Per-operator execution tracing ([`TraceConfig`]): off by default.
+    /// The latency-histogram registry and lifecycle event ring are always
+    /// on; this knob only controls whether executed queries retain
+    /// [`QueryTrace`](crate::obs::QueryTrace)s.
+    pub trace: TraceConfig,
 }
 
 impl Default for StoreConfig {
@@ -204,6 +214,7 @@ impl Default for StoreConfig {
             overlay: OverlayConfig::default(),
             sharding: ShardConfig::default(),
             durability: DurabilityConfig::Disabled,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -220,6 +231,9 @@ pub struct RelationStore {
     /// rebuild scan work. Merged views are returned by
     /// [`RelationStore::metrics`].
     metrics: Arc<Mutex<Metrics>>,
+    /// The observability hub: latency histograms, lifecycle events, and
+    /// retained query traces, shared with the `Database` and cq engine.
+    obs: Arc<Observability>,
 }
 
 impl Default for RelationStore {
@@ -236,10 +250,12 @@ impl RelationStore {
         if let DurabilityConfig::Enabled { dir, .. } = &config.durability {
             let _ = std::fs::create_dir_all(dir);
         }
+        let obs = Arc::new(Observability::new(config.trace));
         Self {
             relations: RwLock::new(HashMap::new()),
             config,
             metrics: Arc::new(Mutex::new(Metrics::default())),
+            obs,
         }
     }
 
@@ -257,11 +273,24 @@ impl RelationStore {
             return Ok(Self::new(config));
         };
         let metrics = Arc::new(Mutex::new(Metrics::default()));
-        let relations = recover::recover_relations(dir, *sync, *segment_bytes, &config, &metrics)?;
+        let obs = Arc::new(Observability::new(config.trace));
+        let start = Instant::now();
+        let relations =
+            recover::recover_relations(dir, *sync, *segment_bytes, &config, &metrics, &obs)?;
+        obs.record(HistogramKind::Recovery, start.elapsed());
+        obs.event(
+            EventKind::Recovery,
+            format!(
+                "{} relation(s) recovered from {}",
+                relations.len(),
+                dir.display()
+            ),
+        );
         Ok(Self {
             relations: RwLock::new(relations),
             config,
             metrics,
+            obs,
         })
     }
 
@@ -301,6 +330,7 @@ impl RelationStore {
                     *sync,
                     *segment_bytes,
                     Arc::clone(&self.metrics),
+                    Arc::clone(&self.obs),
                 )
                 .expect("failed to initialise the relation's durable directory"),
             )),
@@ -417,12 +447,15 @@ impl RelationStore {
         pool: &Arc<WorkerPool>,
     ) -> Result<IngestReceipt, QueryError> {
         let rel = self.get(name)?;
+        let start = Instant::now();
         let receipt = rel.ingest_with_receipt(ops);
+        self.obs
+            .record(HistogramKind::IngestPublish, start.elapsed());
         {
             let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
             m.ingest_ops += receipt.effective as u64;
         }
-        compact::schedule_compaction(&rel, pool, &self.metrics);
+        compact::schedule_compaction(&rel, pool, &self.metrics, &self.obs);
         Ok(receipt)
     }
 
@@ -433,7 +466,12 @@ impl RelationStore {
     /// background rebuilds already hold every dirty shard's slot).
     pub fn compact_now(&self, name: &str, pool: &WorkerPool) -> Result<Option<u64>, QueryError> {
         let rel = self.get(name)?;
-        Ok(compact::compact_relation(&rel, pool, &self.metrics))
+        Ok(compact::compact_relation(
+            &rel,
+            pool,
+            &self.metrics,
+            &self.obs,
+        ))
     }
 
     /// Spills every relation's dirty shards to block files, advances each
@@ -449,6 +487,7 @@ impl RelationStore {
         // a shard's compaction slot would make the synchronous fold below
         // skip that shard, leaving it dirty and its WAL segments untrimmed.
         pool.wait_idle();
+        let start = Instant::now();
         let rels: Vec<Arc<VersionedRelation>> = self
             .relations
             .read()
@@ -456,9 +495,15 @@ impl RelationStore {
             .values()
             .cloned()
             .collect();
+        let count = rels.len();
         for rel in rels {
-            rel.checkpoint(pool, &self.metrics);
+            rel.checkpoint(pool, &self.metrics, &self.obs);
         }
+        self.obs.record(HistogramKind::Checkpoint, start.elapsed());
+        self.obs.event(
+            EventKind::Checkpoint,
+            format!("{count} relation(s) checkpointed"),
+        );
         let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         m.checkpoints += 1;
     }
@@ -495,6 +540,14 @@ impl RelationStore {
     /// `compactions`, rebuild scan work, continuous-query maintenance).
     pub fn metrics(&self) -> Metrics {
         *self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The store's observability hub: latency histograms, the lifecycle
+    /// event ring, and retained query traces. Most callers go through the
+    /// [`Database`](crate::plan::Database) surface (`metrics_report`,
+    /// `drain_events`, `drain_traces`, `set_tracing`) instead.
+    pub fn obs(&self) -> &Arc<Observability> {
+        &self.obs
     }
 }
 

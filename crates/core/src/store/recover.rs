@@ -37,6 +37,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use twoknn_geometry::Rect;
 use twoknn_index::{Metrics, SpatialIndex};
 
+use crate::obs::{EventKind, HistogramKind, Observability};
+
 use super::blockfile::{write_block_file, BlockFileIndex};
 use super::delta::WriteOp;
 use super::snapshot::{BaseIndex, IndexConfig};
@@ -305,6 +307,7 @@ pub(crate) struct RelationDurability {
     wal: Wal,
     state: Mutex<DurState>,
     metrics: Arc<Mutex<Metrics>>,
+    obs: Arc<Observability>,
 }
 
 impl RelationDurability {
@@ -323,6 +326,7 @@ impl RelationDurability {
         sync: SyncPolicy,
         segment_bytes: u64,
         metrics: Arc<Mutex<Metrics>>,
+        obs: Arc<Observability>,
     ) -> std::io::Result<Self> {
         let dir = root.join(relation_dir_name(name));
         if dir.exists() {
@@ -351,6 +355,7 @@ impl RelationDurability {
                 stale: vec![false; per_axis * per_axis],
             }),
             metrics,
+            obs,
         })
     }
 
@@ -361,6 +366,7 @@ impl RelationDurability {
         sync: SyncPolicy,
         segment_bytes: u64,
         metrics: Arc<Mutex<Metrics>>,
+        obs: Arc<Observability>,
     ) -> Result<(Self, Manifest, Vec<WalRecord>), RecoveryError> {
         let manifest = Manifest::read_from(dir)?;
         let base_seq = manifest
@@ -393,6 +399,7 @@ impl RelationDurability {
                     stale: vec![false; nshards],
                 }),
                 metrics,
+                obs,
             },
             manifest,
             records,
@@ -403,7 +410,12 @@ impl RelationDurability {
     /// shard's writer lock held — see the ordering argument in
     /// [`super::version`]). Returns the assigned sequence number.
     pub(crate) fn append_batch(&self, ops: &[WriteOp]) -> std::io::Result<u64> {
-        let (seq, bytes) = self.wal.append(ops)?;
+        let start = std::time::Instant::now();
+        let (seq, bytes, fsync_wall) = self.wal.append(ops)?;
+        self.obs.record(HistogramKind::WalAppend, start.elapsed());
+        if let Some(wall) = fsync_wall {
+            self.obs.record(HistogramKind::WalFsync, wall);
+        }
         let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         m.wal_appends += 1;
         m.wal_bytes += bytes;
@@ -481,7 +493,17 @@ impl RelationDurability {
                 .min()
                 .unwrap_or(0)
         };
-        Ok(self.wal.trim(min_covered))
+        let trimmed = self.wal.trim(min_covered);
+        if trimmed > 0 {
+            self.obs.event(
+                EventKind::SegmentTrim,
+                format!(
+                    "{trimmed} WAL segment(s) trimmed up to seq {min_covered} in {}",
+                    self.dir.display()
+                ),
+            );
+        }
+        Ok(trimmed)
     }
 
     /// Deletes the relation's directory (deregistration).
@@ -509,6 +531,7 @@ pub(crate) fn recover_relations(
     segment_bytes: u64,
     config: &StoreConfig,
     metrics: &Arc<Mutex<Metrics>>,
+    obs: &Arc<Observability>,
 ) -> Result<HashMap<String, Arc<VersionedRelation>>, RecoveryError> {
     let mut out = HashMap::new();
     if !root.is_dir() {
@@ -533,7 +556,7 @@ pub(crate) fn recover_relations(
         if !dir.join(MANIFEST_NAME).exists() {
             continue;
         }
-        let rel = recover_relation(&dir, sync, segment_bytes, config, metrics)?;
+        let rel = recover_relation(&dir, sync, segment_bytes, config, metrics, obs)?;
         let mut m = metrics.lock().unwrap_or_else(PoisonError::into_inner);
         m.recoveries += 1;
         drop(m);
@@ -548,9 +571,15 @@ fn recover_relation(
     segment_bytes: u64,
     config: &StoreConfig,
     metrics: &Arc<Mutex<Metrics>>,
+    obs: &Arc<Observability>,
 ) -> Result<Arc<VersionedRelation>, RecoveryError> {
-    let (dur, manifest, records) =
-        RelationDurability::open(dir, sync, segment_bytes, Arc::clone(metrics))?;
+    let (dur, manifest, records) = RelationDurability::open(
+        dir,
+        sync,
+        segment_bytes,
+        Arc::clone(metrics),
+        Arc::clone(obs),
+    )?;
     let mut bases: Vec<BaseIndex> = Vec::with_capacity(manifest.shards.len());
     for shard in &manifest.shards {
         if shard.file.is_empty() {

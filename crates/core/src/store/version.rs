@@ -632,9 +632,14 @@ impl VersionedRelation {
     /// persist — checked by `bump_covered`) is byte-for-byte the manifest's
     /// block file; every logged record that touches the shard is reflected
     /// in that visible set.
-    pub(crate) fn checkpoint(&self, pool: &WorkerPool, metrics: &Mutex<Metrics>) {
+    pub(crate) fn checkpoint(
+        &self,
+        pool: &WorkerPool,
+        metrics: &Mutex<Metrics>,
+        obs: &crate::obs::Observability,
+    ) {
         let Some(d) = &self.durability else { return };
-        let _ = super::compact::compact_relation(self, pool, metrics);
+        let _ = super::compact::compact_relation(self, pool, metrics, obs);
         let head = d.last_seq();
         for (s, state) in self.shards.iter().enumerate() {
             let writer = state.writer.lock().unwrap_or_else(PoisonError::into_inner);

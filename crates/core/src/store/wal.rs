@@ -329,8 +329,12 @@ impl Wal {
     }
 
     /// Appends one batch record, assigning it the next sequence number.
-    /// Returns `(seq, bytes appended)`.
-    pub(crate) fn append(&self, ops: &[WriteOp]) -> std::io::Result<(u64, u64)> {
+    /// Returns `(seq, bytes appended, fsync wall time)` — the last is `None`
+    /// when the policy skipped the sync for this append.
+    pub(crate) fn append(
+        &self,
+        ops: &[WriteOp],
+    ) -> std::io::Result<(u64, u64, Option<std::time::Duration>)> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let seq = inner.last_seq + 1;
         let record = encode_record(seq, ops);
@@ -339,15 +343,20 @@ impl Wal {
         inner.written += record.len() as u64;
         inner.unsynced += 1;
         let roll = inner.written >= self.segment_bytes;
+        let mut fsync_wall = None;
         match self.sync {
             SyncPolicy::Never => {}
             SyncPolicy::EveryBatch => {
+                let start = std::time::Instant::now();
                 inner.file.sync_data()?;
+                fsync_wall = Some(start.elapsed());
                 inner.unsynced = 0;
             }
             SyncPolicy::EveryN(n) => {
                 if roll || inner.unsynced >= n.max(1) {
+                    let start = std::time::Instant::now();
                     inner.file.sync_data()?;
+                    fsync_wall = Some(start.elapsed());
                     inner.unsynced = 0;
                 }
             }
@@ -365,7 +374,7 @@ impl Wal {
             inner.segment = next;
             inner.written = 0;
         }
-        Ok((seq, record.len() as u64))
+        Ok((seq, record.len() as u64, fsync_wall))
     }
 
     /// The highest sequence number assigned so far (`0` before any append).
@@ -480,7 +489,7 @@ mod tests {
         let mut expected = Vec::new();
         for i in 0..10u64 {
             let ops = batch(i * 10);
-            let (seq, bytes) = wal.append(&ops).unwrap();
+            let (seq, bytes, _) = wal.append(&ops).unwrap();
             assert_eq!(seq, i + 1);
             assert!(bytes > 0);
             expected.push((seq, ops));

@@ -95,6 +95,45 @@ impl Metrics {
     pub fn merge(&mut self, other: &Metrics) {
         *self += *other;
     }
+
+    /// The per-field delta `self − before`, saturating at zero.
+    ///
+    /// This is how an execution tracer attributes work to a span: snapshot
+    /// the cumulative counters before and after, diff them. Saturation
+    /// (rather than wrapping) keeps the result meaningful for the one
+    /// non-monotone counter — `tuples_emitted` can be *reset downward* by a
+    /// residual row filter — and for diffs taken across unrelated records.
+    pub fn diff(&self, before: &Metrics) -> Metrics {
+        Metrics {
+            neighborhoods_computed: self
+                .neighborhoods_computed
+                .saturating_sub(before.neighborhoods_computed),
+            blocks_scanned: self.blocks_scanned.saturating_sub(before.blocks_scanned),
+            locality_blocks: self.locality_blocks.saturating_sub(before.locality_blocks),
+            points_scanned: self.points_scanned.saturating_sub(before.points_scanned),
+            distance_computations: self
+                .distance_computations
+                .saturating_sub(before.distance_computations),
+            tuples_emitted: self.tuples_emitted.saturating_sub(before.tuples_emitted),
+            cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(before.cache_misses),
+            blocks_pruned: self.blocks_pruned.saturating_sub(before.blocks_pruned),
+            shards_scanned: self.shards_scanned.saturating_sub(before.shards_scanned),
+            shards_pruned: self.shards_pruned.saturating_sub(before.shards_pruned),
+            points_pruned: self.points_pruned.saturating_sub(before.points_pruned),
+            ingest_ops: self.ingest_ops.saturating_sub(before.ingest_ops),
+            compactions: self.compactions.saturating_sub(before.compactions),
+            shards_compacted: self
+                .shards_compacted
+                .saturating_sub(before.shards_compacted),
+            cq_reevals: self.cq_reevals.saturating_sub(before.cq_reevals),
+            cq_skips: self.cq_skips.saturating_sub(before.cq_skips),
+            wal_appends: self.wal_appends.saturating_sub(before.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(before.wal_bytes),
+            checkpoints: self.checkpoints.saturating_sub(before.checkpoints),
+            recoveries: self.recoveries.saturating_sub(before.recoveries),
+        }
+    }
 }
 
 impl std::ops::AddAssign for Metrics {
@@ -132,34 +171,100 @@ impl std::ops::Add for Metrics {
     }
 }
 
+/// Appends `label=value` to `line`, space-separated, when `value` is nonzero.
+fn push_field(line: &mut String, label: &str, value: u64) {
+    if value > 0 {
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(label);
+        line.push('=');
+        line.push_str(&value.to_string());
+    }
+}
+
+/// Appends `label=a/b` to `line` when the pair carries any count.
+fn push_ratio(line: &mut String, label: &str, a: u64, b: u64) {
+    if a + b > 0 {
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(label);
+        line.push('=');
+        line.push_str(&a.to_string());
+        line.push('/');
+        line.push_str(&b.to_string());
+    }
+}
+
 impl std::fmt::Display for Metrics {
+    /// Grouped, zero-suppressed rendering: one line per subsystem section
+    /// (read path / write path / durability / cq), fields with a zero count
+    /// omitted, sections with no work omitted entirely. An all-zero record
+    /// renders as `no work recorded` so the output is never empty.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "knn={} blocks={} pts={} dist={} emitted={} pruned_blocks={} pruned_pts={} \
-             shards={}/{} cache={}/{} ingest={} compactions={} shard_compactions={} cq={}/{} \
-             wal={}r/{}B checkpoints={} recoveries={}",
-            self.neighborhoods_computed,
-            self.blocks_scanned,
-            self.points_scanned,
-            self.distance_computations,
-            self.tuples_emitted,
-            self.blocks_pruned,
-            self.points_pruned,
+        let mut read = String::new();
+        push_field(&mut read, "knn", self.neighborhoods_computed);
+        push_field(&mut read, "blocks", self.blocks_scanned);
+        push_field(&mut read, "blocks_pruned", self.blocks_pruned);
+        push_field(&mut read, "locality_blocks", self.locality_blocks);
+        push_field(&mut read, "pts", self.points_scanned);
+        push_field(&mut read, "pts_pruned", self.points_pruned);
+        push_field(&mut read, "dist", self.distance_computations);
+        push_field(&mut read, "emitted", self.tuples_emitted);
+        push_ratio(
+            &mut read,
+            "shards",
             self.shards_scanned,
             self.shards_scanned + self.shards_pruned,
+        );
+        push_ratio(
+            &mut read,
+            "cache",
             self.cache_hits,
             self.cache_hits + self.cache_misses,
-            self.ingest_ops,
-            self.compactions,
-            self.shards_compacted,
+        );
+
+        let mut write_path = String::new();
+        push_field(&mut write_path, "ingest", self.ingest_ops);
+        push_field(&mut write_path, "compactions", self.compactions);
+        push_field(&mut write_path, "shards_compacted", self.shards_compacted);
+
+        let mut durability = String::new();
+        push_field(&mut durability, "wal_appends", self.wal_appends);
+        push_field(&mut durability, "wal_bytes", self.wal_bytes);
+        push_field(&mut durability, "checkpoints", self.checkpoints);
+        push_field(&mut durability, "recoveries", self.recoveries);
+
+        let mut cq = String::new();
+        push_ratio(
+            &mut cq,
+            "reevals",
             self.cq_reevals,
             self.cq_reevals + self.cq_skips,
-            self.wal_appends,
-            self.wal_bytes,
-            self.checkpoints,
-            self.recoveries,
-        )
+        );
+
+        let sections = [
+            ("read path", read),
+            ("write path", write_path),
+            ("durability", durability),
+            ("cq", cq),
+        ];
+        let mut any = false;
+        for (title, body) in &sections {
+            if body.is_empty() {
+                continue;
+            }
+            if any {
+                writeln!(f)?;
+            }
+            write!(f, "{title}: {body}")?;
+            any = true;
+        }
+        if !any {
+            write!(f, "no work recorded")?;
+        }
+        Ok(())
     }
 }
 
@@ -243,10 +348,67 @@ mod tests {
     }
 
     #[test]
-    fn display_is_compact_single_line() {
-        let m = Metrics::default();
-        let s = m.to_string();
-        assert!(s.contains("knn=0"));
-        assert!(!s.contains('\n'));
+    fn diff_subtracts_per_field_and_saturates() {
+        let before = Metrics {
+            neighborhoods_computed: 2,
+            blocks_scanned: 10,
+            tuples_emitted: 50,
+            wal_bytes: 100,
+            ..Metrics::default()
+        };
+        let after = Metrics {
+            neighborhoods_computed: 7,
+            blocks_scanned: 11,
+            // A residual filter can reset `tuples_emitted` downward.
+            tuples_emitted: 30,
+            wal_bytes: 164,
+            cq_reevals: 3,
+            ..Metrics::default()
+        };
+        let d = after.diff(&before);
+        assert_eq!(d.neighborhoods_computed, 5);
+        assert_eq!(d.blocks_scanned, 1);
+        assert_eq!(d.tuples_emitted, 0, "saturates instead of wrapping");
+        assert_eq!(d.wal_bytes, 64);
+        assert_eq!(d.cq_reevals, 3);
+        // diff against self is all-zero, and (before + diff) recovers the
+        // monotone fields.
+        assert_eq!(after.diff(&after), Metrics::default());
+        assert_eq!((before + d).wal_bytes, after.wal_bytes);
+    }
+
+    #[test]
+    fn display_groups_sections_and_suppresses_zeroes() {
+        assert_eq!(Metrics::default().to_string(), "no work recorded");
+
+        let read_only = Metrics {
+            neighborhoods_computed: 4,
+            points_scanned: 90,
+            ..Metrics::default()
+        };
+        let s = read_only.to_string();
+        assert_eq!(s, "read path: knn=4 pts=90");
+        assert!(!s.contains("wal"), "zero durability section is suppressed");
+
+        let mixed = Metrics {
+            neighborhoods_computed: 4,
+            ingest_ops: 2,
+            wal_appends: 2,
+            wal_bytes: 128,
+            cq_reevals: 1,
+            cq_skips: 3,
+            ..Metrics::default()
+        };
+        let s = mixed.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "read path: knn=4",
+                "write path: ingest=2",
+                "durability: wal_appends=2 wal_bytes=128",
+                "cq: reevals=1/4",
+            ]
+        );
     }
 }

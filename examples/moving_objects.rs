@@ -88,6 +88,12 @@ fn main() {
     // "the 12 nearest, fenced afterwards".
     let geofence_text = "FIND (Vehicles WHERE INSIDE(RECT(45000, 43000, 57000, 54000))) \
                          WHERE KNN(12, 51000, 48500)";
+    // EXPLAIN the geofence query before standing it up: the decision chain
+    // shows the pre-kNN filter pushed below the kNN predicate.
+    println!(
+        "{}\n",
+        db.explain(geofence_text).expect("explain geofence watch")
+    );
     let geofence = db
         .subscribe_query(geofence_text)
         .expect("subscribe geofence watch");
@@ -176,12 +182,17 @@ fn main() {
     while db.relation("Vehicles").unwrap().delta_len() > 0 {
         db.compact_now("Vehicles").unwrap();
     }
-    let metrics = db.store_metrics();
     println!(
-        "\nfinal: version {}, {} points, store metrics: {metrics}",
+        "\nfinal: version {}, {} points",
         db.relation("Vehicles").unwrap().version(),
         db.relation("Vehicles").unwrap().num_points(),
     );
+    println!("\nmetrics report:\n{}", db.metrics_report());
+    let events = db.drain_events();
+    println!("lifecycle events recorded this run: {}", events.len());
+    for event in events.iter().rev().take(3).rev() {
+        println!("  {event}");
+    }
 
     // Save / restart / resume: checkpoint (spill dirty shards, trim the
     // WAL), then drop the Database — indistinguishable from a crash — and

@@ -80,4 +80,17 @@ fn main() {
         out.len(),
         out.metrics
     );
+
+    // 6. The same machinery through the Database driver: EXPLAIN the
+    //    decision chain for one query, run it, and report the metrics the
+    //    session accumulated.
+    let mut db = two_knn::core::plan::Database::new();
+    db.register("Hotels", city_relation(15_000, 2));
+    let text = "FIND (Hotels WHERE INSIDE(RECT(40000, 40000, 60000, 60000))) \
+                WHERE KNN(8, 50000, 50000)";
+    println!("\n6. EXPLAIN of a filtered kNN-select:");
+    println!("{}", db.explain(text).expect("valid query"));
+    let result = db.query(text).expect("valid query");
+    println!("   -> executed: {} rows\n", result.num_rows());
+    println!("metrics report:\n{}", db.metrics_report());
 }

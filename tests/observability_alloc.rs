@@ -1,0 +1,104 @@
+//! Allocation accounting for the observability layer.
+//!
+//! The tracing gate promises that with tracing **off**, the query hot path
+//! pays one timestamp pair and a few relaxed atomics — no allocations from
+//! the instrumentation. This pins it with a counting `#[global_allocator]`
+//! wrapper (an integration test is its own crate, so the two `unsafe`
+//! trampolines below — plain delegation to `System` — are fine despite the
+//! library forbidding `unsafe`).
+//!
+//! The counter is process-global, so every check runs inside the single
+//! `#[test]` below.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use two_knn::core::plan::Database;
+use two_knn::core::{HistogramKind, Observability};
+use two_knn::{GridIndex, Point};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] with an allocation counter in front.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_tracing_adds_no_allocations_to_the_hot_path() {
+    // 1. The registry record path — what every query pays unconditionally —
+    //    is allocation-free.
+    let obs = Observability::default();
+    obs.record(HistogramKind::QueryExec, Duration::from_micros(3)); // warm
+    let before = allocations();
+    for i in 0..1_000u64 {
+        obs.record(HistogramKind::QueryExec, Duration::from_nanos(i * 37));
+        std::hint::black_box(obs.trace_enabled());
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "histogram record / trace gate allocated on the hot path"
+    );
+
+    // 2. End to end: warm queries through the Database allocate the same
+    //    with the observability layer as a steady state — no per-query
+    //    drift from instrumentation (tracing off by default).
+    let pts: Vec<Point> = (0..5_000u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+            Point::new(i, (h % 999) as f64 * 0.1, ((h >> 16) % 999) as f64 * 0.1)
+        })
+        .collect();
+    let mut db = Database::new();
+    db.register("Objects", GridIndex::build(pts, 16).unwrap());
+    let spec = db.parse_query("FIND Objects WHERE KNN(8, 50, 50)").unwrap();
+    assert!(!db.tracing_enabled());
+
+    let window = |db: &Database| {
+        for _ in 0..32 {
+            std::hint::black_box(db.execute(&spec).unwrap());
+        }
+    };
+    window(&db); // warm-up: thread scratch, profile memo, snapshot caches
+    let start = allocations();
+    window(&db);
+    let untraced = allocations() - start;
+    let start = allocations();
+    window(&db);
+    let untraced_again = allocations() - start;
+    assert!(
+        untraced_again <= untraced,
+        "untraced steady state drifts: {untraced} then {untraced_again}"
+    );
+
+    // 3. Turning tracing on is what costs: the traced window allocates
+    //    strictly more (OpTrace nodes, labels, retention) — evidence the
+    //    disabled path really skips that work.
+    db.set_tracing(true);
+    window(&db); // warm the trace ring
+    let start = allocations();
+    window(&db);
+    let traced = allocations() - start;
+    assert!(
+        traced > untraced_again,
+        "traced window ({traced}) should allocate more than untraced ({untraced_again})"
+    );
+}
